@@ -1,0 +1,121 @@
+// Ablation: why MCham multiplies per-channel shares (paper Section 4.1).
+//
+// The paper argues that "simply taking the minimum or the maximum across
+// all channels, instead of the product, will be an underestimate since the
+// traffic on a narrower channel contends with traffic on an overlapping
+// wider channel".  This bench compares four channel-selection rules on the
+// Figure 10 microbenchmark setup, scoring each rule by the throughput its
+// chosen channel actually achieves (as a fraction of the best choice):
+//
+//   product   MCham as specified (W/5 * prod rho)
+//   minimum   W/5 * min rho          (optimistic for wide channels)
+//   maximum   W/5 * max rho          (wildly optimistic)
+//   widest    always pick the widest fitting channel
+#include <iostream>
+#include <map>
+
+#include "core/mcham.h"
+#include "scenario.h"
+#include "sim/scanner.h"
+#include "util/report.h"
+#include "util/stats.h"
+
+namespace whitefi::bench {
+namespace {
+
+double RuleScore(const Channel& channel, const BandObservation& obs,
+                 const std::string& rule) {
+  if (rule == "product") return MCham(channel, obs);
+  double best_rho = rule == "minimum" ? 1.0 : 0.0;
+  for (UhfIndex c = channel.Low(); c <= channel.High(); ++c) {
+    const auto& o = obs[static_cast<std::size_t>(c)];
+    if (o.incumbent) return 0.0;
+    const double rho = Rho(o);
+    best_rho = rule == "minimum" ? std::min(best_rho, rho)
+                                 : std::max(best_rho, rho);
+  }
+  return (WidthMHz(channel.width) / 5.0) * best_rho;
+}
+
+int Main() {
+  std::cout << "Ablation: MCham's product form vs. min / max / widest-first\n"
+            << "(Figure 10 setup; per rule: throughput of the chosen channel "
+               "as a fraction of the per-point best)\n\n";
+
+  const SpectrumMap map = SpectrumMap::FromFreeTvChannels({26, 27, 28, 29, 30});
+  const UhfIndex center = IndexOfTvChannel(28);
+  const std::array<Channel, 3> channels{Channel{center, ChannelWidth::kW5},
+                                        Channel{center, ChannelWidth::kW10},
+                                        Channel{center, ChannelWidth::kW20}};
+  const std::vector<std::string> rules{"product", "minimum", "maximum",
+                                       "widest"};
+  std::map<std::string, RunningStats> score;
+
+  std::uint64_t seed = 7100;
+  for (SimTime ipd_ms : {3, 6, 10, 16, 24, 36, 50}) {
+    // Measure the observation once (passive) and the three throughputs.
+    ScenarioConfig config;
+    config.seed = seed++;
+    config.base_map = map;
+    config.num_clients = 1;
+    config.warmup_s = 1.0;
+    config.measure_s = 3.0;
+    for (int tv = 26; tv <= 30; ++tv) {
+      BackgroundSpec spec;
+      spec.channel = IndexOfTvChannel(tv);
+      spec.cbr_interval = ipd_ms * kTicksPerMs;
+      config.background.push_back(spec);
+    }
+    std::array<double, 3> tput{};
+    for (int i = 0; i < 3; ++i) {
+      ScenarioConfig trial = config;
+      trial.static_channel = channels[static_cast<std::size_t>(i)];
+      tput[static_cast<std::size_t>(i)] = RunScenario(trial).per_client_mbps;
+    }
+    const double best = *std::max_element(tput.begin(), tput.end());
+    if (best <= 0.0) continue;
+
+    // A simple analytic observation consistent with the offered load (the
+    // metric comparison, not the scanner, is the subject here).
+    BandObservation obs = EmptyBandObservation();
+    const PhyTiming t5 = PhyTiming::ForWidth(ChannelWidth::kW5);
+    const double duty = std::min(
+        1.0, (t5.FrameDuration(1028) + t5.AckDuration()) /
+                 (static_cast<double>(ipd_ms) * 1000.0));
+    for (int tv = 26; tv <= 30; ++tv) {
+      auto& o = obs[static_cast<std::size_t>(IndexOfTvChannel(tv))];
+      o.airtime = duty;
+      o.ap_count = 1;
+    }
+
+    for (const std::string& rule : rules) {
+      int pick = 2;  // widest
+      if (rule != "widest") {
+        double best_metric = -1.0;
+        for (int i = 0; i < 3; ++i) {
+          const double m =
+              RuleScore(channels[static_cast<std::size_t>(i)], obs, rule);
+          if (m > best_metric) {
+            best_metric = m;
+            pick = i;
+          }
+        }
+      }
+      score[rule].Add(tput[static_cast<std::size_t>(pick)] / best);
+    }
+  }
+
+  Table table({"rule", "avg fraction of best throughput"});
+  for (const std::string& rule : rules) {
+    table.AddRow({rule, FormatPercent(score[rule].Mean())});
+  }
+  table.Print(std::cout);
+  std::cout << "\nmin/max overrate wide channels under load; the product "
+               "tracks the contention coupling across sub-channels\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace whitefi::bench
+
+int main() { return whitefi::bench::Main(); }

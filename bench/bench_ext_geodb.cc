@@ -1,0 +1,82 @@
+// Extension: the geo-location incumbent database (paper Section 3 notes
+// the FCC was "looking at the use of a geo-location database to regulate
+// and inform clients about the presence of primary users" — the mechanism
+// that later shipped in the white-space rules and 802.11af).
+//
+// This bench derives Figure 2's urban-to-rural gradient from transmitter
+// geometry instead of the parametric occupancy model: spectrum maps are
+// queried along a radial from a synthetic metro core, and the free-channel
+// count, widest fragment, and the capacity of the best WhiteFi channel all
+// grow with distance.  It also shows a protected venue (theater mics)
+// appearing in downtown queries only during its scheduled window.
+#include <iostream>
+
+#include "core/mcham.h"
+#include "spectrum/geodb.h"
+#include "util/report.h"
+#include "util/stats.h"
+
+namespace whitefi::bench {
+namespace {
+
+int Main() {
+  std::cout << "Extension: geo-location database — spectrum along a radial "
+               "from the metro core\n(averaged over 20 synthetic metros)\n\n";
+  Rng rng(8200);
+  constexpr int kPoints = 9;
+  constexpr double kMaxKm = 200.0;
+  std::vector<RunningStats> free_channels(kPoints), widest(kPoints),
+      capacity(kPoints);
+  for (int metro = 0; metro < 20; ++metro) {
+    const GeoDatabase db = SynthesizeMetro(MetroModel{}, rng);
+    const auto maps = MapsAlongRadial(db, kMaxKm, kPoints);
+    for (int i = 0; i < kPoints; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      free_channels[idx].Add(maps[idx].NumFree());
+      widest[idx].Add(maps[idx].WidestFragment());
+      // Capacity of the best fitting WhiteFi channel, in 5 MHz units.
+      double best = 0.0;
+      for (const Channel& c : maps[idx].UsableChannels()) {
+        best = std::max(best, IdleMCham(c.width));
+      }
+      capacity[idx].Add(best);
+    }
+  }
+  Table table({"distance(km)", "free channels", "widest fragment(ch)",
+               "best channel (5MHz units)"});
+  for (int i = 0; i < kPoints; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    table.AddRow({FormatDouble(kMaxKm * i / (kPoints - 1), 0),
+                  FormatDouble(free_channels[idx].Mean(), 1),
+                  FormatDouble(widest[idx].Mean(), 1),
+                  FormatDouble(capacity[idx].Mean(), 1)});
+  }
+  table.Print(std::cout);
+
+  // Protected venue demo: a theater's mics only constrain queries inside
+  // the venue radius and inside the scheduled window.
+  GeoDatabase db;
+  db.RegisterVenue(ProtectedVenue{"theater", 12, {0.5, 0.5}, 1.0,
+                                  1800.0 * kSecond, 9000.0 * kSecond});
+  std::cout << "\nprotected-venue demo (channel TV"
+            << TvChannelNumber(12) << " inside 1 km of the theater):\n";
+  Table venue({"query", "t=0 (before show)", "t=1h (during)",
+               "t=3h (after)"});
+  auto occupied = [&](const GeoPoint& p, double t_s) {
+    return db.QueryAt(p, t_s * kSecond).Occupied(12) ? "protected" : "free";
+  };
+  venue.AddRow({"inside venue", occupied({0.5, 0.5}, 0),
+                occupied({0.5, 0.5}, 3600), occupied({0.5, 0.5}, 10800)});
+  venue.AddRow({"across town", occupied({5, 5}, 0), occupied({5, 5}, 3600),
+                occupied({5, 5}, 10800)});
+  venue.Print(std::cout);
+  std::cout << "\ngeometry alone reproduces the urban-to-rural gradient of "
+               "Figure 2 and the scheduled-mic protection WhiteFi's chirps "
+               "complement\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace whitefi::bench
+
+int main() { return whitefi::bench::Main(); }

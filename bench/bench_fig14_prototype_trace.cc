@@ -1,0 +1,165 @@
+// Reproduces Figure 14: the prototype-testbed trace.
+//
+// Setup (paper Section 5.4.2): the Building-5 spectrum map (free TV
+// channels 26-30, 33-35, 39, 48) gives a 20 MHz fragment, a 10 MHz
+// fragment, and two isolated 5 MHz channels.  One WhiteFi AP + client run
+// a backlogged flow while background traffic is scripted:
+//
+//   t= 50 s: background appears on channels 26-29  (kills the 20 MHz pick)
+//   t=100 s: background appears on channels 33-34  (kills the 10 MHz pick)
+//   t=150 s: background on 33-34 removed
+//   t=200 s: background on 26-29 removed
+//
+// The bench prints, per 5 s window: the MCham value of the best channel in
+// each fragment (top of the paper's figure), WhiteFi's throughput and
+// operating channel, and OPT (per-window max over the static 20 MHz,
+// 10 MHz and 5 MHz runs under the same script).
+#include <iostream>
+
+#include "core/ap.h"
+#include "core/client.h"
+#include "core/mcham.h"
+#include "scenario.h"
+#include "sim/traffic.h"
+#include "spectrum/campus.h"
+#include "util/report.h"
+
+namespace whitefi::bench {
+namespace {
+
+constexpr double kDuration = 250.0;
+constexpr double kWindow = 5.0;
+constexpr int kWindows = static_cast<int>(kDuration / kWindow);
+
+std::vector<BackgroundSpec> Script() {
+  std::vector<BackgroundSpec> background;
+  for (int tv : {26, 27, 28, 29}) {
+    BackgroundSpec spec;
+    spec.channel = IndexOfTvChannel(tv);
+    spec.cbr_interval = 12 * kTicksPerMs;
+    spec.on_at = 50 * kTicksPerSec;
+    spec.off_at = 200 * kTicksPerSec;
+    background.push_back(spec);
+  }
+  for (int tv : {33, 34}) {
+    BackgroundSpec spec;
+    spec.channel = IndexOfTvChannel(tv);
+    spec.cbr_interval = 12 * kTicksPerMs;
+    spec.on_at = 100 * kTicksPerSec;
+    spec.off_at = 150 * kTicksPerSec;
+    background.push_back(spec);
+  }
+  return background;
+}
+
+ScenarioConfig BaseConfig(std::uint64_t seed) {
+  ScenarioConfig config;
+  config.seed = seed;
+  config.base_map = Building5Map();
+  config.num_clients = 1;
+  config.warmup_s = 0.0;
+  config.measure_s = kDuration;
+  config.background = Script();
+  ApParams ap;
+  ap.assignment_interval = 3 * kTicksPerSec;
+  ap.first_assignment_delay = 2 * kTicksPerSec;
+  ap.scanner.dwell = 250 * kTicksPerMs;  // ~1 s/channel spirit, faster sweep.
+  config.ap_params = ap;
+  return config;
+}
+
+/// Per-window delivered Mbps extracted from cumulative samples.
+std::vector<double> WindowRates(const std::vector<std::uint64_t>& cumulative) {
+  std::vector<double> rates;
+  for (std::size_t i = 1; i < cumulative.size(); ++i) {
+    rates.push_back(8.0 * static_cast<double>(cumulative[i] - cumulative[i - 1]) /
+                    kWindow / 1e6);
+  }
+  return rates;
+}
+
+std::vector<double> RunStaticTrace(const Channel& channel,
+                                   std::uint64_t seed) {
+  ScenarioConfig config = BaseConfig(seed);
+  config.static_channel = channel;
+  auto samples = std::make_shared<std::vector<std::uint64_t>>();
+  config.customize = [samples](World& world) {
+    samples->push_back(0);
+    for (int w = 1; w <= kWindows; ++w) {
+      world.sim().Schedule(static_cast<SimTime>(w * kWindow) * kTicksPerSec,
+                           [samples, &world] {
+                             samples->push_back(world.AppBytesInSsid(1));
+                           });
+    }
+  };
+  RunScenario(config);
+  return WindowRates(*samples);
+}
+
+int Main() {
+  std::cout << "Figure 14: prototype trace — MCham per fragment and "
+               "throughput over time\n\n";
+  // Static baselines under the same script.
+  const Channel w20{IndexOfTvChannel(28), ChannelWidth::kW20};
+  const Channel w10{IndexOfTvChannel(34), ChannelWidth::kW10};
+  const Channel w5{IndexOfTvChannel(39), ChannelWidth::kW5};
+  const auto t20 = RunStaticTrace(w20, 1501);
+  const auto t10 = RunStaticTrace(w10, 1502);
+  const auto t5 = RunStaticTrace(w5, 1503);
+
+  // The adaptive WhiteFi run, assembled directly so we can sample the AP's
+  // live MCham view of each fragment.
+  ScenarioConfig config = BaseConfig(1500);
+  struct WindowSample {
+    double mcham20, mcham10, mcham5, mbps;
+    std::string channel;
+  };
+  auto rows = std::make_shared<std::vector<WindowSample>>();
+  auto cumulative = std::make_shared<std::vector<std::uint64_t>>();
+  // RunScenario owns the world; we reach the AP through the device list.
+  config.customize = [&, rows, cumulative](World& world) {
+    cumulative->push_back(0);
+    for (int w = 1; w <= kWindows; ++w) {
+      world.sim().Schedule(
+          static_cast<SimTime>(w * kWindow) * kTicksPerSec,
+          [rows, cumulative, &world, w20, w10, w5] {
+            ApNode* ap = nullptr;
+            for (const auto& device : world.devices()) {
+              if ((ap = dynamic_cast<ApNode*>(device.get())) != nullptr) break;
+            }
+            const auto& obs = ap->scanner().Observation();
+            cumulative->push_back(world.AppBytesInSsid(1));
+            const double mbps =
+                8.0 * static_cast<double>(cumulative->back() -
+                                          (*cumulative)[cumulative->size() - 2]) /
+                kWindow / 1e6;
+            rows->push_back(WindowSample{MCham(w20, obs), MCham(w10, obs),
+                                         MCham(w5, obs), mbps,
+                                         ap->main_channel().ToString()});
+          });
+    }
+  };
+  RunScenario(config);
+
+  Table table({"t(s)", "MCham20", "MCham10", "MCham5", "WhiteFi(Mbps)",
+               "channel", "OPT(Mbps)"});
+  for (std::size_t w = 0; w < rows->size(); ++w) {
+    const double opt = std::max({t20.size() > w ? t20[w] : 0.0,
+                                 t10.size() > w ? t10[w] : 0.0,
+                                 t5.size() > w ? t5[w] : 0.0});
+    const WindowSample& s = (*rows)[w];
+    table.AddRow({FormatDouble((w + 1) * kWindow, 0), FormatDouble(s.mcham20, 2),
+                  FormatDouble(s.mcham10, 2), FormatDouble(s.mcham5, 2),
+                  FormatDouble(s.mbps, 2), s.channel, FormatDouble(opt, 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nexpected: 20 MHz until t=50, 10 MHz until t=100, 5 MHz "
+               "until t=150, back to 10 MHz, then 20 MHz after t=200 — "
+               "tracking the fragment with the best MCham\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace whitefi::bench
+
+int main() { return whitefi::bench::Main(); }

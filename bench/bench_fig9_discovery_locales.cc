@@ -1,0 +1,61 @@
+// Reproduces Figure 9: time to discover one AP in metropolitan, suburban
+// and rural spectrum maps (post-DTV), comparing the non-SIFT baseline,
+// L-SIFT, and J-SIFT.
+//
+// Paper: in metro areas J-SIFT is ~34% faster than the baseline; in rural
+// areas (more contiguous channels) it discovers APs in less than a third
+// of the baseline's time.
+#include <iostream>
+
+#include "core/discovery.h"
+#include "spectrum/locales.h"
+#include "util/report.h"
+#include "util/stats.h"
+
+namespace whitefi::bench {
+namespace {
+
+constexpr int kLocalesPerClass = 10;
+constexpr int kRunsPerLocale = 10;
+
+int Main() {
+  std::cout << "Figure 9: time to discover one AP per locale class\n"
+            << "(" << kLocalesPerClass << " locales x " << kRunsPerLocale
+            << " random AP placements, 100 ms per scan)\n\n";
+  Rng rng(900);
+  // Under spatial variation the client cannot prune candidates whose span
+  // overlaps channels only *it* sees as occupied, so the realistic
+  // non-SIFT baseline tries every width at each free center (the paper's
+  // ~NC*NW/2 cost model).
+  DiscoveryParams params;
+  params.baseline_skips_blocked_spans = false;
+  Table table({"locale", "baseline(s)", "L-SIFT(s)", "J-SIFT(s)",
+               "J-SIFT saving"});
+  for (LocaleClass locale : kAllLocaleClasses) {
+    RunningStats base_s, l_s, j_s;
+    for (int loc = 0; loc < kLocalesPerClass; ++loc) {
+      const SpectrumMap map = GenerateLocaleMap(locale, rng);
+      const auto candidates = map.UsableChannels();
+      if (candidates.empty()) continue;
+      for (int run = 0; run < kRunsPerLocale; ++run) {
+        const Channel ap = rng.Pick(candidates);
+        AnalyticScanEnvironment env(ap);
+        base_s.Add(BaselineDiscover(env, map, params).elapsed / kSecond);
+        l_s.Add(LSiftDiscover(env, map, params).elapsed / kSecond);
+        j_s.Add(JSiftDiscover(env, map, params).elapsed / kSecond);
+      }
+    }
+    table.AddRow({LocaleClassName(locale), FormatDouble(base_s.Mean(), 2),
+                  FormatDouble(l_s.Mean(), 2), FormatDouble(j_s.Mean(), 2),
+                  FormatPercent(1.0 - j_s.Mean() / base_s.Mean())});
+  }
+  table.Print(std::cout);
+  std::cout << "\npaper: metro saving ~34%; rural discovery in < 1/3 of the "
+               "baseline time\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace whitefi::bench
+
+int main() { return whitefi::bench::Main(); }

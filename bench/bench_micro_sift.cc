@@ -1,0 +1,92 @@
+// google-benchmark micro-benchmarks for the SIFT signal pipeline: how many
+// samples per second the detector sustains (the USRP delivers 1 MS/s, so
+// anything above ~10 MS/s leaves ample headroom), and the matcher /
+// chirp-codec costs.
+#include <benchmark/benchmark.h>
+
+#include "phy/signal.h"
+#include "sift/chirp.h"
+#include "sift/detector.h"
+#include "sift/matcher.h"
+
+namespace whitefi {
+namespace {
+
+std::vector<double> MakeTrace(ChannelWidth width, int packets) {
+  const PhyTiming t = PhyTiming::ForWidth(width);
+  SignalSynthesizer synth(SignalParams{}, Rng(1));
+  const Us spacing = t.FrameDuration(1000) + t.Sifs() + t.AckDuration() + 2000.0;
+  const auto bursts = MakeCbrSchedule(t, packets, spacing, 1000, 300.0);
+  return synth.Synthesize(bursts, packets * spacing + 2000.0);
+}
+
+void BM_SiftDetector(benchmark::State& state) {
+  const auto samples = MakeTrace(ChannelWidth::kW20, 50);
+  for (auto _ : state) {
+    SiftDetector detector{SiftParams{}};
+    benchmark::DoNotOptimize(detector.Detect(samples));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(samples.size()));
+}
+BENCHMARK(BM_SiftDetector);
+
+void BM_SiftStreamingBlocks(benchmark::State& state) {
+  const auto samples = MakeTrace(ChannelWidth::kW10, 50);
+  for (auto _ : state) {
+    SiftDetector detector{SiftParams{}};
+    for (std::size_t i = 0; i < samples.size(); i += 2048) {
+      const std::size_t n = std::min<std::size_t>(2048, samples.size() - i);
+      detector.ProcessBlock({samples.data() + i, n});
+    }
+    detector.Flush();
+    benchmark::DoNotOptimize(detector.TakeBursts());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(samples.size()));
+}
+BENCHMARK(BM_SiftStreamingBlocks);
+
+void BM_PatternMatcher(benchmark::State& state) {
+  const auto samples = MakeTrace(ChannelWidth::kW20, 100);
+  SiftDetector detector{SiftParams{}};
+  const auto bursts = detector.Detect(samples);
+  PatternMatcher matcher;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.MatchAll(bursts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bursts.size()));
+}
+BENCHMARK(BM_PatternMatcher);
+
+void BM_SignalSynthesis(benchmark::State& state) {
+  const PhyTiming t = PhyTiming::ForWidth(ChannelWidth::kW20);
+  const auto bursts = MakeCbrSchedule(t, 20, 5000.0, 1000, 300.0);
+  Rng rng(2);
+  for (auto _ : state) {
+    SignalSynthesizer synth(SignalParams{}, rng.Fork());
+    benchmark::DoNotOptimize(synth.Synthesize(bursts, 110000.0));
+  }
+}
+BENCHMARK(BM_SignalSynthesis);
+
+void BM_ChirpCodecDecode(benchmark::State& state) {
+  const ChirpCodec codec;
+  Rng rng(3);
+  std::vector<Us> durations;
+  for (int i = 0; i < 1024; ++i) {
+    durations.push_back(codec.Encode(rng.UniformInt(0, 63)) +
+                        rng.Uniform(-20.0, 20.0));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.Decode(durations[i++ % durations.size()]));
+  }
+}
+BENCHMARK(BM_ChirpCodecDecode);
+
+}  // namespace
+}  // namespace whitefi
+
+BENCHMARK_MAIN();

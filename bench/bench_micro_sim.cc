@@ -1,0 +1,75 @@
+// google-benchmark micro-benchmarks for the simulator substrate: event
+// queue throughput, a saturated CSMA/CA cell, and the spectrum-assignment
+// evaluation cost (84 candidate channels per decision).
+#include <benchmark/benchmark.h>
+
+#include "core/assignment.h"
+#include "core/discovery.h"
+#include "sim/traffic.h"
+#include "sim/world.h"
+#include "spectrum/campus.h"
+
+namespace whitefi {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < 10000; ++i) {
+      sim.Schedule((i * 7919) % 100000, [] {});
+    }
+    sim.RunUntilIdle();
+    benchmark::DoNotOptimize(sim.NumProcessed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_SaturatedCellSimSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    World world;
+    DeviceConfig config;
+    config.initial_channel = Channel{10, ChannelWidth::kW20};
+    config.position = {0, 0};
+    Device& a = world.Create<Device>(config);
+    config.position = {50, 0};
+    Device& b = world.Create<Device>(config);
+    SaturatedSource source(a, b.NodeId(), 1000);
+    source.Start();
+    world.RunFor(1.0);  // One simulated second of saturated traffic.
+    benchmark::DoNotOptimize(world.AppBytes(b.NodeId()));
+  }
+}
+BENCHMARK(BM_SaturatedCellSimSecond);
+
+void BM_AssignmentEvaluation(benchmark::State& state) {
+  AssignmentInputs inputs;
+  inputs.ap_map = CampusSimulationMap();
+  inputs.ap_observation = EmptyBandObservation();
+  for (int i = 0; i < 10; ++i) {
+    inputs.client_maps.push_back(inputs.ap_map);
+    inputs.client_observations.push_back(inputs.ap_observation);
+  }
+  SpectrumAssigner assigner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assigner.SelectInitial(inputs));
+  }
+}
+BENCHMARK(BM_AssignmentEvaluation);
+
+void BM_JSiftDiscovery(benchmark::State& state) {
+  const SpectrumMap map = CampusSimulationMap();
+  const auto usable = map.UsableChannels();
+  Rng rng(4);
+  for (auto _ : state) {
+    AnalyticScanEnvironment env(usable[rng.Index(usable.size())]);
+    benchmark::DoNotOptimize(JSiftDiscover(env, map));
+  }
+}
+BENCHMARK(BM_JSiftDiscovery);
+
+}  // namespace
+}  // namespace whitefi
+
+BENCHMARK_MAIN();

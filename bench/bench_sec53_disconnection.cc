@@ -1,0 +1,84 @@
+// Reproduces the Section 5.3 disconnection experiment.
+//
+// Setup: an AP-client pair with an active transfer; a wireless microphone
+// switches on inside the operating channel.  The client vacates and chirps
+// on the backup channel; the AP's secondary radio visits the backup
+// channel every 3 s, picks up the chirp, reassigns spectrum, announces,
+// and the network resumes.
+//
+// Paper result: the chirp is picked up within at most 3 s and "the system
+// is operational again after a lag of at most 4 seconds".
+#include <iostream>
+
+#include "scenario.h"
+#include "spectrum/campus.h"
+#include "util/report.h"
+#include "util/stats.h"
+
+namespace whitefi::bench {
+namespace {
+
+constexpr int kTrials = 20;
+
+int Main() {
+  std::cout << "Section 5.3: reconnection time after a mic appears on the "
+               "operating channel (" << kTrials << " trials)\n\n";
+  std::vector<double> outages;
+  int failures = 0;
+  Rng rng(530);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    ScenarioConfig config;
+    config.seed = 5300 + static_cast<std::uint64_t>(trial);
+    config.base_map = Building5Map();
+    config.num_clients = 1;
+    config.warmup_s = 2.0;
+    config.measure_s = 14.0;
+    config.ap_params.scanner.dwell = 150 * kTicksPerMs;
+    // A mic appears somewhere in the 26-30 fragment (where the initial
+    // assignment put the 20 MHz channel) at a random time, audible only to
+    // the client ("we switched on a wireless microphone near the client"):
+    // the AP must learn of it through the chirp protocol.
+    MicActivation mic;
+    mic.channel = IndexOfTvChannel(rng.UniformInt(26, 30));
+    mic.on_time = rng.Uniform(3.0, 5.0) * kSecond;
+    mic.off_time = 600.0 * kSecond;
+    config.customize = [mic](World& world) {
+      std::vector<int> client_ids;
+      for (const auto& device : world.devices()) {
+        if (device->ssid() == 1 && !device->IsAp()) {
+          client_ids.push_back(device->NodeId());
+        }
+      }
+      world.AddMic(mic, client_ids);
+    };
+    const RunResult run = RunScenario(config);
+    if (run.disconnects >= 1 && run.max_outage_s > 0.0) {
+      outages.push_back(run.max_outage_s);
+    } else if (run.final_channel.Contains(mic.channel)) {
+      ++failures;  // Never vacated — should not happen.
+    } else {
+      // The AP detected the mic itself and moved the network before the
+      // client ever timed out: a zero-outage recovery.
+      outages.push_back(0.0);
+    }
+  }
+
+  Table table({"statistic", "value"});
+  table.AddRow({"trials", std::to_string(kTrials)});
+  table.AddRow({"recoveries", std::to_string(static_cast<int>(outages.size()))});
+  table.AddRow({"failures (never vacated)", std::to_string(failures)});
+  table.AddRow({"mean outage (s)", FormatDouble(Mean(outages), 2)});
+  table.AddRow({"median outage (s)", FormatDouble(Median(outages), 2)});
+  table.AddRow({"max outage (s)",
+                FormatDouble(*std::max_element(outages.begin(), outages.end()),
+                             2)});
+  table.Print(std::cout);
+  std::cout << "\npaper: chirp picked up within <= 3 s; operational again "
+               "within <= 4 s\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace whitefi::bench
+
+int main() { return whitefi::bench::Main(); }

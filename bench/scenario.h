@@ -1,0 +1,86 @@
+// Shared scenario runner for the paper's simulation experiments
+// (Figures 10-14 and Section 5.3).
+//
+// Builds the paper's canonical setup: one WhiteFi AP with N associated
+// clients (all backlogged, up- and downstream), plus background AP/client
+// pairs transmitting CBR (or Markov-modulated CBR) on 5 MHz channels.
+// The WhiteFi network either adapts (the real spectrum-assignment
+// algorithm) or is pinned to a static channel (the OPT-w baselines: the
+// paper's omniscient static algorithms, realized by exhaustively
+// simulating every candidate channel and keeping the best).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ap.h"
+#include "core/client.h"
+#include "sim/traffic.h"
+#include "spectrum/spectrum_map.h"
+
+namespace whitefi::bench {
+
+/// Background-pair placement and traffic.
+struct BackgroundSpec {
+  UhfIndex channel = 0;            ///< 5 MHz home channel.
+  SimTime cbr_interval = 30 * kTicksPerMs;
+  int payload_bytes = 1000;
+  /// When set, the pair is Markov on/off modulated (Figure 13).
+  std::optional<MarkovOnOffSource::Params> markov;
+  /// Activate at this time (and the deactivation below) — used by the
+  /// Figure 14 script.  Defaults: always on.
+  SimTime on_at = 0;
+  SimTime off_at = -1;  ///< -1 = never.
+};
+
+/// One full scenario.
+struct ScenarioConfig {
+  std::uint64_t seed = 1;
+  SpectrumMap base_map;          ///< TV incumbents (campus map etc.).
+  int num_clients = 4;
+  double client_map_flip_p = 0.0;  ///< Spatial variation (Figure 12).
+  std::vector<BackgroundSpec> background;
+  std::vector<MicActivation> mics;
+  double warmup_s = 2.0;
+  double measure_s = 5.0;
+  int payload_bytes = 1000;
+  /// nullopt = adaptive WhiteFi; otherwise a pinned static channel.
+  std::optional<Channel> static_channel;
+  ApParams ap_params;
+  ClientParams client_params;
+  /// Invoked after StartAll with access to the world (scripted events).
+  std::function<void(World&)> customize;
+};
+
+/// Result of one run.
+struct RunResult {
+  double per_client_mbps = 0.0;  ///< Aggregate / clients / measure window.
+  double aggregate_mbps = 0.0;
+  int switches = 0;
+  int disconnects = 0;
+  double max_outage_s = 0.0;
+  Channel final_channel{0, ChannelWidth::kW5};
+};
+
+/// Runs one scenario.
+RunResult RunScenario(const ScenarioConfig& config);
+
+/// Best static channel of width `w` (exhaustive over channels usable under
+/// the base map), as per-client throughput.  Returns 0 when no candidate
+/// exists.  `reduced_measure_s` trims the per-candidate simulation time.
+double OptStaticThroughput(const ScenarioConfig& config, ChannelWidth w,
+                           double reduced_measure_s = 0.0);
+
+/// Convenience: OPT over all three widths.
+double OptThroughput(const ScenarioConfig& config,
+                     double reduced_measure_s = 0.0);
+
+/// Channels usable under the map AND free at every client map realization
+/// implied by the config (used to restrict OPT candidates under spatial
+/// variation; with flip_p == 0 this is just the base map's usable set).
+std::vector<Channel> StaticCandidates(const ScenarioConfig& config,
+                                      ChannelWidth w);
+
+}  // namespace whitefi::bench

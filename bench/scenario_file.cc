@@ -1,0 +1,91 @@
+#include "scenario_file.h"
+
+#include <stdexcept>
+
+#include "spectrum/campus.h"
+#include "spectrum/locales.h"
+
+namespace whitefi::bench {
+
+ScenarioConfig LoadScenario(const ConfigFile& config) {
+  ScenarioConfig scenario;
+  scenario.seed = static_cast<std::uint64_t>(config.GetInt("seed", 1));
+  scenario.measure_s = config.GetDouble("seconds", 10.0);
+  scenario.warmup_s = config.GetDouble("warmup", 1.0);
+
+  // Map.
+  const std::string map_name = config.Get("map.name", "campus");
+  Rng map_rng(scenario.seed * 131 + 17);
+  if (map_name == "campus") {
+    scenario.base_map = CampusSimulationMap();
+  } else if (map_name == "building5") {
+    scenario.base_map = Building5Map();
+  } else if (map_name == "urban") {
+    scenario.base_map = GenerateLocaleMap(LocaleClass::kUrban, map_rng);
+  } else if (map_name == "suburban") {
+    scenario.base_map = GenerateLocaleMap(LocaleClass::kSuburban, map_rng);
+  } else if (map_name == "rural") {
+    scenario.base_map = GenerateLocaleMap(LocaleClass::kRural, map_rng);
+  } else if (map_name == "empty") {
+    scenario.base_map = SpectrumMap{};
+  } else {
+    throw std::runtime_error("unknown map.name: " + map_name);
+  }
+  for (long long tv : config.GetIntList("map.extra_occupied")) {
+    scenario.base_map.SetOccupied(IndexOfTvChannel(static_cast<int>(tv)));
+  }
+
+  // Network.
+  scenario.num_clients = static_cast<int>(config.GetInt("network.clients", 2));
+  scenario.client_map_flip_p = config.GetDouble("network.flip_p", 0.0);
+  const int static_width =
+      static_cast<int>(config.GetInt("network.static_width", 0));
+  if (static_width != 0) {
+    for (const Channel& c : scenario.base_map.UsableChannels()) {
+      if (static_cast<int>(WidthMHz(c.width)) == static_width) {
+        scenario.static_channel = c;
+        break;
+      }
+    }
+    if (!scenario.static_channel.has_value()) {
+      throw std::runtime_error("no usable channel of static_width " +
+                               std::to_string(static_width));
+    }
+  }
+
+  // Background.
+  const int pairs = static_cast<int>(config.GetInt("background.pairs", 0));
+  const SimTime ipd =
+      config.GetInt("background.ipd_ms", 30) * kTicksPerMs;
+  const int payload =
+      static_cast<int>(config.GetInt("background.payload", 1000));
+  Rng bg_rng(scenario.seed * 977 + 3);
+  const auto free = scenario.base_map.FreeIndices();
+  if (pairs > 0 && free.empty()) {
+    throw std::runtime_error("background pairs requested but no free channels");
+  }
+  for (int i = 0; i < pairs; ++i) {
+    BackgroundSpec spec;
+    spec.channel = bg_rng.Pick(free);
+    spec.cbr_interval = ipd;
+    spec.payload_bytes = payload;
+    scenario.background.push_back(spec);
+  }
+
+  // Mic.
+  if (config.Has("mic.tv_channel")) {
+    MicActivation mic;
+    mic.channel = IndexOfTvChannel(
+        static_cast<int>(config.GetInt("mic.tv_channel")));
+    mic.on_time = config.GetDouble("mic.on_s", 5.0) * kSecond;
+    mic.off_time = config.GetDouble("mic.off_s", 600.0) * kSecond;
+    scenario.mics.push_back(mic);
+  }
+  return scenario;
+}
+
+ScenarioConfig LoadScenarioFile(const std::string& path) {
+  return LoadScenario(ConfigFile::Load(path));
+}
+
+}  // namespace whitefi::bench

@@ -1,0 +1,36 @@
+// Scenario description files — the QualNet-style workflow where "every
+// node reads its initial spectrum map from a configuration file".
+//
+// Example:
+//
+//   seed = 7
+//   seconds = 20
+//   [map]
+//   name = campus            # campus | building5 | rural|urban|suburban
+//   extra_occupied = 27, 31  # TV channels occupied on top of the base map
+//   [network]
+//   clients = 4
+//   static_width = 0         # 0 = adaptive, else 5|10|20
+//   [background]
+//   pairs = 10
+//   ipd_ms = 30
+//   payload = 1000
+//   [mic]
+//   tv_channel = 28          # omit section for no mic
+//   on_s = 5
+//   off_s = 600
+#pragma once
+
+#include "scenario.h"
+#include "util/config.h"
+
+namespace whitefi::bench {
+
+/// Builds a ScenarioConfig from a parsed description.  Throws
+/// std::runtime_error on unknown map names or invalid values.
+ScenarioConfig LoadScenario(const ConfigFile& config);
+
+/// Convenience: parse a file then load.
+ScenarioConfig LoadScenarioFile(const std::string& path);
+
+}  // namespace whitefi::bench

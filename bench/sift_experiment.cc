@@ -1,0 +1,74 @@
+#include "sift_experiment.h"
+
+#include <cmath>
+
+namespace whitefi::bench {
+
+SignalRun MakeIperfRun(ChannelWidth width, int count, Us interval_us,
+                       int payload_bytes, const SignalParams& params,
+                       Rng rng) {
+  const PhyTiming timing = PhyTiming::ForWidth(width);
+  SignalRun run;
+  std::vector<Burst> bursts;
+  for (int i = 0; i < count; ++i) {
+    const Us start = 500.0 + static_cast<double>(i) * interval_us;
+    const auto exchange = MakeDataAckExchange(timing, start, payload_bytes);
+    run.packets.push_back(SentPacket{start, exchange[0].duration});
+    bursts.insert(bursts.end(), exchange.begin(), exchange.end());
+  }
+  run.total_duration = bursts.back().start + bursts.back().duration + 1000.0;
+  SignalSynthesizer synth(params, std::move(rng));
+  run.samples = synth.Synthesize(bursts, run.total_duration);
+  return run;
+}
+
+int CountDetected(const std::vector<SentPacket>& packets,
+                  const std::vector<DetectedBurst>& bursts,
+                  bool require_duration_match, Us duration_tolerance_us) {
+  int detected = 0;
+  std::size_t cursor = 0;
+  for (const SentPacket& packet : packets) {
+    const Us lo = packet.start;
+    const Us hi = packet.start + packet.duration;
+    bool found = false;
+    // Bursts are time ordered; advance the cursor past bursts that end
+    // before this packet starts.
+    while (cursor < bursts.size() && bursts[cursor].end < lo) ++cursor;
+    for (std::size_t i = cursor; i < bursts.size() && bursts[i].start < hi;
+         ++i) {
+      if (!require_duration_match) {
+        found = true;
+        break;
+      }
+      if (std::abs(bursts[i].Duration() - packet.duration) <=
+          duration_tolerance_us) {
+        found = true;
+        break;
+      }
+    }
+    detected += found ? 1 : 0;
+  }
+  return detected;
+}
+
+int CountDetectedByCoverage(const std::vector<SentPacket>& packets,
+                            const std::vector<DetectedBurst>& bursts,
+                            double min_coverage) {
+  int detected = 0;
+  std::size_t cursor = 0;
+  for (const SentPacket& packet : packets) {
+    const Us lo = packet.start;
+    const Us hi = packet.start + packet.duration;
+    while (cursor < bursts.size() && bursts[cursor].end < lo) ++cursor;
+    Us covered = 0.0;
+    for (std::size_t i = cursor; i < bursts.size() && bursts[i].start < hi;
+         ++i) {
+      covered += std::max(0.0, std::min(hi, bursts[i].end) -
+                                   std::max(lo, bursts[i].start));
+    }
+    detected += covered >= min_coverage * packet.duration ? 1 : 0;
+  }
+  return detected;
+}
+
+}  // namespace whitefi::bench

@@ -1,0 +1,53 @@
+// Shared helpers for the SIFT signal-level experiments
+// (Table 1, Figures 5-7): iperf-style packet schedules, synthesis, and
+// per-packet detection matching.
+#pragma once
+
+#include <vector>
+
+#include "phy/signal.h"
+#include "sift/detector.h"
+
+namespace whitefi::bench {
+
+/// One transmitted data packet's ground truth.
+struct SentPacket {
+  Us start = 0.0;
+  Us duration = 0.0;
+};
+
+/// Ground truth + samples for one experiment run.
+struct SignalRun {
+  std::vector<SentPacket> packets;
+  std::vector<double> samples;
+  Us total_duration = 0.0;
+};
+
+/// Builds the paper's Section 5.1 methodology: `count` data-ACK exchanges
+/// of `payload_bytes`-byte frames at the given width, spaced `interval_us`
+/// apart, synthesized with `params`.
+SignalRun MakeIperfRun(ChannelWidth width, int count, Us interval_us,
+                       int payload_bytes, const SignalParams& params,
+                       Rng rng);
+
+/// Counts how many sent packets SIFT detected.  A packet counts as
+/// detected when a burst overlaps its air interval; when
+/// `require_duration_match` is set the burst's measured length must also
+/// be within `duration_tolerance_us` of the truth (the stricter criterion
+/// behind Table 1, which the 5 MHz ramp artifact occasionally fails).
+int CountDetected(const std::vector<SentPacket>& packets,
+                  const std::vector<DetectedBurst>& bursts,
+                  bool require_duration_match,
+                  Us duration_tolerance_us = 100.0);
+
+/// Coverage-based detection (the Figure 7 criterion): a packet counts as
+/// detected when the detected bursts cover at least `min_coverage` of its
+/// true air interval.  Near the sensitivity limit the envelope hovers
+/// around SIFT's threshold and bursts fragment; requiring real coverage —
+/// rather than any overlapping blip — is what produces the sharp cliff
+/// once the mean envelope crosses the threshold.
+int CountDetectedByCoverage(const std::vector<SentPacket>& packets,
+                            const std::vector<DetectedBurst>& bursts,
+                            double min_coverage = 0.3);
+
+}  // namespace whitefi::bench

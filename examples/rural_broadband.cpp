@@ -1,0 +1,87 @@
+// Rural broadband: wide channels and fast discovery.
+//
+// Rural locales have the widest post-DTV white spaces (Figure 2), which is
+// where WhiteFi shines: 20 MHz channels for backhaul-class throughput, and
+// J-SIFT discovery that finds an AP in a fraction of the naive scan time
+// (Figure 9).  This example generates a rural spectrum map, compares the
+// three discovery algorithms on it, then brings up the network and
+// measures throughput at each channel width.
+//
+// Run: ./build/examples/rural_broadband
+#include <iostream>
+
+#include "core/whitefi.h"
+
+using namespace whitefi;
+
+int main() {
+  std::cout << "WhiteFi in a rural locale\n=========================\n\n";
+  Rng rng(2026);
+  const SpectrumMap map = GenerateLocaleMap(LocaleClass::kRural, rng);
+  std::cout << "spectrum map: " << map.ToString() << "  (" << map.NumFree()
+            << " free channels, widest fragment " << map.WidestFragment()
+            << " channels = " << map.WidestFragment() * 6 << " MHz)\n\n";
+
+  // --- AP discovery -------------------------------------------------------
+  const auto usable = map.UsableChannels();
+  const Channel ap_channel = rng.Pick(usable);
+  std::cout << "an AP hides on " << ap_channel.ToString()
+            << "; a client searches:\n";
+  Table table({"algorithm", "scans", "listens", "time(s)"});
+  DiscoveryParams params;
+  params.baseline_skips_blocked_spans = false;
+  AnalyticScanEnvironment env(ap_channel);
+  const auto base = BaselineDiscover(env, map, params);
+  const auto lsift = LSiftDiscover(env, map, params);
+  const auto jsift = JSiftDiscover(env, map, params);
+  table.AddRow({"non-SIFT baseline", std::to_string(base.sift_scans),
+                std::to_string(base.beacon_listens),
+                FormatDouble(base.elapsed / kSecond, 2)});
+  table.AddRow({"L-SIFT", std::to_string(lsift.sift_scans),
+                std::to_string(lsift.beacon_listens),
+                FormatDouble(lsift.elapsed / kSecond, 2)});
+  table.AddRow({"J-SIFT", std::to_string(jsift.sift_scans),
+                std::to_string(jsift.beacon_listens),
+                FormatDouble(jsift.elapsed / kSecond, 2)});
+  table.Print(std::cout);
+  std::cout << "\n";
+
+  // --- Throughput by width -------------------------------------------------
+  std::cout << "bring the network up at each width (1 AP, 3 clients, "
+               "backlogged downlink, 5 s):\n";
+  Table tput({"width", "channel", "aggregate Mbps"});
+  for (ChannelWidth w : kAllWidths) {
+    // Use the first usable channel of this width.
+    const Channel channel = [&] {
+      for (const Channel& c : usable) {
+        if (c.width == w) return c;
+      }
+      return Channel{map.FreeIndices().front(), ChannelWidth::kW5};
+    }();
+    World world;
+    DeviceConfig node;
+    node.ssid = 1;
+    node.tv_map = map;
+    ApParams ap_params;
+    ap_params.adaptive = false;  // Pin the width for the comparison.
+    ApNode& ap = world.Create<ApNode>(node, ap_params, channel, channel);
+    std::vector<int> dsts;
+    for (int i = 0; i < 3; ++i) {
+      node.position = {100.0 + 150.0 * i, 80.0};
+      dsts.push_back(world
+                         .Create<ClientNode>(node, ClientParams{}, channel,
+                                             channel, ap.NodeId())
+                         .NodeId());
+    }
+    SaturatedSource downlink(ap, dsts, 1000);
+    world.StartAll();
+    downlink.Start();
+    world.RunFor(5.0);
+    tput.AddRow({WidthLabel(w), channel.ToString(),
+                 FormatDouble(8.0 * world.AppBytesInSsid(1) / 5.0 / 1e6, 2)});
+  }
+  tput.Print(std::cout);
+  std::cout << "\nwider channels carry proportionally more — rural white "
+               "space makes 20 MHz routinely available\n";
+  return 0;
+}

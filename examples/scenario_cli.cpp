@@ -1,0 +1,246 @@
+// scenario_cli — a small research tool: run one WhiteFi scenario from the
+// command line and print what happened.
+//
+// Usage:
+//   scenario_cli [--seed N] [--clients N] [--background N] [--ipd MS]
+//                [--mic TVCHANNEL] [--mic-at SECONDS] [--static W]
+//                [--map campus|building5|rural|urban|suburban]
+//                [--seconds S] [--verbose]
+//   scenario_cli --config FILE.conf   (QualNet-style scenario file; see
+//                                      examples/configs/)
+//
+// Examples:
+//   scenario_cli --map building5 --clients 3 --mic 28 --mic-at 5
+//   scenario_cli --map campus --background 12 --ipd 30 --static 20
+//   scenario_cli --config ../examples/configs/mic_outage.conf
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/whitefi.h"
+#include "scenario_file.h"
+
+using namespace whitefi;
+
+namespace {
+
+struct Options {
+  std::uint64_t seed = 1;
+  int clients = 2;
+  int background = 0;
+  int ipd_ms = 30;
+  int mic_tv = 0;       // 0 = no mic.
+  double mic_at = 5.0;  // Seconds.
+  int static_width = 0; // 0 = adaptive.
+  std::string map_name = "campus";
+  double seconds = 15.0;
+  bool verbose = false;
+  bool trace = false;  ///< Print every control frame as it airs.
+};
+
+SpectrumMap ResolveMap(const std::string& name, Rng& rng) {
+  if (name == "campus") return CampusSimulationMap();
+  if (name == "building5") return Building5Map();
+  if (name == "rural") return GenerateLocaleMap(LocaleClass::kRural, rng);
+  if (name == "urban") return GenerateLocaleMap(LocaleClass::kUrban, rng);
+  if (name == "suburban") {
+    return GenerateLocaleMap(LocaleClass::kSuburban, rng);
+  }
+  throw std::invalid_argument("unknown map: " + name);
+}
+
+bool ParseOptions(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) throw std::invalid_argument(flag + " needs a value");
+      return argv[++i];
+    };
+    if (flag == "--seed") options.seed = std::stoull(next());
+    else if (flag == "--clients") options.clients = std::stoi(next());
+    else if (flag == "--background") options.background = std::stoi(next());
+    else if (flag == "--ipd") options.ipd_ms = std::stoi(next());
+    else if (flag == "--mic") options.mic_tv = std::stoi(next());
+    else if (flag == "--mic-at") options.mic_at = std::stod(next());
+    else if (flag == "--static") options.static_width = std::stoi(next());
+    else if (flag == "--map") options.map_name = next();
+    else if (flag == "--seconds") options.seconds = std::stod(next());
+    else if (flag == "--verbose") options.verbose = true;
+    else if (flag == "--trace") options.trace = true;
+    else if (flag == "--help" || flag == "-h") return false;
+    else throw std::invalid_argument("unknown flag: " + flag);
+  }
+  return true;
+}
+
+}  // namespace
+
+int RunFromConfigFile(const std::string& path, bool verbose) {
+  if (verbose) SetLogLevel(LogLevel::kInfo);
+  const bench::ScenarioConfig scenario = bench::LoadScenarioFile(path);
+  std::cout << "scenario " << path << ": map " << scenario.base_map.ToString()
+            << ", " << scenario.num_clients << " clients, "
+            << scenario.background.size() << " background pairs, "
+            << scenario.mics.size() << " mic(s)\n";
+  const bench::RunResult result = bench::RunScenario(scenario);
+  std::cout << "per-client throughput: "
+            << FormatDouble(result.per_client_mbps, 2) << " Mbps\n"
+            << "switches: " << result.switches
+            << ", disconnect events: " << result.disconnects;
+  if (result.max_outage_s > 0.0) {
+    std::cout << ", worst outage " << FormatDouble(result.max_outage_s, 2)
+              << " s";
+  }
+  std::cout << "\nfinal channel: " << result.final_channel.ToString() << "\n";
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  // Config-file mode takes over entirely.
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--config") == 0) {
+      bool verbose = false;
+      for (int j = 1; j < argc; ++j) {
+        if (std::strcmp(argv[j], "--verbose") == 0) verbose = true;
+      }
+      try {
+        return RunFromConfigFile(argv[i + 1], verbose);
+      } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+      }
+    }
+  }
+
+  Options options;
+  try {
+    if (!ParseOptions(argc, argv, options)) {
+      std::cout << "usage: scenario_cli [--seed N] [--clients N] "
+                   "[--background N] [--ipd MS] [--mic TV] [--mic-at S] "
+                   "[--static 5|10|20] [--map NAME] [--seconds S] "
+                   "[--verbose]\n";
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  if (options.verbose) SetLogLevel(LogLevel::kInfo);
+
+  Rng map_rng(options.seed * 31 + 7);
+  const SpectrumMap map = ResolveMap(options.map_name, map_rng);
+  std::cout << "map " << options.map_name << ": " << map.ToString() << " ("
+            << map.NumFree() << " free)\n";
+
+  // Boot assignment.
+  AssignmentInputs boot;
+  boot.ap_map = map;
+  boot.ap_observation = EmptyBandObservation();
+  for (UhfIndex c = 0; c < kNumUhfChannels; ++c) {
+    boot.ap_observation[static_cast<std::size_t>(c)].incumbent =
+        map.Occupied(c);
+  }
+  SpectrumAssigner assigner;
+  auto initial = assigner.SelectInitial(boot).channel;
+  if (options.static_width != 0) {
+    initial.reset();
+    for (const Channel& c : map.UsableChannels()) {
+      if (static_cast<int>(WidthMHz(c.width)) == options.static_width) {
+        initial = c;
+        break;
+      }
+    }
+  }
+  if (!initial.has_value()) {
+    std::cerr << "no usable channel for this configuration\n";
+    return 1;
+  }
+  const Channel backup = assigner.SelectBackup(boot, *initial).value_or(*initial);
+  std::cout << "start: main " << initial->ToString() << ", backup "
+            << backup.ToString()
+            << (options.static_width != 0 ? " (static)" : " (adaptive)")
+            << "\n";
+
+  WorldConfig world_config;
+  world_config.seed = options.seed;
+  World world(world_config);
+  Rng rng = world.NewRng();
+
+  DeviceConfig node;
+  node.ssid = 1;
+  node.tv_map = map;
+  ApParams ap_params;
+  ap_params.adaptive = options.static_width == 0;
+  ApNode& ap = world.Create<ApNode>(node, ap_params, *initial, backup);
+  std::vector<int> ids;
+  std::vector<ClientNode*> clients;
+  for (int i = 0; i < options.clients; ++i) {
+    node.position = {rng.Uniform(-250.0, 250.0), rng.Uniform(-250.0, 250.0)};
+    clients.push_back(&world.Create<ClientNode>(node, ClientParams{}, *initial,
+                                                backup, ap.NodeId()));
+    ids.push_back(clients.back()->NodeId());
+  }
+  SaturatedSource downlink(ap, ids, 1000);
+
+  std::vector<std::unique_ptr<CbrSource>> background;
+  for (int i = 0; i < options.background; ++i) {
+    DeviceConfig bg;
+    bg.ssid = 100 + i;
+    bg.is_ap = true;
+    bg.tv_map = map;
+    bg.initial_channel = Channel{rng.Pick(map.FreeIndices()), ChannelWidth::kW5};
+    const double r = rng.Uniform(150.0, 500.0);
+    const double theta = rng.Uniform(0.0, 2.0 * M_PI);
+    bg.position = {r * std::cos(theta), r * std::sin(theta)};
+    Device& tx = world.Create<Device>(bg);
+    bg.is_ap = false;
+    bg.position.x += 25.0;
+    Device& rx = world.Create<Device>(bg);
+    background.push_back(std::make_unique<CbrSource>(
+        tx, rx.NodeId(), 1000, options.ipd_ms * kTicksPerMs));
+    background.back()->Start();
+  }
+
+  if (options.mic_tv != 0) {
+    world.AddMic(MicActivation{IndexOfTvChannel(options.mic_tv),
+                               options.mic_at * kSecond, 3600.0 * kSecond});
+    std::cout << "mic on TV ch" << options.mic_tv << " at t="
+              << FormatDouble(options.mic_at, 1) << " s\n";
+  }
+
+  // Optional live control-plane trace (beacons excluded: too chatty).
+  std::unique_ptr<Tracer> tracer;
+  if (options.trace) {
+    TracerOptions trace_options;
+    trace_options.only = {FrameType::kChannelSwitch, FrameType::kChirp,
+                          FrameType::kReport};
+    trace_options.live = &std::cout;
+    tracer = std::make_unique<Tracer>(world, trace_options);
+  }
+
+  world.StartAll();
+  downlink.Start();
+  world.RunFor(options.seconds);
+
+  std::cout << "\nafter " << FormatDouble(options.seconds, 1) << " s:\n";
+  std::cout << "  AP on " << ap.main_channel().ToString() << " (backup "
+            << ap.backup_channel().ToString() << "), switches "
+            << ap.num_switches() << "\n";
+  int connected = 0;
+  double worst_outage = 0.0;
+  for (const ClientNode* c : clients) {
+    connected += c->connected() ? 1 : 0;
+    for (SimTime o : c->outages()) {
+      worst_outage = std::max(worst_outage, ToSeconds(o));
+    }
+  }
+  std::cout << "  clients connected: " << connected << "/" << options.clients;
+  if (worst_outage > 0.0) {
+    std::cout << " (worst outage " << FormatDouble(worst_outage, 2) << " s)";
+  }
+  std::cout << "\n  aggregate throughput: "
+            << FormatDouble(
+                   8.0 * world.AppBytesInSsid(1) / options.seconds / 1e6, 2)
+            << " Mbps\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "audio/mos.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace whitefi {
+
+namespace {
+
+// Saturating power weight: 0 at/below the harmless level, 1 at the
+// reference power, approaching an asymptote above it.
+double PowerWeight(const MicAudioModel& model, double tx_power_dbm) {
+  if (tx_power_dbm <= model.harmless_power_dbm) return 0.0;
+  const double over = (tx_power_dbm - model.harmless_power_dbm) /
+                      model.power_doubling_db;
+  const double reference_over =
+      (model.reference_power_dbm - model.harmless_power_dbm) /
+      model.power_doubling_db;
+  // log2-style saturation normalized to 1 at the reference power.
+  return std::log2(1.0 + over) / std::log2(1.0 + reference_over);
+}
+
+}  // namespace
+
+double PredictMicMos(const MicAudioModel& model, double packets_per_second,
+                     double tx_power_dbm) {
+  const double drop = PredictMosDrop(model, packets_per_second, tx_power_dbm);
+  return std::max(model.floor_mos, model.clean_mos - drop);
+}
+
+double PredictMosDrop(const MicAudioModel& model, double packets_per_second,
+                      double tx_power_dbm) {
+  if (packets_per_second <= 0.0) return 0.0;
+  const double raw = model.reference_damage_per_event_rate *
+                     packets_per_second * PowerWeight(model, tx_power_dbm);
+  return std::min(raw, model.clean_mos - model.floor_mos);
+}
+
+bool InterferenceAudible(const MicAudioModel& model, double packets_per_second,
+                         double tx_power_dbm) {
+  return PredictMosDrop(model, packets_per_second, tx_power_dbm) >=
+         kNoticeableMosDrop;
+}
+
+}  // namespace whitefi

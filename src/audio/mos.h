@@ -1,0 +1,51 @@
+// Wireless-microphone audio quality under co-channel data transmissions.
+//
+// Section 2.3 of the paper measures, in an anechoic chamber, the PESQ Mean
+// Opinion Score of speech carried over a wireless mic while a white-space
+// device transmits 70-byte packets every 100 ms at -30 dBm on the same UHF
+// channel: the MOS drops by 0.9, an order of magnitude above the 0.1
+// threshold noticeable to the human ear.  This model substitutes for that
+// measurement: a dose-response curve in interference duty and power,
+// anchored to the paper's data point, used to justify why WhiteFi must
+// vacate (not negotiate on) a channel when a mic appears.
+#pragma once
+
+namespace whitefi {
+
+/// Parameters of the MOS degradation model.
+struct MicAudioModel {
+  double clean_mos = 4.2;  ///< PESQ MOS without interference.
+  double floor_mos = 1.0;  ///< PESQ scale floor.
+  /// Interference power (dBm at the mic receiver) below which packets do
+  /// not measurably disturb the audio.
+  double harmless_power_dbm = -75.0;
+  /// dB of interference power over the harmless level that doubles the
+  /// per-packet audio damage (saturating).
+  double power_doubling_db = 10.0;
+  /// MOS damage per interfering packet-event per second at the paper's
+  /// reference power (-30 dBm).  Calibrated so 10 packets/s at -30 dBm
+  /// (70 B every 100 ms) costs 0.9 MOS.
+  double reference_damage_per_event_rate = 0.09;
+  double reference_power_dbm = -30.0;
+};
+
+/// The one-ear-noticeable MOS drop from the literature the paper cites.
+inline constexpr double kNoticeableMosDrop = 0.1;
+
+/// Predicts the PESQ MOS of mic audio while a co-channel transmitter sends
+/// `packets_per_second` packets at `tx_power_dbm` (as seen at the mic
+/// receiver).  Zero rate returns the clean MOS; degradation saturates at
+/// the PESQ floor.
+double PredictMicMos(const MicAudioModel& model, double packets_per_second,
+                     double tx_power_dbm);
+
+/// MOS drop relative to clean audio for the same scenario.
+double PredictMosDrop(const MicAudioModel& model, double packets_per_second,
+                      double tx_power_dbm);
+
+/// True iff the interference would be noticeable to a human ear
+/// (drop >= 0.1 MOS).
+bool InterferenceAudible(const MicAudioModel& model, double packets_per_second,
+                         double tx_power_dbm);
+
+}  // namespace whitefi

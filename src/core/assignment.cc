@@ -1,0 +1,112 @@
+#include "core/assignment.h"
+
+namespace whitefi {
+
+SpectrumMap AssignmentInputs::CombinedMap() const {
+  SpectrumMap combined = ap_map;
+  for (const SpectrumMap& m : client_maps) combined = combined.UnionWith(m);
+  return combined;
+}
+
+SpectrumAssigner::SpectrumAssigner(const AssignmentParams& params)
+    : params_(params) {}
+
+double SpectrumAssigner::EvaluateChannel(const Channel& channel,
+                                         const AssignmentInputs& inputs) const {
+  if (!inputs.CombinedMap().CanUse(channel,
+                                   params_.enumeration.respect_channel37_gap)) {
+    return 0.0;
+  }
+  return ApDecisionMetric(channel, inputs.ap_observation,
+                          inputs.client_observations);
+}
+
+std::optional<Channel> SpectrumAssigner::BestCandidate(
+    const AssignmentInputs& inputs, double* best_metric) const {
+  const SpectrumMap combined = inputs.CombinedMap();
+  std::optional<Channel> best;
+  double best_value = 0.0;
+  for (const Channel& candidate : combined.UsableChannels(params_.enumeration)) {
+    const double value = ApDecisionMetric(candidate, inputs.ap_observation,
+                                          inputs.client_observations);
+    if (!best.has_value() || value > best_value) {
+      best = candidate;
+      best_value = value;
+    }
+  }
+  if (best_metric != nullptr) *best_metric = best_value;
+  return best;
+}
+
+AssignmentDecision SpectrumAssigner::SelectInitial(
+    const AssignmentInputs& inputs) const {
+  AssignmentDecision decision;
+  decision.channel = BestCandidate(inputs, &decision.metric);
+  decision.switched = decision.channel.has_value();
+  return decision;
+}
+
+AssignmentDecision SpectrumAssigner::Reevaluate(const AssignmentInputs& inputs,
+                                                const Channel& current) const {
+  AssignmentDecision decision;
+  double best_metric = 0.0;
+  const std::optional<Channel> best = BestCandidate(inputs, &best_metric);
+  if (!best.has_value()) {
+    // Nothing usable at all; stay put only if current still is.
+    const double current_metric = EvaluateChannel(current, inputs);
+    if (current_metric > 0.0) {
+      decision.channel = current;
+      decision.metric = current_metric;
+    }
+    return decision;
+  }
+  const double current_metric = EvaluateChannel(current, inputs);
+  if (current_metric <= 0.0) {
+    // Incumbent (or client-side incumbent) on the current channel: forced.
+    decision.channel = best;
+    decision.metric = best_metric;
+    decision.switched = !(*best == current);
+    return decision;
+  }
+  if (*best == current || best_metric <= params_.hysteresis * current_metric) {
+    decision.channel = current;
+    decision.metric = current_metric;
+    return decision;
+  }
+  decision.channel = best;
+  decision.metric = best_metric;
+  decision.switched = true;
+  return decision;
+}
+
+std::optional<Channel> SpectrumAssigner::SelectBackup(
+    const AssignmentInputs& inputs, const Channel& main) const {
+  const SpectrumMap combined = inputs.CombinedMap();
+  std::optional<Channel> best;
+  double best_value = -1.0;
+  std::optional<Channel> fallback;
+  double fallback_value = -1.0;
+  for (const Channel& candidate :
+       ChannelsOfWidth(ChannelWidth::kW5, params_.enumeration)) {
+    if (!combined.CanUse(candidate,
+                         params_.enumeration.respect_channel37_gap)) {
+      continue;
+    }
+    const double value = ApDecisionMetric(candidate, inputs.ap_observation,
+                                          inputs.client_observations);
+    if (candidate.Overlaps(main)) {
+      if (value > fallback_value) {
+        fallback = candidate;
+        fallback_value = value;
+      }
+      continue;
+    }
+    if (value > best_value) {
+      best = candidate;
+      best_value = value;
+    }
+  }
+  return best.has_value() ? best : fallback;
+}
+
+}  // namespace whitefi

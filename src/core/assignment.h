@@ -1,0 +1,82 @@
+// The WhiteFi spectrum-assignment algorithm (paper Section 4.1).
+//
+// The AP periodically re-evaluates its channel: it ORs its own and all
+// clients' spectrum maps to find the UHF channels free *everywhere*,
+// evaluates the MCham-based decision metric for every candidate (F, W)
+// within that availability, and selects the maximizer.  Hysteresis
+// suppresses ping-ponging: a voluntary switch happens only when the best
+// candidate beats the current channel's metric by a configurable factor.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/mcham.h"
+#include "spectrum/channel.h"
+#include "spectrum/spectrum_map.h"
+
+namespace whitefi {
+
+/// Everything the AP knows when deciding: its own view plus the clients'.
+struct AssignmentInputs {
+  SpectrumMap ap_map;
+  BandObservation ap_observation;
+  std::vector<SpectrumMap> client_maps;
+  std::vector<BandObservation> client_observations;
+
+  /// Bitwise OR of the AP's and all clients' maps — the channels occupied
+  /// *anywhere* in the network (the paper's u').
+  SpectrumMap CombinedMap() const;
+};
+
+/// Assignment configuration.
+struct AssignmentParams {
+  ChannelEnumerationOptions enumeration;
+  /// Voluntary-switch hysteresis: the candidate's metric must exceed
+  /// `hysteresis * metric(current)` (as in the DenseAP-style damping the
+  /// paper cites [19]).
+  double hysteresis = 1.35;
+};
+
+/// One assignment decision.
+struct AssignmentDecision {
+  std::optional<Channel> channel;  ///< Empty when no channel is usable.
+  double metric = 0.0;             ///< Decision metric of `channel`.
+  bool switched = false;           ///< True iff it differs from the current.
+};
+
+/// The spectrum assigner.
+class SpectrumAssigner {
+ public:
+  explicit SpectrumAssigner(const AssignmentParams& params = {});
+
+  /// Decision metric of one candidate (0 if unusable under the OR'd map).
+  double EvaluateChannel(const Channel& channel,
+                         const AssignmentInputs& inputs) const;
+
+  /// Initial selection (boot, or after vacating a channel): best candidate
+  /// under the combined map, no hysteresis.
+  AssignmentDecision SelectInitial(const AssignmentInputs& inputs) const;
+
+  /// Periodic re-evaluation while operating on `current`.  Applies
+  /// hysteresis; if `current` itself became unusable (incumbent appeared),
+  /// any usable candidate wins.
+  AssignmentDecision Reevaluate(const AssignmentInputs& inputs,
+                                const Channel& current) const;
+
+  /// Picks the backup channel: the best *5 MHz* candidate that does not
+  /// overlap `main` (the paper's separate 5 MHz backup channel).  Falls
+  /// back to an overlapping one only if nothing else is free.
+  std::optional<Channel> SelectBackup(const AssignmentInputs& inputs,
+                                      const Channel& main) const;
+
+  const AssignmentParams& params() const { return params_; }
+
+ private:
+  std::optional<Channel> BestCandidate(const AssignmentInputs& inputs,
+                                       double* best_metric) const;
+
+  AssignmentParams params_;
+};
+
+}  // namespace whitefi

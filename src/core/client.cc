@@ -1,0 +1,169 @@
+#include "core/client.h"
+
+#include "util/log.h"
+
+namespace whitefi {
+
+ClientNode::ClientNode(World& world, int id, const DeviceConfig& device_config,
+                       const ClientParams& params, Channel initial_main,
+                       Channel initial_backup, int ap_id)
+    : Device(world, id, [&] {
+        DeviceConfig c = device_config;
+        c.is_ap = false;
+        c.initial_channel = initial_main;
+        return c;
+      }()),
+      params_(params),
+      scanner_(*this, params.scanner),
+      rng_(world.NewRng()),
+      backup_(initial_backup),
+      ap_id_(ap_id) {}
+
+void ClientNode::Start() {
+  last_contact_ = world_.sim().Now();
+  scanner_.StartSweep();
+  world_.sim().ScheduleAfter(params_.contact_check_interval,
+                             [this] { CheckContact(); });
+  world_.sim().ScheduleAfter(params_.report_interval, [this] { SendReport(); });
+}
+
+void ClientNode::OnFrameReceived(const Frame& frame, Dbm) {
+  switch (frame.type) {
+    case FrameType::kBeacon: {
+      const auto* beacon = std::get_if<BeaconInfo>(&frame.payload);
+      if (beacon == nullptr || beacon->ssid != ssid()) return;
+      last_contact_ = world_.sim().Now();
+      backup_ = beacon->backup;
+      // Hearing our AP's beacon on the channel we are tuned to means we
+      // are in contact (possibly on the backup channel during a collect
+      // phase — stay until the ChannelSwitch arrives).
+      if (!connected_ && beacon->main == TunedChannel()) Reconnect();
+      break;
+    }
+    case FrameType::kChannelSwitch: {
+      const auto* info = std::get_if<ChannelSwitchInfo>(&frame.payload);
+      if (info == nullptr) return;
+      last_contact_ = world_.sim().Now();
+      backup_ = info->new_backup;
+      if (!(TunedChannel() == info->new_channel)) {
+        SwitchChannel(info->new_channel);
+      }
+      if (!connected_) Reconnect();
+      break;
+    }
+    case FrameType::kData:
+      last_contact_ = world_.sim().Now();
+      break;
+    default:
+      break;
+  }
+}
+
+void ClientNode::CheckContact() {
+  world_.sim().ScheduleAfter(params_.contact_check_interval,
+                             [this] { CheckContact(); });
+  if (!connected_) return;
+  if (world_.sim().Now() - last_contact_ > params_.contact_timeout) {
+    WHITEFI_LOG_INFO << "client " << NodeId() << " lost contact, vacating to "
+                     << backup_.ToString();
+    Disconnect();
+  }
+}
+
+void ClientNode::Disconnect() {
+  if (!connected_) return;
+  connected_ = false;
+  ++disconnects_;
+  disconnected_at_ = world_.sim().Now();
+  SwitchChannel(backup_);
+  Chirp();
+}
+
+void ClientNode::Reconnect() {
+  if (connected_) return;
+  connected_ = true;
+  outages_.push_back(world_.sim().Now() - disconnected_at_);
+  WHITEFI_LOG_INFO << "client " << NodeId() << " reconnected after "
+                   << ToSeconds(outages_.back()) << " s";
+  // Give the AP a fresh view promptly — but not before the AP has applied
+  // its own switch (it keeps announcing on the rendezvous channel for a
+  // few tens of milliseconds after we have already moved).
+  world_.sim().ScheduleAfter(250 * kTicksPerMs, [this] {
+    if (connected_) SendReport();
+  });
+}
+
+void ClientNode::Chirp() {
+  if (connected_) return;
+  // The chirp's air time length-codes the SSID (see sift::ChirpCodec);
+  // the scanner-side filter models that code.
+  Frame chirp;
+  chirp.type = FrameType::kChirp;
+  chirp.dst = kBroadcastId;
+  chirp.bytes = params_.chirp_bytes;
+  chirp.payload =
+      ChirpInfo{ObservedMap(), scanner_.Observation(), ssid(), NodeId()};
+  // Jump the queue: application traffic (e.g. a still-running backlogged
+  // uplink) must not starve the distress signal.
+  mac().EnqueueFront(chirp);
+  // Jitter the period: without it, a deterministic chirp cycle can phase-
+  // lock against the AP scanner's dwell cycle and systematically miss the
+  // rescue window (real radio clocks drift; the simulator's don't).
+  const auto jittered = static_cast<SimTime>(
+      static_cast<double>(params_.chirp_interval) * rng_.Uniform(0.8, 1.2));
+  world_.sim().ScheduleAfter(jittered, [this] { Chirp(); });
+}
+
+void ClientNode::SendReport() {
+  world_.sim().ScheduleAfter(params_.report_interval, [this] { SendReport(); });
+  if (!connected_) return;
+  Frame report;
+  report.type = FrameType::kReport;
+  report.dst = ap_id_;
+  report.bytes = 120;  // Map + airtime vector.
+  report.payload = ReportInfo{ObservedMap(), scanner_.Observation()};
+  mac().Enqueue(report);
+}
+
+void ClientNode::OnIncumbentDetected(UhfIndex channel) {
+  Device::OnIncumbentDetected(channel);
+  if (connected_ && TunedChannel().Contains(channel)) {
+    WHITEFI_LOG_INFO << "client " << NodeId() << " detected incumbent on ch"
+                     << TvChannelNumber(channel) << ", vacating";
+    Disconnect();
+    return;
+  }
+  if (!connected_ && backup_.Contains(channel)) SelectSecondaryBackup();
+}
+
+void ClientNode::SelectSecondaryBackup() {
+  // Deterministic rule: lowest incumbent-free UHF channel (paper: "an
+  // arbitrary available channel is selected as a secondary backup").
+  const SpectrumMap map = ObservedMap();
+  for (UhfIndex c = 0; c < kNumUhfChannels; ++c) {
+    if (map.Free(c)) {
+      backup_ = Channel{c, ChannelWidth::kW5};
+      SwitchChannel(backup_);
+      return;
+    }
+  }
+}
+
+void ClientNode::OnChannelSwitched(const Channel& channel) {
+  // A mic may already be active here (the world fast path only fires on
+  // transitions).
+  for (UhfIndex c = channel.Low(); c <= channel.High(); ++c) {
+    if (world_.MicAudible(c, NodeId())) {
+      const UhfIndex mic = c;
+      world_.sim().ScheduleAfter(world_.config().incumbent_detect_latency,
+                                 [this, mic] {
+                                   if (world_.MicAudible(mic, NodeId()) &&
+                                       TunedChannel().Contains(mic)) {
+                                     OnIncumbentDetected(mic);
+                                   }
+                                 });
+    }
+  }
+}
+
+}  // namespace whitefi

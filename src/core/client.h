@@ -1,0 +1,76 @@
+// The WhiteFi client (paper Sections 4.1 and 4.3).
+//
+// A client tracks its AP through beacons, periodically reports its local
+// spectrum map and airtime observations (the inputs to client-aware
+// spectrum assignment), follows ChannelSwitch announcements, and — when it
+// detects an incumbent on the operating channel or simply stops hearing
+// the AP — vacates to the advertised backup channel and chirps until the
+// network is reassembled.  If the backup channel itself hosts an
+// incumbent, the client falls back to a deterministic secondary backup
+// (the lowest incumbent-free UHF channel it observes) where the AP's
+// sweeping scanner will eventually find its chirps.
+#pragma once
+
+#include "sim/scanner.h"
+#include "sim/world.h"
+
+namespace whitefi {
+
+/// Client protocol parameters.
+struct ClientParams {
+  /// Declare disconnection after this long without hearing the AP.
+  SimTime contact_timeout = 1 * kTicksPerSec;
+  SimTime contact_check_interval = 250 * kTicksPerMs;
+  SimTime chirp_interval = 150 * kTicksPerMs;
+  SimTime report_interval = 2 * kTicksPerSec;
+  /// Chirp frame size; its air time carries the SSID length-code.
+  int chirp_bytes = 60;
+  ScannerParams scanner;
+};
+
+/// A WhiteFi client.
+class ClientNode : public Device {
+ public:
+  ClientNode(World& world, int id, const DeviceConfig& device_config,
+             const ClientParams& params, Channel initial_main,
+             Channel initial_backup, int ap_id);
+
+  void Start() override;
+  void OnIncumbentDetected(UhfIndex channel) override;
+
+  /// True while the client believes it is connected.
+  bool connected() const { return connected_; }
+
+  /// Completed outage durations (disconnect -> reconnect), in ticks.
+  const std::vector<SimTime>& outages() const { return outages_; }
+
+  /// Number of disconnection events so far.
+  int disconnect_events() const { return disconnects_; }
+
+  Scanner& scanner() { return scanner_; }
+
+ protected:
+  void OnFrameReceived(const Frame& frame, Dbm rx_power) override;
+  void OnChannelSwitched(const Channel& channel) override;
+
+ private:
+  void CheckContact();
+  void Chirp();
+  void SendReport();
+  void Disconnect();
+  void Reconnect();
+  void SelectSecondaryBackup();
+
+  ClientParams params_;
+  Scanner scanner_;
+  Rng rng_;
+  Channel backup_;
+  int ap_id_;
+  bool connected_ = true;
+  SimTime last_contact_ = 0;
+  SimTime disconnected_at_ = 0;
+  int disconnects_ = 0;
+  std::vector<SimTime> outages_;
+};
+
+}  // namespace whitefi

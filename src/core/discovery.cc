@@ -1,0 +1,210 @@
+#include "core/discovery.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace whitefi {
+
+AnalyticScanEnvironment::AnalyticScanEnvironment(Channel ap_channel,
+                                                 double miss_probability,
+                                                 Rng* rng)
+    : ap_(ap_channel), miss_probability_(miss_probability), rng_(rng) {}
+
+std::optional<SiftDetection> AnalyticScanEnvironment::SiftScan(UhfIndex c) {
+  if (!ap_.Contains(c)) return std::nullopt;
+  if (miss_probability_ > 0.0 && rng_ != nullptr &&
+      rng_->Bernoulli(miss_probability_)) {
+    return std::nullopt;
+  }
+  return SiftDetection{ap_.width, 1};
+}
+
+bool AnalyticScanEnvironment::TryDecodeBeacon(const Channel& channel) {
+  return channel == ap_;
+}
+
+namespace {
+
+DiscoveryResult LSiftDiscoverOnce(ScanEnvironment& env,
+                                  const SpectrumMap& client_map,
+                                  const DiscoveryParams& params) {
+  DiscoveryResult result;
+  // Scan free channels from the lowest frequency up.  The first overlap
+  // with the AP's span is the AP's lowest spanned channel, so the center
+  // is immediately known: Fc = Fs + E.
+  for (UhfIndex c : client_map.FreeIndices()) {
+    ++result.sift_scans;
+    result.elapsed += params.sift_scan_time;
+    const auto detection = env.SiftScan(c);
+    if (!detection.has_value()) continue;
+    result.found = true;
+    result.channel = Channel{c + HalfSpan(detection->width), detection->width};
+    return result;
+  }
+  return result;
+}
+
+/// Scan positions for stride `step` within one free fragment: every
+/// `step`-th channel starting at the fragment's low end, so any channel of
+/// span `step` inside the fragment covers at least one scanned position.
+std::vector<UhfIndex> StridePositions(const Fragment& fragment, int step) {
+  std::vector<UhfIndex> positions;
+  for (int k = 0; k < fragment.length; k += step) {
+    positions.push_back(fragment.start + k);
+  }
+  return positions;
+}
+
+DiscoveryResult JSiftDiscoverOnce(ScanEnvironment& env,
+                                  const SpectrumMap& client_map,
+                                  const DiscoveryParams& params) {
+  DiscoveryResult result;
+  std::vector<bool> scanned(static_cast<std::size_t>(kNumUhfChannels), false);
+  const std::vector<Fragment> fragments =
+      client_map.FreeFragments(params.enumeration.respect_channel37_gap);
+
+  std::optional<SiftDetection> detection;
+  UhfIndex hit_channel = 0;
+
+  // Phase 1: staggered scan, widest width first (paper Algorithm 1).
+  for (int w = kNumWidths - 1; w >= 0 && !detection.has_value(); --w) {
+    const int step = SpanChannels(kAllWidths[static_cast<std::size_t>(w)]);
+    for (const Fragment& fragment : fragments) {
+      if (detection.has_value()) break;
+      for (UhfIndex c : StridePositions(fragment, step)) {
+        if (scanned[static_cast<std::size_t>(c)]) continue;
+        scanned[static_cast<std::size_t>(c)] = true;
+        ++result.sift_scans;
+        result.elapsed += params.sift_scan_time;
+        detection = env.SiftScan(c);
+        if (detection.has_value()) {
+          hit_channel = c;
+          break;
+        }
+      }
+    }
+  }
+  if (!detection.has_value()) return result;
+
+  // Phase 2 ("endgame"): the center is anywhere within +/- HalfSpan of the
+  // hit; try candidate centers with real beacon decodes.  A 5 MHz hit has
+  // no ambiguity.
+  const ChannelWidth width = detection->width;
+  const int h = HalfSpan(width);
+  if (h == 0) {
+    result.found = true;
+    result.channel = Channel{hit_channel, width};
+    return result;
+  }
+  for (int k = -h; k <= h; ++k) {
+    const Channel candidate{hit_channel + k, width};
+    if (!candidate.IsValid()) continue;
+    if (!client_map.CanUse(candidate,
+                           params.enumeration.respect_channel37_gap)) {
+      continue;
+    }
+    ++result.beacon_listens;
+    result.elapsed += params.beacon_listen_time;
+    if (env.TryDecodeBeacon(candidate)) {
+      result.found = true;
+      result.channel = candidate;
+      return result;
+    }
+  }
+  return result;
+}
+
+DiscoveryResult BaselineDiscoverOnce(ScanEnvironment& env,
+                                     const SpectrumMap& client_map,
+                                     const DiscoveryParams& params) {
+  DiscoveryResult result;
+  std::vector<Channel> candidates;
+  if (params.baseline_skips_blocked_spans) {
+    candidates = client_map.UsableChannels(params.enumeration);
+  } else {
+    // Center-major: visit channels bottom-up trying every width at each —
+    // the ordering behind the paper's expected cost of NC * NW / 2 scans.
+    for (UhfIndex center = 0; center < kNumUhfChannels; ++center) {
+      if (!client_map.Free(center)) continue;
+      for (ChannelWidth w : kAllWidths) {
+        const Channel candidate{center, w};
+        if (!candidate.IsValid()) continue;
+        if (params.enumeration.respect_channel37_gap &&
+            !candidate.IsPhysicallyContiguous()) {
+          continue;
+        }
+        candidates.push_back(candidate);
+      }
+    }
+  }
+  for (const Channel& candidate : candidates) {
+    ++result.beacon_listens;
+    result.elapsed += params.beacon_listen_time;
+    if (env.TryDecodeBeacon(candidate)) {
+      result.found = true;
+      result.channel = candidate;
+      return result;
+    }
+  }
+  return result;
+}
+
+
+/// Repeats one algorithm pass up to params.max_rounds times, accumulating
+/// costs, to ride out SIFT false negatives.
+template <typename Algorithm>
+DiscoveryResult DiscoverWithRetries(Algorithm&& once,
+                                    const DiscoveryParams& params) {
+  DiscoveryResult total;
+  const int rounds = std::max(params.max_rounds, 1);
+  for (int round = 0; round < rounds; ++round) {
+    DiscoveryResult pass = once();
+    total.sift_scans += pass.sift_scans;
+    total.beacon_listens += pass.beacon_listens;
+    total.elapsed += pass.elapsed;
+    if (pass.found) {
+      total.found = true;
+      total.channel = pass.channel;
+      break;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+DiscoveryResult LSiftDiscover(ScanEnvironment& env,
+                              const SpectrumMap& client_map,
+                              const DiscoveryParams& params) {
+  return DiscoverWithRetries(
+      [&] { return LSiftDiscoverOnce(env, client_map, params); }, params);
+}
+
+DiscoveryResult JSiftDiscover(ScanEnvironment& env,
+                              const SpectrumMap& client_map,
+                              const DiscoveryParams& params) {
+  return DiscoverWithRetries(
+      [&] { return JSiftDiscoverOnce(env, client_map, params); }, params);
+}
+
+DiscoveryResult BaselineDiscover(ScanEnvironment& env,
+                                 const SpectrumMap& client_map,
+                                 const DiscoveryParams& params) {
+  return DiscoverWithRetries(
+      [&] { return BaselineDiscoverOnce(env, client_map, params); }, params);
+}
+
+double ExpectedLSiftScans(int nc) { return static_cast<double>(nc) / 2.0; }
+
+double ExpectedJSiftScans(int nc, int nw) {
+  // Paper Section 4.2.2: (NC + 2^(NW-1) + (NW-1)/2) / NW.
+  return (static_cast<double>(nc) + std::pow(2.0, nw - 1) +
+          (static_cast<double>(nw) - 1.0) / 2.0) /
+         static_cast<double>(nw);
+}
+
+double ExpectedBaselineScans(int nc, int nw) {
+  return static_cast<double>(nc) * static_cast<double>(nw) / 2.0;
+}
+
+}  // namespace whitefi

@@ -1,0 +1,118 @@
+// AP discovery: L-SIFT, J-SIFT, and the non-SIFT baseline (paper 4.2.2).
+//
+// A WhiteFi AP may beacon on any of 84 (F, W) combinations; a client must
+// find it.  The non-SIFT baseline retunes to every combination and listens
+// one beacon period each.  SIFT changes the game: a single scan of one UHF
+// channel detects any WhiteFi transmitter whose channel overlaps it and
+// reveals the transmitter's exact width (with center ambiguity +/- W/2).
+//
+//  * L-SIFT scans free UHF channels bottom-up; the first detection pins
+//    the center exactly (the AP's lowest spanned channel was just hit).
+//    Expected scans: NC / 2.
+//  * J-SIFT (Algorithm 1) staggers: widest stride first (every 5th
+//    channel for 20 MHz, then every 3rd for 10 MHz, then the rest),
+//    skipping channels already scanned, then resolves the center
+//    ambiguity by attempting beacon decodes on the candidate centers
+//    ("endgame").  Expected scans: (NC + 2^(NW-1) + (NW-1)/2) / NW.
+//
+// J-SIFT wins once the searchable white space exceeds ~10 UHF channels;
+// below that L-SIFT's lack of an endgame makes it cheaper (Figure 8).
+#pragma once
+
+#include <optional>
+
+#include "sift/matcher.h"
+#include "spectrum/spectrum_map.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace whitefi {
+
+/// Time costs of the scan primitives.
+struct DiscoveryParams {
+  /// One SIFT dwell on a UHF channel.  Must cover a beacon interval
+  /// (100 ms) so at least one beacon+CTS pair crosses the window.
+  Us sift_scan_time = 100.0 * kMillisecond;
+  /// One tune-and-listen attempt on a specific (F, W): PLL retune plus a
+  /// beacon interval.
+  Us beacon_listen_time = 100.0 * kMillisecond;
+  /// Baseline candidate pruning.  When true the baseline skips (F, W)
+  /// candidates whose span covers a channel the *client* observes as
+  /// occupied — the assumption behind the paper's "all algorithms equal at
+  /// one free channel" point (Figure 8).  When false it tries every width
+  /// at every free center (the paper's ~NC*NW/2 cost model): under spatial
+  /// variation the AP's map may differ from the client's, so a span
+  /// blocked at the client could still host the AP.
+  bool baseline_skips_blocked_spans = true;
+  /// SIFT scans can miss in noisy environments (false negatives, paper
+  /// 4.2.1); the algorithms repeat their full pass up to this many times.
+  /// The paper: "the discovery algorithm will continue to work as long as
+  /// we can detect even a single packet".
+  int max_rounds = 3;
+  ChannelEnumerationOptions enumeration;
+};
+
+/// Outcome of a discovery run.
+struct DiscoveryResult {
+  bool found = false;
+  Channel channel;         ///< The AP's channel, when found.
+  int sift_scans = 0;      ///< SIFT dwells performed.
+  int beacon_listens = 0;  ///< (F, W) tune-and-listen attempts.
+  Us elapsed = 0.0;        ///< Total time spent.
+};
+
+/// What the discovery algorithms probe — either an analytic model or a
+/// full simulation can stand behind this interface.
+class ScanEnvironment {
+ public:
+  virtual ~ScanEnvironment() = default;
+
+  /// SIFT dwell centered on UHF channel `c`: reports a transmitter whose
+  /// channel overlaps `c` (exact width, center ambiguous by +/- W/2), or
+  /// nothing.
+  virtual std::optional<SiftDetection> SiftScan(UhfIndex c) = 0;
+
+  /// Tunes to `channel` and listens one beacon period; true iff an AP
+  /// beacon decoded (i.e. the AP uses exactly this channel).
+  virtual bool TryDecodeBeacon(const Channel& channel) = 0;
+};
+
+/// Analytic environment: one AP on a known channel; SIFT scans may be
+/// given a false-negative probability to model noisy conditions.
+class AnalyticScanEnvironment : public ScanEnvironment {
+ public:
+  explicit AnalyticScanEnvironment(Channel ap_channel,
+                                   double miss_probability = 0.0,
+                                   Rng* rng = nullptr);
+
+  std::optional<SiftDetection> SiftScan(UhfIndex c) override;
+  bool TryDecodeBeacon(const Channel& channel) override;
+
+ private:
+  Channel ap_;
+  double miss_probability_;
+  Rng* rng_;
+};
+
+/// Linear SIFT discovery: scan free channels bottom-up.
+DiscoveryResult LSiftDiscover(ScanEnvironment& env,
+                              const SpectrumMap& client_map,
+                              const DiscoveryParams& params = {});
+
+/// Jump SIFT discovery: staggered widest-first scan + center endgame
+/// (paper Algorithm 1).
+DiscoveryResult JSiftDiscover(ScanEnvironment& env,
+                              const SpectrumMap& client_map,
+                              const DiscoveryParams& params = {});
+
+/// Non-SIFT baseline: tune to every usable (F, W) in turn.
+DiscoveryResult BaselineDiscover(ScanEnvironment& env,
+                                 const SpectrumMap& client_map,
+                                 const DiscoveryParams& params = {});
+
+/// The paper's expected scan counts (for NC contiguous channels).
+double ExpectedLSiftScans(int nc);
+double ExpectedJSiftScans(int nc, int nw = kNumWidths);
+double ExpectedBaselineScans(int nc, int nw = kNumWidths);
+
+}  // namespace whitefi

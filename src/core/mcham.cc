@@ -1,0 +1,37 @@
+#include "core/mcham.h"
+
+#include <algorithm>
+
+namespace whitefi {
+
+double Rho(const ChannelObservation& obs) {
+  const double residual = 1.0 - std::clamp(obs.airtime, 0.0, 1.0);
+  const double fair_share = 1.0 / (std::max(obs.ap_count, 0) + 1.0);
+  return std::max(residual, fair_share);
+}
+
+double MCham(const Channel& channel, const BandObservation& observation) {
+  if (!channel.IsValid()) return 0.0;
+  double product = 1.0;
+  for (UhfIndex c = channel.Low(); c <= channel.High(); ++c) {
+    const auto& obs = observation[static_cast<std::size_t>(c)];
+    if (obs.incumbent) return 0.0;
+    product *= Rho(obs);
+  }
+  return (WidthMHz(channel.width) / 5.0) * product;
+}
+
+double ApDecisionMetric(const Channel& channel,
+                        const BandObservation& ap_observation,
+                        std::span<const BandObservation> client_observations) {
+  const double n = static_cast<double>(client_observations.size());
+  double metric = std::max(n, 1.0) * MCham(channel, ap_observation);
+  for (const BandObservation& obs : client_observations) {
+    metric += MCham(channel, obs);
+  }
+  return metric;
+}
+
+double IdleMCham(ChannelWidth width) { return WidthMHz(width) / 5.0; }
+
+}  // namespace whitefi

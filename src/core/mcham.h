@@ -1,0 +1,49 @@
+// MCham — the multichannel airtime metric (paper Section 4.1).
+//
+// For a UHF channel c observed at node n with busy airtime A_c and B_c
+// contending foreign APs, the expected share is
+//
+//     rho_n(c) = max(1 - A_c, 1 / (B_c + 1))            (paper Eq. 1)
+//
+// — the residual airtime when the channel is mostly free, but never less
+// than the fair CSMA share when it is saturated by B_c other APs.  For a
+// WhiteFi channel (F, W) spanning several UHF channels, the shares
+// multiply (traffic on any spanned channel contends with the whole wide
+// channel) and scale by the capacity ratio:
+//
+//     MCham_n(F, W) = (W / 5 MHz) * prod_{c in (F,W)} rho_n(c)   (Eq. 2)
+//
+// The AP selects the channel maximizing N * MCham_AP + sum_n MCham_n,
+// weighting its own (downlink-heavy) view by the client count N.
+#pragma once
+
+#include <span>
+
+#include "sift/airtime.h"
+#include "spectrum/channel.h"
+#include "spectrum/spectrum_map.h"
+
+namespace whitefi {
+
+/// Expected share of one UHF channel (paper Eq. 1).
+double Rho(const ChannelObservation& obs);
+
+/// MCham of channel `channel` under one node's band observation (Eq. 2).
+/// Returns 0 if any spanned UHF channel is incumbent-occupied, invalid, or
+/// out of range — incumbent channels have undefined airtime and may not be
+/// used at all.
+double MCham(const Channel& channel, const BandObservation& observation);
+
+/// The AP's channel-selection objective:
+///   N * MCham_AP(F,W) + sum over clients of MCham_n(F,W)
+/// where N = number of clients.  With no clients this reduces to the AP's
+/// own MCham.
+double ApDecisionMetric(const Channel& channel,
+                        const BandObservation& ap_observation,
+                        std::span<const BandObservation> client_observations);
+
+/// MCham of an entirely idle channel: W / 5 MHz (1, 2 or 4) — the optimal
+/// capacity reference used throughout the paper's examples.
+double IdleMCham(ChannelWidth width);
+
+}  // namespace whitefi

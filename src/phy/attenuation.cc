@@ -1,0 +1,19 @@
+#include "phy/attenuation.h"
+
+#include <cmath>
+
+namespace whitefi {
+
+double SnifferCaptureProbability(const SnifferModel& model,
+                                 double attenuation_db) {
+  const double logit =
+      (attenuation_db - model.half_capture_attenuation_db) / model.softness_db;
+  return model.max_capture / (1.0 + std::exp(logit));
+}
+
+bool SnifferCaptures(const SnifferModel& model, double attenuation_db,
+                     Rng& rng) {
+  return rng.Bernoulli(SnifferCaptureProbability(model, attenuation_db));
+}
+
+}  // namespace whitefi

@@ -1,0 +1,41 @@
+// Receiver models under attenuation — the tunable-RF-attenuator substitute
+// for the Figure 7 experiment.
+//
+// Two receive paths exist in the KNOWS platform:
+//  * the Wi-Fi card ("packet sniffer"), which must decode the whole frame —
+//    its capture ratio degrades smoothly with SNR;
+//  * SIFT on the scanner, which only thresholds the amplitude envelope —
+//    it detects even corrupted packets, holding near 100% until the
+//    envelope approaches the threshold, then collapsing sharply.
+//
+// The sniffer model here is an SNR-driven sigmoid calibrated to the paper's
+// anchors: it trails SIFT at moderate attenuation, crosses SIFT beyond the
+// ~96 dB SIFT cliff, and sits near a 35% capture ratio at 98 dB.  SIFT's
+// own curve is *not* modeled — it emerges from running the real detector
+// over synthesized attenuated signals (see bench_fig7_attenuation).
+#pragma once
+
+#include "util/rng.h"
+
+namespace whitefi {
+
+/// Parameters of the sniffer (Wi-Fi card) capture model.
+struct SnifferModel {
+  /// Attenuation at which the capture probability is 50%.
+  double half_capture_attenuation_db = 97.0;
+  /// Sigmoid steepness (dB per logit unit); larger = smoother falloff.
+  double softness_db = 1.6;
+  /// Capture ceiling at low attenuation (real cards lose a little).
+  double max_capture = 0.995;
+};
+
+/// Probability the sniffer successfully decodes a frame at the given
+/// attenuation.
+double SnifferCaptureProbability(const SnifferModel& model,
+                                 double attenuation_db);
+
+/// Samples whether one frame is captured by the sniffer.
+bool SnifferCaptures(const SnifferModel& model, double attenuation_db,
+                     Rng& rng);
+
+}  // namespace whitefi

@@ -1,0 +1,53 @@
+#include "phy/noncontiguous.h"
+
+#include <algorithm>
+
+namespace whitefi {
+
+MHz FragmentUsableMHz(const Fragment& fragment, const NcOfdmParams& params) {
+  const MHz raw = fragment.WidthMHz() - 2.0 * params.edge_guard_mhz;
+  if (raw <= 0.0) return 0.0;
+  return raw * (1.0 - params.pilot_overhead);
+}
+
+double NonContiguousCapacity(const SpectrumMap& map,
+                             const NcOfdmParams& params) {
+  double total_mhz = 0.0;
+  for (const Fragment& fragment : map.FreeFragments()) {
+    total_mhz += FragmentUsableMHz(fragment, params);
+  }
+  return total_mhz / 5.0;
+}
+
+double BestContiguousCapacity(const SpectrumMap& map) {
+  int widest = 0;
+  for (const Fragment& fragment : map.FreeFragments()) {
+    widest = std::max(widest, fragment.length);
+  }
+  if (widest >= 5) return 4.0;  // A 20 MHz channel fits.
+  if (widest >= 3) return 2.0;  // 10 MHz.
+  if (widest >= 1) return 1.0;  // 5 MHz.
+  return 0.0;
+}
+
+MHz BreakEvenGuardMHz(const SpectrumMap& map, MHz limit) {
+  const double contiguous = BestContiguousCapacity(map);
+  NcOfdmParams probe;
+  probe.edge_guard_mhz = 0.0;
+  if (NonContiguousCapacity(map, probe) <= contiguous) return 0.0;
+  probe.edge_guard_mhz = limit;
+  if (NonContiguousCapacity(map, probe) > contiguous) return limit;
+  MHz lo = 0.0;
+  MHz hi = limit;
+  for (int i = 0; i < 40; ++i) {
+    probe.edge_guard_mhz = (lo + hi) / 2.0;
+    if (NonContiguousCapacity(map, probe) > contiguous) {
+      lo = probe.edge_guard_mhz;
+    } else {
+      hi = probe.edge_guard_mhz;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace whitefi

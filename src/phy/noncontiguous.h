@@ -1,0 +1,52 @@
+// Non-contiguous OFDM: the alternative PHY of the paper's Section 6.
+//
+// WhiteFi deliberately uses one contiguous variable-width channel (the
+// SampleWidth technique).  The discussed alternative would aggregate ALL
+// free fragments at once by nulling the subcarriers over incumbents.  The
+// paper rejects it for two practical reasons: adjacent-subcarrier leakage
+// into the primary user (requiring sharp bandpass filters that did not
+// exist) and the unsolved uplink problem (no system could decode
+// simultaneous clients on disjoint subcarrier sets).
+//
+// This model quantifies that trade: the theoretical capacity of fragment
+// aggregation as a function of the guard bandwidth each fragment edge must
+// sacrifice to protect the incumbents, versus WhiteFi's best single
+// contiguous channel.  With ideal filters (zero guard) aggregation wins
+// wherever the spectrum is fragmented; as the required guard grows, narrow
+// fragments stop paying for themselves and the contiguous choice catches
+// up — exactly the engineering judgment the paper made in 2009.
+#pragma once
+
+#include "spectrum/spectrum_map.h"
+
+namespace whitefi {
+
+/// Non-contiguous OFDM cost model.
+struct NcOfdmParams {
+  /// Spectrum sacrificed at EACH edge of every fragment (guard subcarriers
+  /// plus realizable filter skirt), in MHz.
+  MHz edge_guard_mhz = 0.5;
+  /// Fraction of the remaining subcarriers lost to per-fragment pilot /
+  /// synchronization overhead.
+  double pilot_overhead = 0.05;
+};
+
+/// Usable capacity of one free fragment under the model, in MHz (>= 0).
+MHz FragmentUsableMHz(const Fragment& fragment, const NcOfdmParams& params);
+
+/// Capacity of aggregating every free fragment, in 5 MHz-channel units
+/// (the same scale as MCham: an ideal empty 20 MHz channel = 4.0).
+double NonContiguousCapacity(const SpectrumMap& map,
+                             const NcOfdmParams& params = {});
+
+/// Capacity of the best single contiguous WhiteFi channel on the map, in
+/// the same units (4 / 2 / 1 for a fitting 20 / 10 / 5 MHz channel, 0 when
+/// nothing fits).
+double BestContiguousCapacity(const SpectrumMap& map);
+
+/// The edge guard (MHz) at which aggregation stops beating the contiguous
+/// choice on this map (binary search; returns 0 when it never wins and
+/// `limit` when it always wins below that guard).
+MHz BreakEvenGuardMHz(const SpectrumMap& map, MHz limit = 3.0);
+
+}  // namespace whitefi

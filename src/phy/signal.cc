@@ -1,0 +1,84 @@
+#include "phy/signal.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace whitefi {
+
+SignalSynthesizer::SignalSynthesizer(const SignalParams& params, Rng rng)
+    : params_(params), rng_(std::move(rng)) {}
+
+double SignalSynthesizer::AttenuatedSignalSigma() const {
+  return params_.signal_sigma *
+         AttenuationToAmplitudeScale(params_.attenuation_db);
+}
+
+std::vector<double> SignalSynthesizer::Synthesize(std::span<const Burst> bursts,
+                                                  Us total_duration) {
+  const auto num_samples = static_cast<std::size_t>(
+      std::ceil(total_duration / params_.sample_period));
+  // Start from the noise floor everywhere.
+  std::vector<double> samples(num_samples);
+  for (double& s : samples) s = rng_.Rayleigh(params_.noise_sigma);
+
+  const double sigma = AttenuatedSignalSigma();
+  for (const Burst& burst : bursts) {
+    // Draw the ramp realization once per burst.
+    Us ramp_duration = 0.0;
+    double ramp_factor = 1.0;
+    if (burst.ramp_artifact) {
+      ramp_duration =
+          rng_.Uniform(params_.ramp_min_duration, params_.ramp_max_duration);
+      ramp_factor = rng_.Bernoulli(params_.deep_ramp_probability)
+                        ? params_.deep_ramp_factor
+                        : params_.shallow_ramp_factor;
+    }
+    const auto first = static_cast<std::size_t>(
+        std::max(0.0, std::ceil(burst.start / params_.sample_period)));
+    const auto last = static_cast<std::size_t>(std::min<double>(
+        static_cast<double>(num_samples),
+        std::ceil((burst.start + burst.duration) / params_.sample_period)));
+    for (std::size_t i = first; i < last; ++i) {
+      const Us t = static_cast<double>(i) * params_.sample_period - burst.start;
+      const double factor = t < ramp_duration ? ramp_factor : 1.0;
+      const double amp =
+          rng_.Rayleigh(sigma * burst.amplitude_scale * factor);
+      samples[i] = std::max(samples[i], amp);
+    }
+  }
+  return samples;
+}
+
+std::vector<Burst> MakeDataAckExchange(const PhyTiming& timing, Us start,
+                                       int frame_bytes) {
+  const bool ramp = timing.width() == ChannelWidth::kW5;
+  const Us data_duration = timing.FrameDuration(frame_bytes);
+  Burst data{start, data_duration, ramp, 1.0};
+  Burst ack{start + data_duration + timing.Sifs(), timing.AckDuration(), ramp,
+            1.0};
+  return {data, ack};
+}
+
+std::vector<Burst> MakeBeaconCtsExchange(const PhyTiming& timing, Us start) {
+  const bool ramp = timing.width() == ChannelWidth::kW5;
+  const Us beacon_duration = timing.BeaconDuration();
+  Burst beacon{start, beacon_duration, ramp, 1.0};
+  Burst cts{start + beacon_duration + timing.Sifs(), timing.CtsDuration(), ramp,
+            1.0};
+  return {beacon, cts};
+}
+
+std::vector<Burst> MakeCbrSchedule(const PhyTiming& timing, int count,
+                                   Us interval, int frame_bytes,
+                                   Us first_start) {
+  std::vector<Burst> bursts;
+  bursts.reserve(static_cast<std::size_t>(count) * 2);
+  for (int i = 0; i < count; ++i) {
+    const Us start = first_start + static_cast<double>(i) * interval;
+    auto exchange = MakeDataAckExchange(timing, start, frame_bytes);
+    bursts.insert(bursts.end(), exchange.begin(), exchange.end());
+  }
+  return bursts;
+}
+
+}  // namespace whitefi

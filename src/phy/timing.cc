@@ -1,0 +1,19 @@
+#include "phy/timing.h"
+
+#include <cmath>
+
+namespace whitefi {
+
+PhyTiming::PhyTiming(ChannelWidth width)
+    : width_(width), scale_(20.0 / WidthMHz(width)) {}
+
+PhyTiming PhyTiming::ForWidth(ChannelWidth width) { return PhyTiming(width); }
+
+Us PhyTiming::FrameDuration(int frame_bytes) const {
+  // 16 service bits + 6 tail bits + the MAC frame body.
+  const int bits = 16 + 6 + 8 * frame_bytes;
+  const int symbols = (bits + kBitsPerSymbol - 1) / kBitsPerSymbol;
+  return Preamble() + symbols * Symbol();
+}
+
+}  // namespace whitefi

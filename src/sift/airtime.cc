@@ -1,0 +1,32 @@
+#include "sift/airtime.h"
+
+#include <algorithm>
+
+#include "spectrum/uhf.h"
+
+namespace whitefi {
+
+double BusyAirtimeFraction(const std::vector<DetectedBurst>& bursts,
+                           Us window_start, Us window) {
+  if (window <= 0.0) return 0.0;
+  const Us window_end = window_start + window;
+  Us busy = 0.0;
+  for (const DetectedBurst& b : bursts) {
+    const Us lo = std::max(b.start, window_start);
+    const Us hi = std::min(b.end, window_end);
+    if (hi > lo) busy += hi - lo;
+  }
+  return std::clamp(busy / window, 0.0, 1.0);
+}
+
+Us TotalBurstAirtime(const std::vector<DetectedBurst>& bursts) {
+  Us total = 0.0;
+  for (const DetectedBurst& b : bursts) total += b.Duration();
+  return total;
+}
+
+BandObservation EmptyBandObservation() {
+  return BandObservation(static_cast<std::size_t>(kNumUhfChannels));
+}
+
+}  // namespace whitefi

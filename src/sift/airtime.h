@@ -1,0 +1,39 @@
+// Airtime utilization measurement via SIFT (paper Sections 4.1 and 5.1).
+//
+// WhiteFi's spectrum-assignment metric needs, per UHF channel, the busy
+// airtime fraction A_c and an estimate B_c of the number of other APs
+// operating there.  Both come from the scanner: SIFT's detected bursts
+// over a dwell window directly give the busy fraction, and the matched
+// exchanges can be clustered into distinct transmitters.
+#pragma once
+
+#include <vector>
+
+#include "sift/detector.h"
+#include "sift/matcher.h"
+#include "util/units.h"
+
+namespace whitefi {
+
+/// Fraction of `window` occupied by detected bursts, clamped to [0, 1].
+/// Bursts are clipped to [window_start, window_start + window).
+double BusyAirtimeFraction(const std::vector<DetectedBurst>& bursts,
+                           Us window_start, Us window);
+
+/// Total on-air time of the bursts (us).
+Us TotalBurstAirtime(const std::vector<DetectedBurst>& bursts);
+
+/// Per-UHF-channel observation used by the MCham metric.
+struct ChannelObservation {
+  double airtime = 0.0;  ///< Busy fraction A_c in [0, 1].
+  int ap_count = 0;      ///< Estimated number of other APs, B_c.
+  bool incumbent = false;  ///< Incumbent detected on this channel.
+};
+
+/// A node's full view of the band: one observation per UHF channel.
+using BandObservation = std::vector<ChannelObservation>;
+
+/// Returns a BandObservation with all channels idle and incumbent-free.
+BandObservation EmptyBandObservation();
+
+}  // namespace whitefi

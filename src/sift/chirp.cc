@@ -1,0 +1,38 @@
+#include "sift/chirp.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace whitefi {
+
+ChirpCodec::ChirpCodec(const ChirpCodecParams& params) : params_(params) {
+  if (params_.quantum <= 0.0 || params_.base_duration <= 0.0) {
+    throw std::invalid_argument("chirp durations must be positive");
+  }
+  if (params_.tolerance >= 0.5) {
+    throw std::invalid_argument("tolerance must be < 0.5 for unambiguity");
+  }
+}
+
+Us ChirpCodec::Encode(int id) const {
+  if (id < 0 || id > params_.max_id) {
+    throw std::out_of_range("chirp id out of range");
+  }
+  return params_.base_duration + static_cast<double>(id) * params_.quantum;
+}
+
+std::optional<int> ChirpCodec::Decode(Us duration) const {
+  const double steps = (duration - params_.base_duration) / params_.quantum;
+  const double rounded = std::round(steps);
+  if (rounded < 0.0 || rounded > static_cast<double>(params_.max_id)) {
+    return std::nullopt;
+  }
+  if (std::abs(steps - rounded) > params_.tolerance) return std::nullopt;
+  return static_cast<int>(rounded);
+}
+
+std::optional<int> ChirpCodec::Decode(const DetectedBurst& burst) const {
+  return Decode(burst.Duration());
+}
+
+}  // namespace whitefi

@@ -1,0 +1,51 @@
+// Chirp length coding (paper Section 4.3).
+//
+// A disconnected node signals on the backup channel with "chirps".  The AP
+// detects them with SIFT on its secondary radio without retuning its main
+// radio.  As the paper's optimization, some information — e.g. the SSID —
+// is encoded *in the time domain* by setting the chirp packet's length,
+// turning SIFT into a low-bitrate OOK decoder.  That lets the AP ignore
+// chirps from clients of other APs without ever switching its main radio.
+#pragma once
+
+#include <optional>
+
+#include "sift/detector.h"
+#include "util/units.h"
+
+namespace whitefi {
+
+/// Duration-coded chirp alphabet.
+struct ChirpCodecParams {
+  Us base_duration = 400.0;  ///< Duration encoding id 0 (us).
+  Us quantum = 120.0;        ///< Extra duration per id step (us).
+  int max_id = 63;           ///< Largest encodable id (6-bit SSID hash).
+  /// Decoding tolerance as a fraction of the quantum; must be < 0.5 for
+  /// the alphabet to be unambiguous.
+  double tolerance = 0.35;
+};
+
+/// Encodes/decodes SSID-style identifiers into chirp durations.
+class ChirpCodec {
+ public:
+  explicit ChirpCodec(const ChirpCodecParams& params = {});
+
+  /// Burst duration that encodes `id`.  Throws std::out_of_range for ids
+  /// outside [0, max_id].
+  Us Encode(int id) const;
+
+  /// Decodes a measured burst duration back to an id; nullopt if the
+  /// duration lies outside every symbol's tolerance band.
+  std::optional<int> Decode(Us duration) const;
+
+  /// Decodes a SIFT-detected burst.
+  std::optional<int> Decode(const DetectedBurst& burst) const;
+
+  /// The configured parameters.
+  const ChirpCodecParams& params() const { return params_; }
+
+ private:
+  ChirpCodecParams params_;
+};
+
+}  // namespace whitefi

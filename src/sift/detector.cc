@@ -1,0 +1,89 @@
+#include "sift/detector.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace whitefi {
+
+SiftDetector::SiftDetector(const SiftParams& params) : params_(params) {
+  if (params_.window <= 0) throw std::invalid_argument("window must be > 0");
+  if (params_.threshold <= 0.0) {
+    throw std::invalid_argument("threshold must be > 0");
+  }
+  window_.assign(static_cast<std::size_t>(params_.window), 0.0);
+}
+
+void SiftDetector::Step(double sample) {
+  // Slide the window.
+  window_sum_ -= window_[window_pos_];
+  window_[window_pos_] = sample;
+  window_sum_ += sample;
+  window_pos_ = (window_pos_ + 1) % window_.size();
+  ++samples_seen_;
+  if (sample > params_.threshold) last_above_sample_ = samples_seen_ - 1;
+
+  const double average = window_sum_ / static_cast<double>(window_.size());
+  if (!in_burst_) {
+    if (average > params_.threshold) {
+      in_burst_ = true;
+      burst_peak_ = average;
+      // Date the start at the oldest in-window sample that exceeds the
+      // threshold: a strong burst trips the average from its very first
+      // sample, so the naive "window start" would bias starts early (and
+      // SIFS gaps short) by several samples.
+      const std::size_t window_first =
+          samples_seen_ >= window_.size() ? samples_seen_ - window_.size() : 0;
+      burst_start_sample_ = window_first;
+      for (std::size_t k = 0; k < window_.size() && k < samples_seen_; ++k) {
+        const std::size_t idx =
+            (window_pos_ + k) % window_.size();  // oldest-first traversal
+        if (window_[idx] > params_.threshold) {
+          burst_start_sample_ = window_first + k;
+          break;
+        }
+      }
+    }
+  } else {
+    burst_peak_ = std::max(burst_peak_, average);
+    if (average <= params_.threshold) {
+      in_burst_ = false;
+      EmitBurst(/*end_sample=*/last_above_sample_ + 1);
+    }
+  }
+}
+
+void SiftDetector::EmitBurst(std::size_t end_sample) {
+  DetectedBurst burst;
+  burst.start =
+      static_cast<double>(burst_start_sample_) * params_.sample_period;
+  burst.end = static_cast<double>(std::max(end_sample, burst_start_sample_)) *
+              params_.sample_period;
+  burst.peak_average = burst_peak_;
+  if (burst.end > burst.start) completed_.push_back(burst);
+}
+
+void SiftDetector::ProcessBlock(std::span<const double> samples) {
+  for (double s : samples) Step(s);
+}
+
+void SiftDetector::Flush() {
+  if (in_burst_) {
+    in_burst_ = false;
+    EmitBurst(/*end_sample=*/samples_seen_);
+  }
+}
+
+std::vector<DetectedBurst> SiftDetector::TakeBursts() {
+  std::vector<DetectedBurst> out;
+  out.swap(completed_);
+  return out;
+}
+
+std::vector<DetectedBurst> SiftDetector::Detect(
+    std::span<const double> samples) {
+  ProcessBlock(samples);
+  Flush();
+  return TakeBursts();
+}
+
+}  // namespace whitefi

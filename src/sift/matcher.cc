@@ -1,0 +1,60 @@
+#include "sift/matcher.h"
+
+#include <array>
+#include <cmath>
+#include <map>
+
+namespace whitefi {
+
+PatternMatcher::PatternMatcher(const MatcherParams& params) : params_(params) {}
+
+std::optional<ChannelWidth> PatternMatcher::ClassifyPair(
+    const DetectedBurst& first, const DetectedBurst& second) const {
+  const Us gap = second.start - first.end;
+  if (gap <= 0.0) return std::nullopt;
+  for (ChannelWidth w : kAllWidths) {
+    const PhyTiming timing = PhyTiming::ForWidth(w);
+    const Us sifs = timing.Sifs();
+    const Us ack = timing.AckDuration();
+    const bool gap_ok = std::abs(gap - sifs) <= params_.gap_tolerance * sifs;
+    const bool ack_ok =
+        std::abs(second.Duration() - ack) <= params_.ack_tolerance * ack;
+    const bool data_ok = first.Duration() >= params_.min_data_factor * ack;
+    if (gap_ok && ack_ok && data_ok) return w;
+  }
+  return std::nullopt;
+}
+
+std::vector<ExchangeMatch> PatternMatcher::MatchAll(
+    const std::vector<DetectedBurst>& bursts) const {
+  std::vector<ExchangeMatch> matches;
+  std::size_t i = 0;
+  while (i + 1 < bursts.size()) {
+    const auto width = ClassifyPair(bursts[i], bursts[i + 1]);
+    if (width.has_value()) {
+      matches.push_back(ExchangeMatch{*width, i, i + 1,
+                                      bursts[i].Duration()});
+      i += 2;  // Consume both bursts of the exchange.
+    } else {
+      ++i;
+    }
+  }
+  return matches;
+}
+
+std::optional<ChannelWidth> PatternMatcher::DominantWidth(
+    const std::vector<DetectedBurst>& bursts) const {
+  std::map<ChannelWidth, int> votes;
+  for (const ExchangeMatch& m : MatchAll(bursts)) ++votes[m.width];
+  std::optional<ChannelWidth> best;
+  int best_votes = 0;
+  for (const auto& [width, count] : votes) {
+    if (count > best_votes) {
+      best = width;
+      best_votes = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace whitefi

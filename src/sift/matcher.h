@@ -1,0 +1,77 @@
+// Width classification by Data->SIFS->ACK pattern matching (paper 4.2.1).
+//
+// Both a frame's duration and the SIFS that separates a data frame from its
+// ACK are inversely proportional to channel width.  The matcher classifies
+// a unicast exchange's width by requiring BOTH (a) the gap between two
+// consecutive detected bursts to equal that width's SIFS and (b) the second
+// burst's duration to equal that width's ACK duration.  ACKs are the
+// smallest MAC frame (14 bytes), so even a 5 MHz ACK is shorter than any
+// data frame at 20 MHz — the two conditions together make widths
+// unambiguous.  Beacons are recognized the same way: the paper requires
+// APs to send a CTS-to-self one SIFS after each beacon, and a CTS is the
+// same size as an ACK.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "phy/timing.h"
+#include "sift/detector.h"
+#include "spectrum/channel.h"
+
+namespace whitefi {
+
+/// Matching tolerances.
+struct MatcherParams {
+  /// Allowed relative error on the SIFS gap (fraction of the nominal SIFS).
+  double gap_tolerance = 0.45;
+  /// Allowed relative error on the ACK duration.
+  double ack_tolerance = 0.30;
+  /// The first burst must exceed this multiple of the width's ACK duration
+  /// to count as a data/beacon frame (rules out ACK-ACK confusions).
+  double min_data_factor = 1.3;
+};
+
+/// One matched unicast (or beacon) exchange.
+struct ExchangeMatch {
+  ChannelWidth width = ChannelWidth::kW5;
+  std::size_t data_burst = 0;  ///< Index of the data/beacon burst.
+  std::size_t ack_burst = 0;   ///< Index of the ACK/CTS burst.
+  Us data_duration = 0.0;      ///< Measured first-burst duration.
+};
+
+/// Classifies detected bursts into width-labelled exchanges.
+class PatternMatcher {
+ public:
+  explicit PatternMatcher(const MatcherParams& params = {});
+
+  /// Attempts to classify the pair (first, second): returns the width whose
+  /// SIFS matches the gap and whose ACK duration matches the second burst.
+  std::optional<ChannelWidth> ClassifyPair(const DetectedBurst& first,
+                                           const DetectedBurst& second) const;
+
+  /// Scans a burst list for all data->ACK exchanges.  Each burst is used in
+  /// at most one exchange.
+  std::vector<ExchangeMatch> MatchAll(
+      const std::vector<DetectedBurst>& bursts) const;
+
+  /// The width occurring most often among matches; nullopt if none matched.
+  /// This is the "channel width of the transmitter" output of SIFT — the
+  /// paper notes it is correct even when packet lengths are mis-estimated.
+  std::optional<ChannelWidth> DominantWidth(
+      const std::vector<DetectedBurst>& bursts) const;
+
+ private:
+  MatcherParams params_;
+};
+
+/// SIFT's report of a transmitter seen while sampling near one frequency.
+/// The width is exact; the center frequency is known only to within
+/// +/- W/2, i.e. the true center UHF channel is within HalfSpan(width)
+/// channels of the scanned one (paper: output is (F +/- E, W), E = W/2).
+struct SiftDetection {
+  ChannelWidth width = ChannelWidth::kW5;
+  int exchanges_matched = 0;
+};
+
+}  // namespace whitefi

@@ -1,0 +1,47 @@
+#include "sim/events.h"
+
+#include <algorithm>
+
+namespace whitefi {
+
+EventId Simulator::Schedule(SimTime at, Callback cb) {
+  const EventId id = next_id_++;
+  queue_.push(Event{std::max(at, now_), id, std::move(cb)});
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (id == kInvalidEventId) return false;
+  if (id >= next_id_) return false;
+  return cancelled_.insert(id).second;
+}
+
+void Simulator::Run(SimTime until) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    const Event& top = queue_.top();
+    if (top.time > until) break;
+    Event event{top.time, top.id, std::move(const_cast<Event&>(top).cb)};
+    queue_.pop();
+    if (cancelled_.erase(event.id) > 0) continue;
+    now_ = event.time;
+    ++processed_;
+    event.cb();
+  }
+  if (!stopped_) now_ = std::max(now_, until);
+}
+
+void Simulator::RunUntilIdle() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    Event event{queue_.top().time, queue_.top().id,
+                std::move(const_cast<Event&>(queue_.top()).cb)};
+    queue_.pop();
+    if (cancelled_.erase(event.id) > 0) continue;
+    now_ = event.time;
+    ++processed_;
+    event.cb();
+  }
+}
+
+}  // namespace whitefi

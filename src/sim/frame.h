@@ -1,0 +1,82 @@
+// MAC frames exchanged in the simulator.
+//
+// Control payloads (channel-switch announcements, client reports, chirps)
+// are carried as typed variants; the `bytes` field is what determines air
+// time, so payload sizes are accounted for explicitly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "sift/airtime.h"
+#include "spectrum/channel.h"
+#include "spectrum/spectrum_map.h"
+
+namespace whitefi {
+
+/// Broadcast destination address.
+inline constexpr int kBroadcastId = -1;
+
+/// Frame types.
+enum class FrameType {
+  kData = 0,
+  kAck,
+  kBeacon,         ///< AP beacon (followed by CTS-to-self for SIFT).
+  kCts,            ///< CTS-to-self.
+  kChirp,          ///< Disconnection chirp on the backup channel.
+  kChannelSwitch,  ///< AP's switch announcement.
+  kReport,         ///< Client's spectrum map + airtime report.
+};
+
+/// Human-readable frame-type name.
+const char* FrameTypeName(FrameType type);
+
+/// Beacon payload: the AP's operating and backup channels.
+struct BeaconInfo {
+  Channel main;
+  Channel backup;
+  int ssid = 0;
+};
+
+/// Channel-switch announcement payload.
+struct ChannelSwitchInfo {
+  Channel new_channel;
+  Channel new_backup;
+};
+
+/// Client report payload: observed incumbent map and airtime observations.
+struct ReportInfo {
+  SpectrumMap map;
+  BandObservation observation;
+};
+
+/// Chirp payload: the chirping node's white-space availability.  The SSID
+/// id is also length-coded into the chirp's air time so an AP can filter
+/// foreign chirps with SIFT alone (paper Section 4.3).
+struct ChirpInfo {
+  SpectrumMap map;
+  BandObservation observation;
+  int ssid = 0;
+  int sender = -1;
+};
+
+/// One MAC frame.
+struct Frame {
+  FrameType type = FrameType::kData;
+  int src = -1;
+  int dst = kBroadcastId;
+  int bytes = 0;           ///< Total MAC frame size driving air time.
+  std::uint64_t seq = 0;   ///< Per-source sequence number.
+  std::variant<std::monostate, BeaconInfo, ChannelSwitchInfo, ReportInfo,
+               ChirpInfo>
+      payload;
+
+  /// True iff the frame is broadcast (never ACKed).
+  bool IsBroadcast() const { return dst == kBroadcastId; }
+
+  /// Debug label like "Data(3->7, 1028B)".
+  std::string ToString() const;
+};
+
+}  // namespace whitefi

@@ -1,0 +1,134 @@
+// CSMA/CA (802.11 DCF-style) medium access with width-scaled parameters.
+//
+// WhiteFi deliberately keeps the Wi-Fi MAC (paper Section 6: Listen Before
+// Transmit coexists well with other unlicensed devices), so this MAC is a
+// textbook DCF: DIFS deference, slotted binary-exponential backoff with a
+// freeze on carrier, SIFS-spaced ACKs with retransmission, and broadcast
+// frames sent without ACK.  All interframe timings come from `PhyTiming`
+// and therefore scale with the channel width.
+//
+// Re-entrancy rule: the MAC never calls Medium::Transmit synchronously
+// from a Medium callback (delivery or medium-changed); ACKs and new
+// attempts are always scheduled through the simulator.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "phy/timing.h"
+#include "sim/medium.h"
+#include "util/rng.h"
+
+namespace whitefi {
+
+/// DCF configuration.
+struct MacParams {
+  int cw_min = kCwMin;
+  int cw_max = kCwMax;
+  int retry_limit = kMaxTxAttempts;
+  std::size_t max_queue = 64;
+};
+
+/// Upcalls from the MAC to its owning device.
+class MacCallbacks {
+ public:
+  virtual ~MacCallbacks() = default;
+
+  /// A (non-duplicate) frame addressed to this node or broadcast arrived.
+  virtual void MacReceived(const Frame& frame, Dbm rx_power) = 0;
+
+  /// A queued frame finished: delivered-and-ACKed (or broadcast sent), or
+  /// dropped after the retry limit.
+  virtual void MacSendComplete(const Frame& frame, bool success) = 0;
+};
+
+/// One CSMA/CA MAC instance bound to one radio.
+class Mac {
+ public:
+  Mac(Simulator& sim, Medium& medium, RadioPort& radio,
+      MacCallbacks& callbacks, Dbm tx_power, const MacParams& params, Rng rng);
+
+  /// Updates interframe timings (call when the radio's width changes).
+  void SetTiming(const PhyTiming& timing) { timing_ = timing; }
+
+  /// Current timing.
+  const PhyTiming& timing() const { return timing_; }
+
+  /// Enqueues a frame for transmission; assigns its sequence number.
+  /// Returns false (and drops it) when the queue is full.
+  bool Enqueue(Frame frame);
+
+  /// Enqueues a time-critical frame ahead of queued traffic (behind the
+  /// frame currently in service, if any).  Used for beacons and channel-
+  /// switch announcements, which must not rot behind a data backlog.
+  bool EnqueueFront(Frame frame);
+
+  /// Number of queued frames of the given type (in-flight included).
+  std::size_t CountQueued(FrameType type) const;
+
+  /// Aborts the current attempt and timers, and drops all queued frames.
+  /// Use when the radio retunes: queued frames were for the old channel.
+  void Reset();
+
+  /// Frames waiting (including the one in flight).
+  std::size_t QueueDepth() const { return queue_.size(); }
+
+  /// True iff nothing is queued or in flight.
+  bool Idle() const { return queue_.empty() && state_ == State::kIdle; }
+
+  /// Frames that exhausted their retries.
+  std::uint64_t Drops() const { return drops_; }
+
+  // -- Wiring from the device's RadioPort --------------------------------
+
+  /// Frame delivery from the medium.
+  void OnDeliver(const Frame& frame, Dbm rx_power);
+
+  /// Carrier state may have changed.
+  void OnMediumChanged();
+
+ private:
+  enum class State {
+    kIdle,
+    kWaitIdle,   ///< Carrier busy; waiting for it to clear.
+    kDifs,       ///< DIFS timer running.
+    kBackoff,    ///< Slot timer running, counting down backoff slots.
+    kTransmitting,
+    kWaitAck,
+  };
+
+  bool Carrier() const;
+  void KickIfIdle();
+  void TryStart();
+  void EnterContention();
+  void DifsExpired();
+  void SlotExpired();
+  void TransmitHead();
+  void TxDone(std::uint64_t epoch);
+  void AckTimeout(std::uint64_t epoch);
+  void CompleteHead(bool success);
+  void CancelTimer();
+
+  Simulator& sim_;
+  Medium& medium_;
+  RadioPort& radio_;
+  MacCallbacks& callbacks_;
+  Dbm tx_power_;
+  MacParams params_;
+  Rng rng_;
+  PhyTiming timing_ = PhyTiming::ForWidth(ChannelWidth::kW5);
+
+  State state_ = State::kIdle;
+  std::deque<Frame> queue_;
+  int attempts_ = 0;
+  int cw_ = kCwMin;
+  int backoff_slots_ = -1;  ///< -1: not drawn yet for this attempt.
+  EventId timer_ = kInvalidEventId;
+  std::uint64_t epoch_ = 0;  ///< Bumped by Reset to invalidate callbacks.
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t drops_ = 0;
+  std::map<int, std::uint64_t> last_seq_from_;  ///< Duplicate filter.
+};
+
+}  // namespace whitefi

@@ -1,0 +1,251 @@
+#include "sim/medium.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace whitefi {
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kData: return "Data";
+    case FrameType::kAck: return "Ack";
+    case FrameType::kBeacon: return "Beacon";
+    case FrameType::kCts: return "Cts";
+    case FrameType::kChirp: return "Chirp";
+    case FrameType::kChannelSwitch: return "ChannelSwitch";
+    case FrameType::kReport: return "Report";
+  }
+  return "?";
+}
+
+std::string Frame::ToString() const {
+  std::ostringstream os;
+  os << FrameTypeName(type) << "(" << src << "->";
+  if (IsBroadcast()) {
+    os << "*";
+  } else {
+    os << dst;
+  }
+  os << ", " << bytes << "B)";
+  return os.str();
+}
+
+Medium::Medium(Simulator& sim, const MediumParams& params)
+    : sim_(sim), params_(params), prop_(params.propagation) {}
+
+void Medium::Register(RadioPort* radio) { radios_.push_back(radio); }
+
+void Medium::Unregister(RadioPort* radio) {
+  radios_.erase(std::remove(radios_.begin(), radios_.end(), radio),
+                radios_.end());
+}
+
+void Medium::AccrueBooks() {
+  const SimTime now = sim_.Now();
+  if (now == books_accrued_at_) return;
+  const Us elapsed = ToUs(now - books_accrued_at_);
+  for (UhfIndex c = 0; c < kNumUhfChannels; ++c) {
+    if (active_count_[static_cast<std::size_t>(c)] > 0) {
+      books_[static_cast<std::size_t>(c)].busy += elapsed;
+    }
+  }
+  books_accrued_at_ = now;
+}
+
+void Medium::Transmit(RadioPort* tx, const Channel& channel,
+                      const Frame& frame, Dbm tx_power, SimTime duration,
+                      std::function<void()> on_end) {
+  AccrueBooks();
+  const std::uint64_t id = next_tx_id_++;
+  ActiveTx record{id,      tx,  channel, frame,
+                  tx_power, sim_.Now(), sim_.Now() + duration,
+                  {}};
+  // Record mutual interference with every time-overlapping transmission on
+  // overlapping spectrum.
+  for (auto& [other_id, other] : active_) {
+    if (other.channel.Overlaps(channel)) {
+      other.interferers.push_back(id);
+      record.interferers.push_back(other_id);
+    }
+  }
+  for (UhfIndex c = channel.Low(); c <= channel.High(); ++c) {
+    ++active_count_[static_cast<std::size_t>(c)];
+    books_[static_cast<std::size_t>(c)].per_node[tx->NodeId()] += ToUs(duration);
+  }
+  active_.emplace(id, std::move(record));
+  sim_.Schedule(sim_.Now() + duration,
+                [this, id, cb = std::move(on_end)]() mutable {
+                  EndTransmission(id, std::move(cb));
+                });
+  NotifyOverlapping(channel);
+}
+
+void Medium::EndTransmission(std::uint64_t tx_id,
+                             std::function<void()> on_end) {
+  auto it = active_.find(tx_id);
+  if (it == active_.end()) return;
+  AccrueBooks();
+  ActiveTx tx = std::move(it->second);
+  active_.erase(it);
+  for (UhfIndex c = tx.channel.Low(); c <= tx.channel.High(); ++c) {
+    --active_count_[static_cast<std::size_t>(c)];
+  }
+  const Channel channel = tx.channel;
+  const Frame frame = tx.frame;
+  RadioPort* const tx_radio = tx.tx;
+  recently_ended_.emplace(tx_id, std::move(tx));
+  ResolveReceptions(recently_ended_.at(tx_id));
+  if (active_.empty()) {
+    recently_ended_.clear();
+  } else {
+    // Bounded GC for continuously-busy workloads: an entry can only be
+    // referenced by an active transmission that overlapped it in time, and
+    // no frame lasts anywhere near a second, so older entries are dead.
+    const SimTime horizon = sim_.Now() - kTicksPerSec;
+    for (auto it = recently_ended_.begin(); it != recently_ended_.end();) {
+      it = it->second.end < horizon ? recently_ended_.erase(it) : std::next(it);
+    }
+  }
+  if (on_end) on_end();
+  NotifyOverlapping(channel);
+  for (const FrameTap& tap : taps_) tap(channel, frame, *tx_radio);
+}
+
+void Medium::AddFrameTap(FrameTap tap) { taps_.push_back(std::move(tap)); }
+
+double Medium::InterferencePowerMw(const ActiveTx& tx,
+                                   const RadioPort& rx) const {
+  double total_mw = 0.0;
+  for (std::uint64_t interferer_id : tx.interferers) {
+    const ActiveTx* interferer = nullptr;
+    if (auto it = active_.find(interferer_id); it != active_.end()) {
+      interferer = &it->second;
+    } else if (auto jt = recently_ended_.find(interferer_id);
+               jt != recently_ended_.end()) {
+      interferer = &jt->second;
+    }
+    if (interferer == nullptr) continue;
+    const Dbm p = prop_.ReceivedPower(interferer->power,
+                                      interferer->tx->Location(),
+                                      rx.Location());
+    // Only the interferer's in-band power corrupts our symbols.
+    const double fraction =
+        InBandPowerFraction(interferer->channel, rx.TunedChannel());
+    if (fraction <= 0.0) continue;
+    total_mw += DbmToMilliwatt(p) * fraction;
+  }
+  return total_mw;
+}
+
+void Medium::ResolveReceptions(const ActiveTx& tx) {
+  // Half-duplex: a radio that transmitted during this frame cannot have
+  // received it.  Any such transmission on the same channel is recorded in
+  // the interferer list, so collect those node ids.
+  std::vector<int> talked_during;
+  for (std::uint64_t interferer_id : tx.interferers) {
+    const ActiveTx* interferer = nullptr;
+    if (auto it = active_.find(interferer_id); it != active_.end()) {
+      interferer = &it->second;
+    } else if (auto jt = recently_ended_.find(interferer_id);
+               jt != recently_ended_.end()) {
+      interferer = &jt->second;
+    }
+    if (interferer != nullptr) {
+      talked_during.push_back(interferer->tx->NodeId());
+    }
+  }
+
+  const double noise_mw =
+      DbmToMilliwatt(NoiseFloorDbm(WidthMHz(tx.channel.width)));
+  const double min_sinr = DbToLinear(params_.decode_snr_db);
+
+  for (RadioPort* rx : radios_) {
+    if (rx == tx.tx) continue;
+    if (!rx->RxEnabled()) continue;
+    // Exact (F, W) match required: packets at other widths or centers are
+    // dropped (paper Section 5.4).
+    if (!(rx->TunedChannel() == tx.channel)) continue;
+    if (std::find(talked_during.begin(), talked_during.end(), rx->NodeId()) !=
+        talked_during.end()) {
+      continue;
+    }
+    const Dbm rx_power =
+        prop_.ReceivedPower(tx.power, tx.tx->Location(), rx->Location());
+    const double signal_mw = DbmToMilliwatt(rx_power);
+    const double interference_mw = InterferencePowerMw(tx, *rx);
+    if (signal_mw / (noise_mw + interference_mw) < min_sinr) continue;
+    rx->DeliverFrame(tx.frame, rx_power);
+  }
+}
+
+void Medium::NotifyOverlapping(const Channel& channel) {
+  for (RadioPort* radio : radios_) {
+    if (!radio->RxEnabled()) continue;
+    if (radio->TunedChannel().Overlaps(channel)) radio->MediumChanged();
+  }
+}
+
+double InBandPowerFraction(const Channel& tx, const Channel& listener) {
+  const UhfIndex lo = std::max(tx.Low(), listener.Low());
+  const UhfIndex hi = std::min(tx.High(), listener.High());
+  if (hi < lo) return 0.0;
+  return static_cast<double>(hi - lo + 1) /
+         static_cast<double>(SpanChannels(tx.width));
+}
+
+bool Medium::CarrierSensed(const RadioPort& radio,
+                           const Channel& channel) const {
+  for (const auto& [id, tx] : active_) {
+    if (tx.tx == &radio) continue;
+    if (!tx.channel.Overlaps(channel)) continue;
+    const Dbm p =
+        prop_.ReceivedPower(tx.power, tx.tx->Location(), radio.Location());
+    if (tx.channel == channel) {
+      if (p >= params_.same_channel_cs_dbm) return true;
+    } else {
+      const Dbm in_band =
+          p + LinearToDb(InBandPowerFraction(tx.channel, channel));
+      if (in_band >= params_.energy_detect_cs_dbm) return true;
+    }
+  }
+  return false;
+}
+
+bool Medium::Transmitting(const RadioPort& radio) const {
+  for (const auto& [id, tx] : active_) {
+    if (tx.tx == &radio) return true;
+  }
+  return false;
+}
+
+AirtimeBooks Medium::SnapshotBooks() {
+  AccrueBooks();
+  return books_;
+}
+
+std::vector<int> Medium::ActiveApsBetween(const AirtimeBooks& before,
+                                          const AirtimeBooks& after,
+                                          UhfIndex c,
+                                          const std::vector<int>& ap_ids) {
+  std::vector<int> active;
+  const auto& b = before[static_cast<std::size_t>(c)].per_node;
+  const auto& a = after[static_cast<std::size_t>(c)].per_node;
+  for (int id : ap_ids) {
+    const auto bt = b.find(id);
+    const auto at = a.find(id);
+    const Us before_time = bt == b.end() ? 0.0 : bt->second;
+    const Us after_time = at == a.end() ? 0.0 : at->second;
+    if (after_time > before_time) active.push_back(id);
+  }
+  return active;
+}
+
+std::vector<int> Medium::ApIds() const {
+  std::vector<int> ids;
+  for (const RadioPort* radio : radios_) {
+    if (radio->IsAp()) ids.push_back(radio->NodeId());
+  }
+  return ids;
+}
+
+}  // namespace whitefi

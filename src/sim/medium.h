@@ -1,0 +1,185 @@
+// The shared radio medium.
+//
+// Implements the paper's QualNet modifications faithfully:
+//  * variable-width channels: a frame is decodable only by radios tuned to
+//    exactly the same (F, W) — "at every node, we explicitly drop packets
+//    that were sent at a different channel width";
+//  * energy-based carrier sense across overlapping channels of different
+//    widths: a node spanning multiple UHF channels senses busy if ANY of
+//    its spanned UHF channels carries energy above threshold;
+//  * SINR-based reception with cumulative interference from time-
+//    overlapping transmissions and width-scaled noise floors;
+//  * half-duplex radios.
+//
+// The medium also keeps per-UHF-channel airtime books (union busy time and
+// cumulative per-transmitter air time) that the scanner model reads to
+// produce the A_c / B_c observations feeding the MCham metric.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sim/events.h"
+#include "sim/frame.h"
+#include "sim/propagation.h"
+#include "spectrum/channel.h"
+#include "spectrum/uhf.h"
+#include "util/units.h"
+
+namespace whitefi {
+
+/// Radio/medium configuration.
+struct MediumParams {
+  PropagationParams propagation;
+  /// Carrier sense against a transmission on exactly our (F, W): preamble
+  /// detection works, so the threshold is low (long range).
+  Dbm same_channel_cs_dbm = -85.0;
+  /// Carrier sense against an overlapping transmission of a different
+  /// width or center: the radio cannot synchronize to it and falls back to
+  /// energy detection (802.11-style ~-62 dBm), applied to the fraction of
+  /// the foreign signal's power that lands in our band.  This asymmetry is
+  /// what makes wide channels fragile over busy narrow channels: distant
+  /// narrow transmitters are deaf to the wide signal and collide with it.
+  Dbm energy_detect_cs_dbm = -62.0;
+  /// Minimum SINR to decode.  Set well above the AWGN requirement: a frame
+  /// overlapped by an unsynchronized foreign transmission (the cross-width
+  /// collision case) needs a large margin to survive, which is what makes
+  /// wide channels degrade over busy narrow channels as in the paper.
+  double decode_snr_db = 16.0;
+};
+
+/// Fraction of a transmission's power (linear, <= 1) that falls within the
+/// listener's band: spanned-UHF-channel overlap over the transmitter span.
+double InBandPowerFraction(const Channel& tx, const Channel& listener);
+
+/// Medium-facing view of one radio.  Registered by devices.
+class RadioPort {
+ public:
+  virtual ~RadioPort() = default;
+
+  /// Stable node id.
+  virtual int NodeId() const = 0;
+
+  /// Physical location (static).
+  virtual Position Location() const = 0;
+
+  /// Channel the main radio is tuned to.
+  virtual const Channel& TunedChannel() const = 0;
+
+  /// False while the PLL is retuning or the node is down; no carrier
+  /// sense callbacks and no delivery happen in that state.
+  virtual bool RxEnabled() const = 0;
+
+  /// True iff the registered node is an access point (used for the B_c
+  /// "interfering APs" books).
+  virtual bool IsAp() const = 0;
+
+  /// Called when a frame ends and passes the decode checks at this radio.
+  virtual void DeliverFrame(const Frame& frame, Dbm rx_power) = 0;
+
+  /// Called whenever a transmission starts or ends anywhere on spectrum
+  /// overlapping this radio's channel (MACs re-evaluate carrier here).
+  virtual void MediumChanged() = 0;
+};
+
+/// Cumulative airtime books for one UHF channel.
+struct ChannelBooks {
+  Us busy = 0.0;  ///< Union busy air time since simulation start.
+  std::map<int, Us> per_node;  ///< Cumulative air time by transmitter id.
+};
+
+/// Snapshot of all 30 channels' books.
+using AirtimeBooks = std::array<ChannelBooks, static_cast<std::size_t>(kNumUhfChannels)>;
+
+/// The shared medium.
+class Medium {
+ public:
+  Medium(Simulator& sim, const MediumParams& params);
+
+  /// Registers a radio; it must outlive the medium or be unregistered.
+  void Register(RadioPort* radio);
+
+  /// Unregisters a radio.
+  void Unregister(RadioPort* radio);
+
+  /// Starts a transmission of `frame` on `channel` lasting `duration`.
+  /// Delivery and notifications are handled internally; the caller gets
+  /// `on_end` invoked when the air time elapses.
+  void Transmit(RadioPort* tx, const Channel& channel, const Frame& frame,
+                Dbm tx_power, SimTime duration, std::function<void()> on_end);
+
+  /// True iff energy above the CS threshold from a foreign transmission is
+  /// present on any UHF channel spanned by `channel`, as seen at `radio`.
+  bool CarrierSensed(const RadioPort& radio, const Channel& channel) const;
+
+  /// True iff `radio` itself is currently transmitting.
+  bool Transmitting(const RadioPort& radio) const;
+
+  /// Brings the airtime books current and returns a copy.
+  AirtimeBooks SnapshotBooks();
+
+  /// Set of AP node ids with non-zero air time on UHF channel `c` between
+  /// two snapshots (helper for B_c estimation).
+  static std::vector<int> ActiveApsBetween(const AirtimeBooks& before,
+                                           const AirtimeBooks& after,
+                                           UhfIndex c,
+                                           const std::vector<int>& ap_ids);
+
+  /// Number of transmissions started since construction.
+  std::uint64_t NumTransmissions() const { return next_tx_id_ - 1; }
+
+  /// Ids of registered radios flagged as APs.
+  std::vector<int> ApIds() const;
+
+  /// A tap invoked after every completed transmission, regardless of any
+  /// receiver's tuning — this is how SIFT-style observers (scanners) see
+  /// energy they cannot decode.  Taps must not call Transmit synchronously.
+  using FrameTap =
+      std::function<void(const Channel&, const Frame&, const RadioPort& tx)>;
+
+  /// Registers a tap (never removed; keep captured objects alive).
+  void AddFrameTap(FrameTap tap);
+
+  const MediumParams& params() const { return params_; }
+  const PropagationModel& propagation() const { return prop_; }
+
+ private:
+  struct ActiveTx {
+    std::uint64_t id;
+    RadioPort* tx;
+    Channel channel;
+    Frame frame;
+    Dbm power;
+    SimTime start;
+    SimTime end;
+    /// Transmissions that overlapped this one in time AND spectrum.
+    std::vector<std::uint64_t> interferers;
+  };
+
+  void EndTransmission(std::uint64_t tx_id, std::function<void()> on_end);
+  void ResolveReceptions(const ActiveTx& tx);
+  void NotifyOverlapping(const Channel& channel);
+  void AccrueBooks();
+  double InterferencePowerMw(const ActiveTx& tx, const RadioPort& rx) const;
+
+  Simulator& sim_;
+  MediumParams params_;
+  PropagationModel prop_;
+  std::vector<RadioPort*> radios_;
+  std::vector<FrameTap> taps_;
+  std::map<std::uint64_t, ActiveTx> active_;
+  /// Finished transmissions kept until no active transmission references
+  /// them as interferers.
+  std::map<std::uint64_t, ActiveTx> recently_ended_;
+  std::uint64_t next_tx_id_ = 1;
+
+  // Airtime accounting.
+  AirtimeBooks books_;
+  std::array<int, static_cast<std::size_t>(kNumUhfChannels)> active_count_{};
+  SimTime books_accrued_at_ = 0;
+};
+
+}  // namespace whitefi

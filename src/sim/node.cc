@@ -1,0 +1,89 @@
+#include "sim/node.h"
+
+#include "sim/world.h"
+
+namespace whitefi {
+
+Device::Device(World& world, int id, const DeviceConfig& config)
+    : world_(world),
+      id_(id),
+      config_(config),
+      channel_(config.initial_channel),
+      mac_(world.sim(), world.medium(), *this, *this, config.tx_power,
+           config.mac, world.NewRng()) {
+  mac_.SetTiming(PhyTiming::ForWidth(channel_.width));
+  world_.medium().Register(this);
+}
+
+Device::~Device() { world_.medium().Unregister(this); }
+
+bool Device::RxEnabled() const {
+  return world_.sim().Now() >= rx_enabled_at_;
+}
+
+void Device::DeliverFrame(const Frame& frame, Dbm rx_power) {
+  mac_.OnDeliver(frame, rx_power);
+}
+
+void Device::MediumChanged() { mac_.OnMediumChanged(); }
+
+void Device::MacReceived(const Frame& frame, Dbm rx_power) {
+  if (frame.type == FrameType::kData && frame.dst == id_) {
+    world_.RecordAppBytes(id_, frame.bytes - kMacOverheadBytes);
+  }
+  OnFrameReceived(frame, rx_power);
+  for (const auto& hook : receive_hooks_) hook(frame);
+}
+
+void Device::MacSendComplete(const Frame& frame, bool success) {
+  OnSendComplete(frame, success);
+  for (const auto& hook : send_hooks_) hook(frame, success);
+}
+
+void Device::SwitchChannel(const Channel& channel) {
+  if (channel == channel_ && RxEnabled()) return;
+  mac_.Reset();
+  channel_ = channel;
+  mac_.SetTiming(PhyTiming::ForWidth(channel.width));
+  rx_enabled_at_ = world_.sim().Now() + config_.tune_delay;
+  const SimTime generation = rx_enabled_at_;
+  world_.sim().Schedule(rx_enabled_at_, [this, generation, channel] {
+    // Only fire if no further switch superseded this one.
+    if (rx_enabled_at_ == generation && channel_ == channel) {
+      OnChannelSwitched(channel_);
+    }
+  });
+}
+
+void Device::OnIncumbentDetected(UhfIndex channel) {
+  NoteMicObservation(channel, true);
+}
+
+void Device::NoteMicObservation(UhfIndex channel, bool present) {
+  if (present) {
+    detected_mics_.insert(channel);
+  } else {
+    detected_mics_.erase(channel);
+  }
+}
+
+SpectrumMap Device::ObservedMap() const {
+  SpectrumMap map = config_.tv_map;
+  for (UhfIndex c : detected_mics_) map.SetOccupied(c);
+  return map;
+}
+
+void Device::AddSendCompleteHook(
+    std::function<void(const Frame&, bool)> hook) {
+  send_hooks_.push_back(std::move(hook));
+}
+
+void Device::AddReceiveHook(std::function<void(const Frame&)> hook) {
+  receive_hooks_.push_back(std::move(hook));
+}
+
+void Device::OnFrameReceived(const Frame&, Dbm) {}
+void Device::OnSendComplete(const Frame&, bool) {}
+void Device::OnChannelSwitched(const Channel&) {}
+
+}  // namespace whitefi

@@ -1,0 +1,9 @@
+#include "sim/propagation.h"
+
+namespace whitefi {
+
+Dbm NoiseFloorDbm(MHz width_mhz) {
+  return -101.0 + 10.0 * std::log10(width_mhz / 20.0);
+}
+
+}  // namespace whitefi

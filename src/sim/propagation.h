@@ -1,0 +1,70 @@
+// Radio propagation: log-distance path loss over the UHF band.
+//
+// UHF signals propagate far better than 2.4 GHz — the paper expects a
+// single AP to cover >1 km.  The default parameters give decode range of a
+// few km and carrier-sense range beyond that, so every node in the paper's
+// scenarios (placed "within transmission range") hears every other.
+#pragma once
+
+#include <cmath>
+
+#include "util/units.h"
+
+namespace whitefi {
+
+/// A point in the 2D deployment plane (meters).
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Euclidean distance in meters.
+inline double Distance(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Log-distance path-loss model.
+struct PropagationParams {
+  double reference_loss_db = 28.0;  ///< Loss at 1 m.
+  double exponent = 2.2;            ///< UHF path-loss exponent.
+  double min_distance = 1.0;        ///< Near-field clamp (m).
+};
+
+/// Path-loss / received-power computations.
+class PropagationModel {
+ public:
+  explicit PropagationModel(const PropagationParams& params = {})
+      : params_(params) {}
+
+  /// Path loss in dB over `meters`.
+  double PathLossDb(double meters) const {
+    const double d = std::max(meters, params_.min_distance);
+    return params_.reference_loss_db + 10.0 * params_.exponent * std::log10(d);
+  }
+
+  /// Received power for a transmitter at `tx_power` dBm at range `meters`.
+  Dbm ReceivedPower(Dbm tx_power, double meters) const {
+    return tx_power - PathLossDb(meters);
+  }
+
+  /// Received power between two positions.
+  Dbm ReceivedPower(Dbm tx_power, const Position& from,
+                    const Position& to) const {
+    return ReceivedPower(tx_power, Distance(from, to));
+  }
+
+  const PropagationParams& params() const { return params_; }
+
+ private:
+  PropagationParams params_;
+};
+
+/// Thermal-plus-implementation noise floor for a receiver of the given
+/// bandwidth: -101 dBm for 20 MHz, 3 dB lower per width halving (the
+/// paper's QualNet modification "adjusted the channel noise levels based
+/// on the channel width").
+Dbm NoiseFloorDbm(MHz width_mhz);
+
+}  // namespace whitefi

@@ -1,0 +1,142 @@
+#include "sim/scanner.h"
+
+#include <algorithm>
+
+#include "sim/world.h"
+
+namespace whitefi {
+
+Scanner::Scanner(Device& device, const ScannerParams& params)
+    : device_(device),
+      params_(params),
+      rng_(device.world().NewRng()),
+      observation_(EmptyBandObservation()) {}
+
+void Scanner::StartSweep() {
+  if (sweeping_) return;
+  sweeping_ = true;
+  cursor_ = 0;
+  BeginDwell();
+}
+
+void Scanner::BeginDwell() {
+  World& world = device_.world();
+  // Incumbent-occupied channels are flagged immediately (feature detection
+  // is fast); airtime dwell is only spent on channels worth measuring.
+  for (int hops = 0; hops <= kNumUhfChannels; ++hops) {
+    if (hops == kNumUhfChannels) {
+      // Entire band incumbent-occupied: idle one dwell and retry.
+      world.sim().ScheduleAfter(params_.dwell, [this] { BeginDwell(); });
+      return;
+    }
+    const auto idx = static_cast<std::size_t>(cursor_);
+    const bool tv = device_.config().tv_map.Occupied(cursor_);
+    const bool mic = world.MicAudible(cursor_, device_.NodeId());
+    if (tv || mic) {
+      observation_[idx].incumbent = true;
+      observation_[idx].airtime = 0.0;
+      observation_[idx].ap_count = 0;
+      if (!tv) device_.NoteMicObservation(cursor_, true);
+      cursor_ = (cursor_ + 1) % kNumUhfChannels;
+      if (cursor_ == 0) ++sweeps_;
+      continue;
+    }
+    break;
+  }
+  dwell_start_books_ = world.medium().SnapshotBooks();
+  world.sim().ScheduleAfter(params_.dwell, [this] { EndDwell(); });
+}
+
+void Scanner::EndDwell() {
+  World& world = device_.world();
+  const auto idx = static_cast<std::size_t>(cursor_);
+  const AirtimeBooks books = world.medium().SnapshotBooks();
+  const auto& before = dwell_start_books_[idx];
+  const auto& after = books[idx];
+
+  // Busy fraction of *foreign* traffic (SIFT can filter the network's own
+  // transmissions by width/pattern).  Summing foreign transmitters' own
+  // air time — rather than subtracting our air time from the union busy
+  // time — stays accurate even when our transmissions overlap foreign
+  // ones in time (we may be mutually deaf across widths): the union would
+  // hide exactly the foreign traffic we need to measure.
+  const std::vector<int> own = world.NodesInSsid(device_.ssid());
+  Us busy_delta = 0.0;
+  for (const auto& [node, total] : after.per_node) {
+    if (std::find(own.begin(), own.end(), node) != own.end()) continue;
+    const auto b = before.per_node.find(node);
+    const Us bt = b == before.per_node.end() ? 0.0 : b->second;
+    busy_delta += total - bt;
+  }
+  const Us dwell_us = ToUs(params_.dwell);
+  double airtime = busy_delta / dwell_us;
+  if (params_.airtime_noise_stddev > 0.0) {
+    airtime += rng_.Normal(0.0, params_.airtime_noise_stddev);
+  }
+  observation_[idx].airtime = std::clamp(airtime, 0.0, 1.0);
+
+  // Foreign APs with energy on this channel during the dwell.
+  std::vector<int> ap_ids = world.medium().ApIds();
+  ap_ids.erase(std::remove_if(ap_ids.begin(), ap_ids.end(),
+                              [&](int id) {
+                                return std::find(own.begin(), own.end(), id) !=
+                                       own.end();
+                              }),
+               ap_ids.end());
+  observation_[idx].ap_count = static_cast<int>(
+      Medium::ActiveApsBetween(dwell_start_books_, books, cursor_, ap_ids)
+          .size());
+
+  // Incumbents may have appeared or vanished during the dwell.
+  const bool mic = world.MicAudible(cursor_, device_.NodeId());
+  observation_[idx].incumbent =
+      device_.config().tv_map.Occupied(cursor_) || mic;
+  device_.NoteMicObservation(cursor_, mic);
+
+  cursor_ = (cursor_ + 1) % kNumUhfChannels;
+  if (cursor_ == 0) ++sweeps_;
+  BeginDwell();
+}
+
+void Scanner::StartChirpWatch(Channel backup, int ssid,
+                              ChirpCallback on_chirp) {
+  chirp_channel_ = backup;
+  chirp_ssid_ = ssid;
+  on_chirp_ = std::move(on_chirp);
+  if (!chirp_watch_) {
+    chirp_watch_ = true;
+    device_.world().medium().AddFrameTap(
+        [this](const Channel& channel, const Frame& frame, const RadioPort&) {
+          if (frame.type != FrameType::kChirp) return;
+          const auto* info = std::get_if<ChirpInfo>(&frame.payload);
+          if (info != nullptr) OfferChirp(channel, *info);
+        });
+    ChirpVisit();
+  }
+}
+
+void Scanner::StopChirpWatch() { on_chirp_ = nullptr; }
+
+void Scanner::ChirpVisit() {
+  chirp_dwelling_ = true;
+  World& world = device_.world();
+  world.sim().ScheduleAfter(params_.chirp_scan_dwell, [this] {
+    chirp_dwelling_ = false;
+  });
+  world.sim().ScheduleAfter(params_.chirp_scan_interval,
+                            [this] { ChirpVisit(); });
+}
+
+void Scanner::OfferChirp(const Channel& channel, const ChirpInfo& info) {
+  if (!on_chirp_) return;
+  if (info.ssid != chirp_ssid_) return;  // SIFT length-code filter.
+  const bool on_watched_backup =
+      chirp_dwelling_ && channel.Overlaps(chirp_channel_);
+  // The band sweep doubles as the paper's all-channel rescue scan: a chirp
+  // transmitted on whatever channel the sweep currently dwells on is heard.
+  const bool on_swept_channel = sweeping_ && channel.Contains(cursor_);
+  if (!on_watched_backup && !on_swept_channel) return;
+  on_chirp_(info, channel);
+}
+
+}  // namespace whitefi

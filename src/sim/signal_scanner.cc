@@ -1,0 +1,129 @@
+#include "sim/signal_scanner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/world.h"
+
+namespace whitefi {
+
+SignalLevelScanner::SignalLevelScanner(Device& device,
+                                       const SignalScannerParams& params)
+    : device_(device),
+      params_(params),
+      rng_(device.world().NewRng()),
+      observation_(EmptyBandObservation()) {
+  device_.world().medium().AddFrameTap(
+      [this](const Channel& channel, const Frame& frame, const RadioPort& tx) {
+        OnTap(channel, frame, tx);
+      });
+}
+
+void SignalLevelScanner::StartSweep() {
+  if (sweeping_) return;
+  sweeping_ = true;
+  cursor_ = 0;
+  BeginDwell();
+}
+
+void SignalLevelScanner::OnTap(const Channel& channel, const Frame& frame,
+                               const RadioPort& tx) {
+  if (!dwelling_) return;
+  if (!channel.Contains(cursor_)) return;
+  const PhyTiming timing = PhyTiming::ForWidth(channel.width);
+  const Us duration = timing.FrameDuration(frame.bytes);
+  const Us end = ToUs(device_.world().sim().Now() - dwell_started_);
+  Heard heard;
+  heard.start = end - duration;
+  heard.duration = duration;
+  const Device* sender = device_.world().FindDevice(tx.NodeId());
+  heard.own_ssid = sender != nullptr && sender->ssid() == device_.ssid();
+  heard.ramp = channel.width == ChannelWidth::kW5;
+  heard.frame_bytes = frame.bytes;
+  heard.width = channel.width;
+  heard.type = frame.type;
+  heard_.push_back(heard);
+}
+
+void SignalLevelScanner::BeginDwell() {
+  World& world = device_.world();
+  // Incumbent channels are flagged without a dwell, as the fast scanner
+  // does (feature detection precedes airtime measurement).
+  for (int hops = 0; hops <= kNumUhfChannels; ++hops) {
+    if (hops == kNumUhfChannels) {
+      world.sim().ScheduleAfter(params_.dwell, [this] { BeginDwell(); });
+      return;
+    }
+    const auto idx = static_cast<std::size_t>(cursor_);
+    const bool tv = device_.config().tv_map.Occupied(cursor_);
+    const bool mic = world.MicAudible(cursor_, device_.NodeId());
+    if (tv || mic) {
+      observation_[idx].incumbent = true;
+      observation_[idx].airtime = 0.0;
+      observation_[idx].ap_count = 0;
+      if (!tv) device_.NoteMicObservation(cursor_, true);
+      cursor_ = (cursor_ + 1) % kNumUhfChannels;
+      if (cursor_ == 0) ++sweeps_;
+      continue;
+    }
+    break;
+  }
+  heard_.clear();
+  dwelling_ = true;
+  dwell_started_ = world.sim().Now();
+  world.sim().ScheduleAfter(params_.dwell, [this] { EndDwell(); });
+}
+
+void SignalLevelScanner::EndDwell() {
+  World& world = device_.world();
+  dwelling_ = false;
+  const auto idx = static_cast<std::size_t>(cursor_);
+  const Us window = ToUs(params_.dwell);
+
+  // Reconstruct the amplitude trace of the foreign transmissions that
+  // crossed this channel during the dwell (SIFT filters our own network's
+  // transmissions by their known pattern).
+  std::vector<Burst> bursts;
+  for (const Heard& heard : heard_) {
+    if (heard.own_ssid) continue;
+    Burst burst;
+    burst.start = std::max(0.0, heard.start);
+    burst.duration = std::min(heard.duration, window - burst.start);
+    burst.ramp_artifact = heard.ramp;
+    if (burst.duration > 0.0) bursts.push_back(burst);
+  }
+  std::sort(bursts.begin(), bursts.end(),
+            [](const Burst& a, const Burst& b) { return a.start < b.start; });
+
+  SignalSynthesizer synth(params_.signal, rng_.Fork());
+  SiftDetector detector(params_.sift);
+  const auto detected = detector.Detect(synth.Synthesize(bursts, window));
+
+  observation_[idx].airtime = BusyAirtimeFraction(detected, 0.0, window);
+
+  // B_c: beacon-pattern matches per beacon interval.  A beacon+CTS pair
+  // matches like a data exchange whose first burst has beacon length.
+  int beacon_matches = 0;
+  PatternMatcher matcher(params_.matcher);
+  for (const ExchangeMatch& match : matcher.MatchAll(detected)) {
+    const PhyTiming timing = PhyTiming::ForWidth(match.width);
+    const Us beacon = timing.BeaconDuration();
+    if (std::abs(match.data_duration - beacon) <= 0.25 * beacon) {
+      ++beacon_matches;
+    }
+  }
+  const double intervals = ToUs(params_.dwell) / ToUs(params_.beacon_interval);
+  observation_[idx].ap_count = static_cast<int>(
+      std::lround(static_cast<double>(beacon_matches) / intervals));
+
+  const bool mic = world.MicAudible(cursor_, device_.NodeId());
+  observation_[idx].incumbent =
+      device_.config().tv_map.Occupied(cursor_) || mic;
+  device_.NoteMicObservation(cursor_, mic);
+
+  cursor_ = (cursor_ + 1) % kNumUhfChannels;
+  if (cursor_ == 0) ++sweeps_;
+  BeginDwell();
+}
+
+}  // namespace whitefi

@@ -1,0 +1,78 @@
+// Signal-level scanner: the faithful KNOWS measurement path inside the
+// simulator.
+//
+// The regular `Scanner` reads the medium's airtime books directly — fast,
+// but an abstraction.  This scanner does what the hardware does: during
+// each dwell it reconstructs the raw amplitude trace of the transmissions
+// that actually crossed the dwelt UHF channel, synthesizes USRP-style
+// samples, and runs the real SIFT pipeline over them — edge detection,
+// Data->SIFS->ACK matching, airtime estimation — plus a faithful B_c
+// estimator: counting beacon-pattern matches against the 100 ms beacon
+// interval.  It exists to validate the fast scanner (see
+// signal_scanner_test.cc: both produce the same observations) and to let
+// experiments run end-to-end through the signal domain when desired.
+#pragma once
+
+#include <vector>
+
+#include "phy/signal.h"
+#include "sift/airtime.h"
+#include "sift/detector.h"
+#include "sift/matcher.h"
+#include "sim/node.h"
+
+namespace whitefi {
+
+/// Configuration of the signal-level scanner.
+struct SignalScannerParams {
+  SimTime dwell = 250 * kTicksPerMs;
+  SiftParams sift;
+  SignalParams signal;
+  MatcherParams matcher;
+  /// Beacon interval assumed when estimating the number of APs from the
+  /// rate of beacon-pattern matches.
+  SimTime beacon_interval = 100 * kTicksPerMs;
+};
+
+/// The secondary radio, measured through the signal domain.
+class SignalLevelScanner {
+ public:
+  SignalLevelScanner(Device& device, const SignalScannerParams& params);
+
+  /// Starts the round-robin band sweep.
+  void StartSweep();
+
+  /// Latest per-channel observations.
+  const BandObservation& Observation() const { return observation_; }
+
+  /// Completed full sweeps.
+  int SweepsCompleted() const { return sweeps_; }
+
+ private:
+  struct Heard {
+    Us start;        ///< Relative to dwell start.
+    Us duration;
+    bool own_ssid;   ///< Our own network's transmission (filtered out).
+    bool ramp;       ///< 5 MHz ramp artifact applies.
+    int frame_bytes;
+    ChannelWidth width;
+    FrameType type;
+  };
+
+  void BeginDwell();
+  void EndDwell();
+  void OnTap(const Channel& channel, const Frame& frame, const RadioPort& tx);
+
+  Device& device_;
+  SignalScannerParams params_;
+  Rng rng_;
+  BandObservation observation_;
+  UhfIndex cursor_ = 0;
+  int sweeps_ = 0;
+  bool sweeping_ = false;
+  bool dwelling_ = false;
+  SimTime dwell_started_ = 0;
+  std::vector<Heard> heard_;
+};
+
+}  // namespace whitefi

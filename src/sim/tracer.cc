@@ -1,0 +1,66 @@
+#include "sim/tracer.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "sim/world.h"
+#include "util/report.h"
+
+namespace whitefi {
+
+namespace {
+constexpr int kNumFrameTypes = 7;
+}  // namespace
+
+Tracer::Tracer(World& world, const TracerOptions& options)
+    : world_(world),
+      options_(options),
+      counts_(static_cast<std::size_t>(kNumFrameTypes), 0) {
+  world_.medium().AddFrameTap(
+      [this](const Channel& channel, const Frame& frame, const RadioPort& tx) {
+        OnFrame(channel, frame, tx);
+      });
+}
+
+void Tracer::OnFrame(const Channel& channel, const Frame& frame,
+                     const RadioPort& tx) {
+  const auto type_index = static_cast<std::size_t>(frame.type);
+  if (type_index < counts_.size()) ++counts_[type_index];
+  if (!options_.only.empty() &&
+      std::find(options_.only.begin(), options_.only.end(), frame.type) ==
+          options_.only.end()) {
+    return;
+  }
+  std::ostringstream os;
+  os << "t=" << FormatDouble(ToSeconds(world_.sim().Now()), 6) << "  node "
+     << tx.NodeId() << "  " << frame.ToString() << "  on "
+     << channel.ToString();
+  if (options_.live != nullptr) *options_.live << os.str() << "\n";
+  if (records_.size() < options_.max_records) {
+    records_.push_back(TraceRecord{world_.sim().Now(), os.str()});
+  }
+}
+
+void Tracer::Note(const std::string& text) {
+  std::ostringstream os;
+  os << "t=" << FormatDouble(ToSeconds(world_.sim().Now()), 6) << "  * "
+     << text;
+  if (options_.live != nullptr) *options_.live << os.str() << "\n";
+  if (records_.size() < options_.max_records) {
+    records_.push_back(TraceRecord{world_.sim().Now(), os.str()});
+  }
+}
+
+std::size_t Tracer::CountOf(FrameType type) const {
+  const auto index = static_cast<std::size_t>(type);
+  return index < counts_.size() ? counts_[index] : 0;
+}
+
+std::string Tracer::ToString() const {
+  std::ostringstream os;
+  for (const TraceRecord& record : records_) os << record.line << "\n";
+  return os.str();
+}
+
+}  // namespace whitefi

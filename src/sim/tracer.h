@@ -1,0 +1,66 @@
+// Frame tracer: a tcpdump for the simulated medium.
+//
+// Attaches to the medium's frame tap and records (or prints) one line per
+// completed transmission — time, transmitter, destination, type, size and
+// channel — plus protocol milestones (channel switches, disconnections)
+// that callers append explicitly.  Drives debugging and the `--trace`
+// mode of the scenario CLI.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/medium.h"
+
+namespace whitefi {
+
+class World;
+
+/// One trace record.
+struct TraceRecord {
+  SimTime at = 0;
+  std::string line;
+};
+
+/// Options controlling what is captured.
+struct TracerOptions {
+  /// Frame types to capture; empty = all.
+  std::vector<FrameType> only;
+  /// Also stream each line to this stream as it happens (nullptr = none).
+  std::ostream* live = nullptr;
+  /// Stop recording beyond this many records (live streaming continues).
+  std::size_t max_records = 100000;
+};
+
+/// Medium-attached frame tracer.
+class Tracer {
+ public:
+  /// Attaches to the world's medium.  The tracer must outlive the world's
+  /// remaining transmissions (typically: same scope as the World).
+  Tracer(World& world, const TracerOptions& options = {});
+
+  /// Appends a protocol milestone (e.g. "AP switched to (ch34, 10MHz)").
+  void Note(const std::string& text);
+
+  /// Records captured so far.
+  const std::vector<TraceRecord>& Records() const { return records_; }
+
+  /// Number of frames seen per type (including ones beyond max_records).
+  std::size_t CountOf(FrameType type) const;
+
+  /// Renders all records, one line each.
+  std::string ToString() const;
+
+ private:
+  void OnFrame(const Channel& channel, const Frame& frame,
+               const RadioPort& tx);
+
+  World& world_;
+  TracerOptions options_;
+  std::vector<TraceRecord> records_;
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace whitefi

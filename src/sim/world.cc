@@ -1,0 +1,112 @@
+#include "sim/world.h"
+
+#include <algorithm>
+
+namespace whitefi {
+
+World::World(const WorldConfig& config)
+    : config_(config), rng_(config.seed), medium_(sim_, config.medium) {}
+
+World::~World() = default;
+
+Device* World::FindDevice(int id) {
+  for (const auto& device : devices_) {
+    if (device->NodeId() == id) return device.get();
+  }
+  return nullptr;
+}
+
+std::vector<int> World::NodesInSsid(int ssid) const {
+  std::vector<int> ids;
+  for (const auto& device : devices_) {
+    if (device->ssid() == ssid) ids.push_back(device->NodeId());
+  }
+  return ids;
+}
+
+void World::StartAll() {
+  for (const auto& device : devices_) device->Start();
+}
+
+void World::SetMicSchedule(std::vector<MicActivation> mics) {
+  for (const MicActivation& mic : mics) AddMic(mic);
+}
+
+void World::AddMic(const MicActivation& mic, std::vector<int> audible_to) {
+  WorldMic entry{mic, std::move(audible_to), ToTicks(mic.on_time),
+                 ToTicks(mic.off_time)};
+  mics_.push_back(entry);
+  // Copy by value: mics_ may reallocate before the events fire.
+  sim_.Schedule(entry.on_ticks,
+                [this, entry] { ApplyMicTransition(entry, true); });
+  sim_.Schedule(entry.off_ticks,
+                [this, entry] { ApplyMicTransition(entry, false); });
+}
+
+void World::ApplyMicTransition(const WorldMic& mic, bool on) {
+  if (!on) return;
+  // Fast sensing path: nodes whose operating channel covers the mic (and
+  // who can hear it) detect it after the configured latency.  Audibility
+  // is re-checked at fire time, not here: the mic is active from this
+  // instant by construction.
+  for (const auto& device : devices_) {
+    if (!device->TunedChannel().Contains(mic.mic.channel)) continue;
+    Device* dev = device.get();
+    if (!mic.audible_to.empty() &&
+        std::find(mic.audible_to.begin(), mic.audible_to.end(),
+                  dev->NodeId()) == mic.audible_to.end()) {
+      continue;
+    }
+    const UhfIndex channel = mic.mic.channel;
+    sim_.ScheduleAfter(config_.incumbent_detect_latency, [this, dev, channel] {
+      if (MicAudible(channel, dev->NodeId()) &&
+          dev->TunedChannel().Contains(channel)) {
+        dev->OnIncumbentDetected(channel);
+      }
+    });
+  }
+}
+
+bool World::MicActiveNow(UhfIndex c) const {
+  const SimTime now = sim_.Now();
+  for (const WorldMic& m : mics_) {
+    if (m.mic.channel == c && m.ActiveAtTick(now)) return true;
+  }
+  return false;
+}
+
+bool World::MicAudible(UhfIndex c, int node_id) const {
+  const SimTime now = sim_.Now();
+  for (const WorldMic& m : mics_) {
+    if (m.mic.channel != c || !m.ActiveAtTick(now)) continue;
+    if (m.audible_to.empty()) return true;
+    if (std::find(m.audible_to.begin(), m.audible_to.end(), node_id) !=
+        m.audible_to.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void World::RecordAppBytes(int dst, int bytes) {
+  if (bytes > 0) app_bytes_[dst] += static_cast<std::uint64_t>(bytes);
+}
+
+void World::ResetAppBytes() { app_bytes_.clear(); }
+
+std::uint64_t World::AppBytes(int dst) const {
+  const auto it = app_bytes_.find(dst);
+  return it == app_bytes_.end() ? 0 : it->second;
+}
+
+std::uint64_t World::AppBytesInSsid(int ssid) const {
+  std::uint64_t total = 0;
+  for (int id : NodesInSsid(ssid)) total += AppBytes(id);
+  return total;
+}
+
+void World::RunFor(double seconds) {
+  sim_.Run(sim_.Now() + static_cast<SimTime>(seconds * kTicksPerSec));
+}
+
+}  // namespace whitefi

@@ -1,0 +1,127 @@
+// World: one simulation scenario.
+//
+// Owns the simulator, the medium, the devices, the microphone schedule and
+// the application-level delivery counters that benches read as throughput.
+#pragma once
+
+#include <array>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/events.h"
+#include "sim/medium.h"
+#include "sim/node.h"
+#include "spectrum/incumbents.h"
+#include "util/rng.h"
+
+namespace whitefi {
+
+/// Scenario-wide configuration.
+struct WorldConfig {
+  std::uint64_t seed = 1;
+  MediumParams medium;
+  /// Latency between a mic switching on within a node's operating channel
+  /// and the node's scanner flagging it (fast sensing path).
+  SimTime incumbent_detect_latency = 100 * kTicksPerMs;
+};
+
+/// One simulation scenario.
+class World {
+ public:
+  explicit World(const WorldConfig& config = {});
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  Simulator& sim() { return sim_; }
+  Medium& medium() { return medium_; }
+  const WorldConfig& config() const { return config_; }
+
+  /// Independent RNG stream for a component.
+  Rng NewRng() { return rng_.Fork(); }
+
+  /// Constructs and owns a device of type T (Device-derived); T's
+  /// constructor must be (World&, int id, args...).
+  template <typename T, typename... Args>
+  T& Create(Args&&... args) {
+    auto device = std::make_unique<T>(*this, next_id_++,
+                                      std::forward<Args>(args)...);
+    T& ref = *device;
+    devices_.push_back(std::move(device));
+    return ref;
+  }
+
+  /// All devices.
+  const std::vector<std::unique_ptr<Device>>& devices() const {
+    return devices_;
+  }
+
+  /// Device by node id; nullptr if unknown.
+  Device* FindDevice(int id);
+
+  /// Node ids in the given SSID.
+  std::vector<int> NodesInSsid(int ssid) const;
+
+  /// Calls Start() on every device (construction order).
+  void StartAll();
+
+  /// Installs the mic schedule: each activation flips occupancy at its
+  /// on/off times and triggers fast-path incumbent detection at devices
+  /// whose operating channel covers the mic channel.
+  void SetMicSchedule(std::vector<MicActivation> mics);
+
+  /// Adds one mic audible only to the given node ids (empty = everyone).
+  /// A mic with limited audibility models spatial variation: e.g. a mic
+  /// next to one client that the AP cannot sense.
+  void AddMic(const MicActivation& mic, std::vector<int> audible_to = {});
+
+  /// True iff a scheduled mic is transmitting on `c` right now (regardless
+  /// of who can hear it).
+  bool MicActiveNow(UhfIndex c) const;
+
+  /// True iff node `node_id` can currently sense a mic on channel `c`.
+  bool MicAudible(UhfIndex c, int node_id) const;
+
+  // -- Application throughput accounting ----------------------------------
+
+  /// Records application payload delivery to node `dst`.
+  void RecordAppBytes(int dst, int bytes);
+
+  /// Clears all delivery counters (e.g. after warm-up).
+  void ResetAppBytes();
+
+  /// Payload bytes delivered to `dst` since the last reset.
+  std::uint64_t AppBytes(int dst) const;
+
+  /// Sum of payload bytes delivered to every node in `ssid`.
+  std::uint64_t AppBytesInSsid(int ssid) const;
+
+  /// Convenience: runs the simulation for `seconds`.
+  void RunFor(double seconds);
+
+ private:
+  struct WorldMic {
+    MicActivation mic;
+    std::vector<int> audible_to;  ///< Empty = audible to every node.
+    // Tick-resolution activity window (avoids double/tick boundary skew).
+    SimTime on_ticks = 0;
+    SimTime off_ticks = 0;
+
+    bool ActiveAtTick(SimTime t) const { return t >= on_ticks && t < off_ticks; }
+  };
+
+  void ApplyMicTransition(const WorldMic& mic, bool on);
+
+  WorldConfig config_;
+  Rng rng_;
+  Simulator sim_;
+  Medium medium_;
+  int next_id_ = 1;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<WorldMic> mics_;
+  std::map<int, std::uint64_t> app_bytes_;
+};
+
+}  // namespace whitefi

@@ -1,0 +1,39 @@
+#include "spectrum/campus.h"
+
+namespace whitefi {
+
+SpectrumMap CampusSimulationMap() {
+  // 17 free channels; widest contiguous run is 6 channels (36 MHz):
+  //   21-26 (6), 28-31 (4), 33-35 (3), 39-40 (2), 44 (1), 48 (1).
+  return SpectrumMap::FromFreeTvChannels(
+      {21, 22, 23, 24, 25, 26, 28, 29, 30, 31, 33, 34, 35, 39, 40, 44, 48});
+}
+
+SpectrumMap Building5Map() {
+  return SpectrumMap::FromFreeTvChannels({26, 27, 28, 29, 30, 33, 34, 35, 39, 48});
+}
+
+std::vector<SpectrumMap> GenerateBuildingMaps(const SpectrumMap& base,
+                                              const CampusVariationParams& params,
+                                              Rng& rng) {
+  std::vector<SpectrumMap> maps;
+  maps.reserve(static_cast<std::size_t>(params.num_buildings));
+  for (int b = 0; b < params.num_buildings; ++b) {
+    maps.push_back(base.RandomlyFlipped(params.flip_probability, rng));
+  }
+  return maps;
+}
+
+std::vector<double> PairwiseHammingDistances(
+    const std::vector<SpectrumMap>& maps) {
+  std::vector<double> distances;
+  for (std::size_t i = 0; i < maps.size(); ++i) {
+    for (std::size_t j = i + 1; j < maps.size(); ++j) {
+      distances.push_back(
+          static_cast<double>(SpectrumMap::HammingDistance(maps[i], maps[j])));
+    }
+  }
+  return distances;
+}
+
+}  // namespace whitefi

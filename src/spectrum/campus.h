@@ -1,0 +1,47 @@
+// The paper's measured campus environment (Sections 2.1 and 5.4).
+//
+// Two fixed maps from the paper are reproduced exactly:
+//  * `CampusSimulationMap()` — the map used for the large-scale QualNet
+//    simulations: "17 free UHF channels, and the widest contiguous white
+//    space is 36 MHz".
+//  * `Building5Map()` — the prototype testbed map: "free UHF channels:
+//    26 to 30, 33 to 35, 39 and 48".
+//
+// The 9-building spatial-variation measurement (Figure 1 / Section 2.1) is
+// modeled as per-building perturbations of a base map, calibrated so that
+// the median pairwise Hamming distance is close to the paper's ~7.
+#pragma once
+
+#include <vector>
+
+#include "spectrum/spectrum_map.h"
+#include "util/rng.h"
+
+namespace whitefi {
+
+/// The 17-free-channel campus map used in the paper's simulations
+/// (widest contiguous fragment = 6 channels = 36 MHz).
+SpectrumMap CampusSimulationMap();
+
+/// The Building-5 prototype map (free TV channels 26-30, 33-35, 39, 48).
+SpectrumMap Building5Map();
+
+/// Parameters of the 9-building spatial-variation model.
+struct CampusVariationParams {
+  int num_buildings = 9;
+  /// Probability that a building's observation of one channel differs from
+  /// the campus base map (obstructions, construction material, local mics).
+  /// Calibrated so that median pairwise Hamming distance is ~7: for two
+  /// independent buildings, E[Hamming] = 30 * 2p(1-p).
+  double flip_probability = 0.14;
+};
+
+/// Generates per-building spectrum maps around `base`.
+std::vector<SpectrumMap> GenerateBuildingMaps(const SpectrumMap& base,
+                                              const CampusVariationParams& params,
+                                              Rng& rng);
+
+/// All pairwise Hamming distances among `maps` (n*(n-1)/2 values).
+std::vector<double> PairwiseHammingDistances(const std::vector<SpectrumMap>& maps);
+
+}  // namespace whitefi

@@ -1,0 +1,78 @@
+#include "spectrum/incumbents.h"
+
+#include <stdexcept>
+
+namespace whitefi {
+
+std::vector<MicActivation> GenerateMicSchedule(const SpectrumMap& tv_map,
+                                               const MicScheduleParams& params,
+                                               Rng& rng) {
+  std::vector<MicActivation> mics;
+  const double rate_per_us =
+      params.activations_per_hour_per_channel / (3600.0 * kSecond);
+  for (UhfIndex c = 0; c < kNumUhfChannels; ++c) {
+    if (tv_map.Occupied(c)) continue;
+    Us t = 0.0;
+    while (true) {
+      t += rng.Exponential(1.0 / rate_per_us);
+      if (t >= params.horizon) break;
+      MicActivation mic;
+      mic.channel = c;
+      mic.on_time = t;
+      mic.off_time = t + rng.Exponential(params.mean_duration);
+      mics.push_back(mic);
+      t = mic.off_time;
+    }
+  }
+  return mics;
+}
+
+IncumbentField::IncumbentField(SpectrumMap tv_map,
+                               std::vector<MicActivation> mics)
+    : tv_map_(tv_map), mics_(std::move(mics)) {
+  for (const MicActivation& mic : mics_) {
+    if (!IsValidUhfIndex(mic.channel)) {
+      throw std::out_of_range("mic channel out of range");
+    }
+    if (mic.off_time <= mic.on_time) {
+      throw std::invalid_argument("mic off_time must exceed on_time");
+    }
+  }
+}
+
+void IncumbentField::AddMic(const MicActivation& mic) {
+  if (mic.off_time <= mic.on_time) {
+    throw std::invalid_argument("mic off_time must exceed on_time");
+  }
+  mics_.push_back(mic);
+}
+
+SpectrumMap IncumbentField::OccupancyAt(Us t) const {
+  SpectrumMap map = tv_map_;
+  for (const MicActivation& mic : mics_) {
+    if (mic.ActiveAt(t)) map.SetOccupied(mic.channel);
+  }
+  return map;
+}
+
+bool IncumbentField::OccupiedAt(UhfIndex c, Us t) const {
+  if (tv_map_.Occupied(c)) return true;
+  for (const MicActivation& mic : mics_) {
+    if (mic.channel == c && mic.ActiveAt(t)) return true;
+  }
+  return false;
+}
+
+Us IncumbentField::NextTransitionAfter(Us t) const {
+  Us next = -1.0;
+  auto consider = [&](Us candidate) {
+    if (candidate > t && (next < 0.0 || candidate < next)) next = candidate;
+  };
+  for (const MicActivation& mic : mics_) {
+    consider(mic.on_time);
+    consider(mic.off_time);
+  }
+  return next;
+}
+
+}  // namespace whitefi

@@ -1,0 +1,52 @@
+#include "spectrum/locales.h"
+
+#include <stdexcept>
+
+namespace whitefi {
+
+std::string LocaleClassName(LocaleClass locale) {
+  switch (locale) {
+    case LocaleClass::kUrban: return "urban";
+    case LocaleClass::kSuburban: return "suburban";
+    case LocaleClass::kRural: return "rural";
+  }
+  throw std::logic_error("bad locale class");
+}
+
+LocaleModel DefaultLocaleModel(LocaleClass locale) {
+  // Calibrated against the qualitative shape of Figure 2 (post-DTV):
+  //  * urban locales keep most channels occupied — small fragments only,
+  //    but at least one locale still exposes a 24 MHz (4-channel) fragment;
+  //  * suburban locales sit in between;
+  //  * rural locales are mostly empty — fragments up to ~16 channels.
+  switch (locale) {
+    case LocaleClass::kUrban: return {17, 23};
+    case LocaleClass::kSuburban: return {11, 17};
+    case LocaleClass::kRural: return {3, 10};
+  }
+  throw std::logic_error("bad locale class");
+}
+
+SpectrumMap GenerateLocaleMap(LocaleClass locale, Rng& rng) {
+  const LocaleModel model = DefaultLocaleModel(locale);
+  const int occupied = rng.UniformInt(model.min_occupied, model.max_occupied);
+  return SpectrumMap::RandomOccupied(occupied, rng);
+}
+
+std::vector<SpectrumMap> GenerateLocales(LocaleClass locale, int count,
+                                         Rng& rng) {
+  std::vector<SpectrumMap> maps;
+  maps.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) maps.push_back(GenerateLocaleMap(locale, rng));
+  return maps;
+}
+
+IntHistogram FragmentWidthHistogram(const std::vector<SpectrumMap>& locales) {
+  IntHistogram hist(kNumUhfChannels);
+  for (const SpectrumMap& map : locales) {
+    for (const Fragment& f : map.FreeFragments()) hist.Add(f.length);
+  }
+  return hist;
+}
+
+}  // namespace whitefi

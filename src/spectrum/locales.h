@@ -1,0 +1,54 @@
+// Locale spectrum generator: the TV Fool substitute.
+//
+// The paper estimated post-DTV spectrum fragmentation from the TV Fool
+// station database for three locale classes: urban (top-10 cities),
+// suburban (10 fast-growing suburbs), and rural (10 towns < 6000 people)
+// — Figure 2.  Without that proprietary dataset we use a parametric model:
+// each locale draws a number of occupied channels from a class-specific
+// range (denser classes occupy more channels) and places them at random.
+// The defaults are calibrated so the fragment histograms match Figure 2's
+// shape: all classes produce at least one 4-channel (24 MHz) fragment
+// across 10 locales, and rural locales reach fragments of ~16 channels.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "spectrum/spectrum_map.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+
+namespace whitefi {
+
+/// Population-density classes from the paper's Figure 2 methodology.
+enum class LocaleClass { kUrban = 0, kSuburban = 1, kRural = 2 };
+
+/// All locale classes.
+inline constexpr std::array<LocaleClass, 3> kAllLocaleClasses = {
+    LocaleClass::kUrban, LocaleClass::kSuburban, LocaleClass::kRural};
+
+/// Display name ("urban", ...).
+std::string LocaleClassName(LocaleClass locale);
+
+/// Occupied-channel range for a locale class.
+struct LocaleModel {
+  int min_occupied = 0;
+  int max_occupied = 0;
+};
+
+/// Default calibration (see file comment).
+LocaleModel DefaultLocaleModel(LocaleClass locale);
+
+/// Generates the spectrum map of one random locale of the given class.
+SpectrumMap GenerateLocaleMap(LocaleClass locale, Rng& rng);
+
+/// Generates `count` locale maps of the given class.
+std::vector<SpectrumMap> GenerateLocales(LocaleClass locale, int count,
+                                         Rng& rng);
+
+/// Histogram of contiguous free-fragment widths (in UHF channels) over a
+/// set of locale maps — the quantity plotted in Figure 2.
+IntHistogram FragmentWidthHistogram(const std::vector<SpectrumMap>& locales);
+
+}  // namespace whitefi

@@ -1,0 +1,152 @@
+#include "spectrum/spectrum_map.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace whitefi {
+
+namespace {
+void CheckIndex(UhfIndex i) {
+  if (!IsValidUhfIndex(i)) throw std::out_of_range("UHF index out of range");
+}
+}  // namespace
+
+SpectrumMap SpectrumMap::FromOccupiedIndices(
+    std::initializer_list<UhfIndex> occupied) {
+  SpectrumMap map;
+  for (UhfIndex i : occupied) map.SetOccupied(i);
+  return map;
+}
+
+SpectrumMap SpectrumMap::FromOccupiedTvChannels(
+    std::initializer_list<int> occupied) {
+  SpectrumMap map;
+  for (int tv : occupied) map.SetOccupied(IndexOfTvChannel(tv));
+  return map;
+}
+
+SpectrumMap SpectrumMap::FromFreeTvChannels(std::initializer_list<int> free) {
+  SpectrumMap map;
+  for (UhfIndex i = 0; i < kNumUhfChannels; ++i) map.SetOccupied(i);
+  for (int tv : free) map.SetOccupied(IndexOfTvChannel(tv), false);
+  return map;
+}
+
+SpectrumMap SpectrumMap::RandomOccupied(int num_occupied, Rng& rng) {
+  if (num_occupied < 0 || num_occupied > kNumUhfChannels) {
+    throw std::invalid_argument("num_occupied out of range");
+  }
+  std::vector<UhfIndex> indices(kNumUhfChannels);
+  for (UhfIndex i = 0; i < kNumUhfChannels; ++i) indices[static_cast<std::size_t>(i)] = i;
+  rng.Shuffle(indices);
+  SpectrumMap map;
+  for (int k = 0; k < num_occupied; ++k) {
+    map.SetOccupied(indices[static_cast<std::size_t>(k)]);
+  }
+  return map;
+}
+
+bool SpectrumMap::Occupied(UhfIndex i) const {
+  CheckIndex(i);
+  return occupied_.test(static_cast<std::size_t>(i));
+}
+
+void SpectrumMap::SetOccupied(UhfIndex i, bool occupied) {
+  CheckIndex(i);
+  occupied_.set(static_cast<std::size_t>(i), occupied);
+}
+
+void SpectrumMap::Flip(UhfIndex i) {
+  CheckIndex(i);
+  occupied_.flip(static_cast<std::size_t>(i));
+}
+
+int SpectrumMap::NumFree() const {
+  return kNumUhfChannels - static_cast<int>(occupied_.count());
+}
+
+SpectrumMap SpectrumMap::UnionWith(const SpectrumMap& other) const {
+  SpectrumMap out = *this;
+  out.occupied_ |= other.occupied_;
+  return out;
+}
+
+bool SpectrumMap::CanUse(const Channel& channel, bool respect_gap) const {
+  if (!channel.IsValid()) return false;
+  if (respect_gap && !channel.IsPhysicallyContiguous()) return false;
+  for (UhfIndex i = channel.Low(); i <= channel.High(); ++i) {
+    if (Occupied(i)) return false;
+  }
+  return true;
+}
+
+std::vector<Fragment> SpectrumMap::FreeFragments(bool respect_gap) const {
+  std::vector<Fragment> fragments;
+  int run_start = -1;
+  auto close_run = [&](UhfIndex end_exclusive) {
+    if (run_start >= 0) {
+      fragments.push_back(Fragment{run_start, end_exclusive - run_start});
+      run_start = -1;
+    }
+  };
+  for (UhfIndex i = 0; i < kNumUhfChannels; ++i) {
+    const bool splits_here =
+        respect_gap && i > 0 && !FrequencyContiguous(i - 1, i);
+    if (splits_here) close_run(i);
+    if (Free(i)) {
+      if (run_start < 0) run_start = i;
+    } else {
+      close_run(i);
+    }
+  }
+  close_run(kNumUhfChannels);
+  return fragments;
+}
+
+int SpectrumMap::WidestFragment(bool respect_gap) const {
+  int widest = 0;
+  for (const Fragment& f : FreeFragments(respect_gap)) {
+    widest = std::max(widest, f.length);
+  }
+  return widest;
+}
+
+std::vector<Channel> SpectrumMap::UsableChannels(
+    const ChannelEnumerationOptions& options) const {
+  std::vector<Channel> out;
+  for (const Channel& c : AllChannels(options)) {
+    if (CanUse(c, options.respect_channel37_gap)) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<UhfIndex> SpectrumMap::FreeIndices() const {
+  std::vector<UhfIndex> out;
+  for (UhfIndex i = 0; i < kNumUhfChannels; ++i) {
+    if (Free(i)) out.push_back(i);
+  }
+  return out;
+}
+
+int SpectrumMap::HammingDistance(const SpectrumMap& a, const SpectrumMap& b) {
+  return static_cast<int>((a.occupied_ ^ b.occupied_).count());
+}
+
+SpectrumMap SpectrumMap::RandomlyFlipped(double p, Rng& rng) const {
+  SpectrumMap out = *this;
+  for (UhfIndex i = 0; i < kNumUhfChannels; ++i) {
+    if (rng.Bernoulli(p)) out.Flip(i);
+  }
+  return out;
+}
+
+std::string SpectrumMap::ToString() const {
+  std::string s;
+  s.reserve(kNumUhfChannels);
+  for (UhfIndex i = 0; i < kNumUhfChannels; ++i) {
+    s.push_back(Occupied(i) ? 'X' : '.');
+  }
+  return s;
+}
+
+}  // namespace whitefi

@@ -1,0 +1,105 @@
+// The spectrum map: which UHF channels are occupied by incumbents.
+//
+// Every WhiteFi node (AP and client) maintains a spectrum map — the bit
+// vector {u_0, ..., u_29} of the paper, where u_i = 1 iff UHF channel i is
+// in use by an incumbent (TV broadcast or wireless microphone) as observed
+// at that node.
+#pragma once
+
+#include <bitset>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "spectrum/channel.h"
+#include "util/rng.h"
+
+namespace whitefi {
+
+/// A contiguous run of incumbent-free UHF channels.
+struct Fragment {
+  UhfIndex start = 0;  ///< First free UHF index in the run.
+  int length = 0;      ///< Number of free UHF channels in the run.
+
+  friend bool operator==(const Fragment&, const Fragment&) = default;
+
+  /// Width of the fragment in MHz (length * 6 MHz).
+  MHz WidthMHz() const { return length * kUhfChannelWidthMHz; }
+};
+
+/// Per-node incumbent occupancy over the 30 UHF channels.
+class SpectrumMap {
+ public:
+  /// All channels free.
+  SpectrumMap() = default;
+
+  /// Marks the given dense indices occupied.
+  static SpectrumMap FromOccupiedIndices(std::initializer_list<UhfIndex> occupied);
+
+  /// Marks the given *TV channel numbers* (21..51, not 37) occupied.
+  static SpectrumMap FromOccupiedTvChannels(std::initializer_list<int> occupied);
+
+  /// Marks the given *TV channel numbers* free and everything else occupied.
+  static SpectrumMap FromFreeTvChannels(std::initializer_list<int> free);
+
+  /// A map with exactly `num_occupied` uniformly random occupied channels.
+  static SpectrumMap RandomOccupied(int num_occupied, Rng& rng);
+
+  /// True iff UHF channel `i` is occupied by an incumbent.
+  bool Occupied(UhfIndex i) const;
+
+  /// True iff UHF channel `i` is free.
+  bool Free(UhfIndex i) const { return !Occupied(i); }
+
+  /// Sets the occupancy of channel `i`.
+  void SetOccupied(UhfIndex i, bool occupied = true);
+
+  /// Flips the occupancy of channel `i`.
+  void Flip(UhfIndex i);
+
+  /// Number of free channels.
+  int NumFree() const;
+
+  /// Number of occupied channels.
+  int NumOccupied() const { return kNumUhfChannels - NumFree(); }
+
+  /// Union of incumbents: a channel is occupied in the result if occupied
+  /// in either input.  (The paper's "bitwise OR" of client and AP maps.)
+  SpectrumMap UnionWith(const SpectrumMap& other) const;
+
+  /// True iff every UHF channel spanned by `channel` is free.  When
+  /// `respect_gap` is set, the span must also be physically contiguous.
+  bool CanUse(const Channel& channel, bool respect_gap = false) const;
+
+  /// All maximal runs of free channels, in increasing start order.
+  /// When `respect_gap` is set, a run is split at the channel-37 gap.
+  std::vector<Fragment> FreeFragments(bool respect_gap = false) const;
+
+  /// Length (in UHF channels) of the widest free fragment; 0 if none free.
+  int WidestFragment(bool respect_gap = false) const;
+
+  /// All valid channels whose span is entirely free.
+  std::vector<Channel> UsableChannels(
+      const ChannelEnumerationOptions& options = {}) const;
+
+  /// Free UHF indices in increasing order.
+  std::vector<UhfIndex> FreeIndices() const;
+
+  /// Number of channels whose occupancy differs between the two maps
+  /// (the paper's spatial-variation statistic from Section 2.1).
+  static int HammingDistance(const SpectrumMap& a, const SpectrumMap& b);
+
+  /// Returns a copy where each channel's occupancy was flipped
+  /// independently with probability `p` (the Figure 12 spatial model).
+  SpectrumMap RandomlyFlipped(double p, Rng& rng) const;
+
+  /// String of '.' (free) and 'X' (occupied), lowest channel first.
+  std::string ToString() const;
+
+  friend bool operator==(const SpectrumMap&, const SpectrumMap&) = default;
+
+ private:
+  std::bitset<kNumUhfChannels> occupied_;
+};
+
+}  // namespace whitefi

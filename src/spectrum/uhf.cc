@@ -1,0 +1,55 @@
+#include "spectrum/uhf.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace whitefi {
+
+namespace {
+// Dense index of the last channel below the channel-37 gap (TV channel 36).
+constexpr UhfIndex kGapLowerIndex = 15;
+}  // namespace
+
+bool IsValidUhfIndex(UhfIndex index) {
+  return index >= 0 && index < kNumUhfChannels;
+}
+
+int TvChannelNumber(UhfIndex index) {
+  if (!IsValidUhfIndex(index)) {
+    throw std::out_of_range("UHF index out of range");
+  }
+  // Indices 0..15 map to TV channels 21..36; 16..29 map to 38..51.
+  return index <= kGapLowerIndex ? 21 + index : 38 + (index - 16);
+}
+
+UhfIndex IndexOfTvChannel(int tv_channel) {
+  if (tv_channel < 21 || tv_channel > 51 || tv_channel == 37) {
+    throw std::out_of_range("not a white-space TV channel");
+  }
+  return tv_channel <= 36 ? tv_channel - 21 : 16 + (tv_channel - 38);
+}
+
+MHz LowEdgeMHz(UhfIndex index) {
+  // TV channel n (21..51) occupies [512 + (n-21)*6, 512 + (n-20)*6) MHz.
+  const int tv = TvChannelNumber(index);
+  return 512.0 + (tv - 21) * kUhfChannelWidthMHz;
+}
+
+MHz CenterFrequencyMHz(UhfIndex index) {
+  return LowEdgeMHz(index) + kUhfChannelWidthMHz / 2.0;
+}
+
+bool FrequencyContiguous(UhfIndex lower, UhfIndex upper) {
+  if (!IsValidUhfIndex(lower) || !IsValidUhfIndex(upper)) return false;
+  if (upper != lower + 1) return false;
+  return lower != kGapLowerIndex;  // ch36 and ch38 are not contiguous.
+}
+
+std::string UhfChannelLabel(UhfIndex index) {
+  std::ostringstream os;
+  os << "ch" << TvChannelNumber(index) << "("
+     << static_cast<int>(CenterFrequencyMHz(index)) << "MHz)";
+  return os.str();
+}
+
+}  // namespace whitefi

@@ -1,0 +1,51 @@
+// The US UHF white-space band: TV channels 21..51 except channel 37.
+//
+// The FCC's November 2008 ruling opened these 30 six-MHz channels
+// (512-698 MHz, minus the 608-614 MHz radio-astronomy channel 37) to
+// unlicensed devices.  Throughout the library a UHF channel is referred to
+// by a dense index 0..29; helpers here convert to/from TV channel numbers
+// and center frequencies.
+#pragma once
+
+#include <string>
+
+#include "util/units.h"
+
+namespace whitefi {
+
+/// Number of UHF white-space channels available to portable devices in the
+/// US (TV channels 21..51 minus channel 37).
+inline constexpr int kNumUhfChannels = 30;
+
+/// Width of one UHF TV channel.
+inline constexpr MHz kUhfChannelWidthMHz = 6.0;
+
+/// Dense index of a UHF channel, 0..29.
+using UhfIndex = int;
+
+/// Returns true iff `index` is a valid dense UHF index.
+bool IsValidUhfIndex(UhfIndex index);
+
+/// Maps a dense index (0..29) to the US TV channel number (21..51, skipping
+/// 37).  Throws std::out_of_range on invalid input.
+int TvChannelNumber(UhfIndex index);
+
+/// Maps a TV channel number (21..51, not 37) to the dense index.
+/// Throws std::out_of_range on invalid input.
+UhfIndex IndexOfTvChannel(int tv_channel);
+
+/// Low edge frequency of the channel, e.g. TV channel 21 starts at 512 MHz.
+MHz LowEdgeMHz(UhfIndex index);
+
+/// Center frequency of the channel (low edge + 3 MHz).
+MHz CenterFrequencyMHz(UhfIndex index);
+
+/// True iff the two *adjacent dense indices* are also adjacent in frequency.
+/// The only break is between TV channels 36 and 38 (channel 37 sits between
+/// them), i.e. between dense indices 15 and 16.
+bool FrequencyContiguous(UhfIndex lower, UhfIndex upper);
+
+/// Human-readable label like "ch38(617MHz)".
+std::string UhfChannelLabel(UhfIndex index);
+
+}  // namespace whitefi

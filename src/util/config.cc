@@ -1,0 +1,154 @@
+#include "util/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace whitefi {
+namespace {
+
+std::string Trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+ConfigFile ConfigFile::Parse(std::istream& in) {
+  ConfigFile config;
+  std::string line;
+  std::string section;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip comments (full-line or trailing).
+    const auto hash = line.find_first_of("#;");
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed.front() == '[') {
+      if (trimmed.back() != ']') {
+        throw std::runtime_error("config line " + std::to_string(line_number) +
+                                 ": unterminated section header");
+      }
+      section = Trim(trimmed.substr(1, trimmed.size() - 2));
+      continue;
+    }
+    const auto eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("config line " + std::to_string(line_number) +
+                               ": expected key = value");
+    }
+    const std::string key = Trim(trimmed.substr(0, eq));
+    const std::string value = Trim(trimmed.substr(eq + 1));
+    if (key.empty()) {
+      throw std::runtime_error("config line " + std::to_string(line_number) +
+                               ": empty key");
+    }
+    config.values_[section.empty() ? key : section + "." + key] = value;
+  }
+  return config;
+}
+
+ConfigFile ConfigFile::ParseString(const std::string& text) {
+  std::istringstream in(text);
+  return Parse(in);
+}
+
+ConfigFile ConfigFile::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open config file: " + path);
+  return Parse(in);
+}
+
+bool ConfigFile::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string ConfigFile::Get(const std::string& key,
+                            const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long long ConfigFile::GetInt(const std::string& key, long long fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const long long value = std::stoll(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument(it->second);
+    return value;
+  } catch (const std::exception&) {
+    throw std::runtime_error("config key '" + key + "' is not an integer: " +
+                             it->second);
+  }
+}
+
+double ConfigFile::GetDouble(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument(it->second);
+    return value;
+  } catch (const std::exception&) {
+    throw std::runtime_error("config key '" + key + "' is not a number: " +
+                             it->second);
+  }
+}
+
+bool ConfigFile::GetBool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string v = Lower(it->second);
+  if (v == "true" || v == "yes" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "0") return false;
+  throw std::runtime_error("config key '" + key + "' is not a boolean: " +
+                           it->second);
+}
+
+std::vector<std::string> ConfigFile::GetList(const std::string& key) const {
+  std::vector<std::string> items;
+  const auto it = values_.find(key);
+  if (it == values_.end()) return items;
+  std::istringstream in(it->second);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    const std::string trimmed = Trim(item);
+    if (!trimmed.empty()) items.push_back(trimmed);
+  }
+  return items;
+}
+
+std::vector<long long> ConfigFile::GetIntList(const std::string& key) const {
+  std::vector<long long> values;
+  for (const std::string& item : GetList(key)) {
+    try {
+      values.push_back(std::stoll(item));
+    } catch (const std::exception&) {
+      throw std::runtime_error("config key '" + key +
+                               "' has a non-integer item: " + item);
+    }
+  }
+  return values;
+}
+
+std::vector<std::string> ConfigFile::Keys() const {
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : values_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace whitefi

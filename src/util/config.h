@@ -1,0 +1,63 @@
+// A small INI-style configuration reader.
+//
+// The paper's QualNet methodology has "every node read its initial
+// spectrum map from a configuration file"; this parser backs the same
+// workflow here — scenario files for the CLI tool and the bench harnesses.
+//
+// Format:
+//   # comment            (also ';')
+//   key = value
+//   [section]            (keys below become "section.key")
+//   list = a, b, c
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace whitefi {
+
+/// Parsed key/value configuration.
+class ConfigFile {
+ public:
+  /// Parses from a stream.  Throws std::runtime_error on malformed lines
+  /// (anything that is not blank, comment, section, or key = value).
+  static ConfigFile Parse(std::istream& in);
+
+  /// Parses from a string.
+  static ConfigFile ParseString(const std::string& text);
+
+  /// Loads and parses a file.  Throws std::runtime_error if unreadable.
+  static ConfigFile Load(const std::string& path);
+
+  /// True iff `key` is present.
+  bool Has(const std::string& key) const;
+
+  /// String value, or `fallback` when absent.
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const;
+
+  /// Integer value; throws std::runtime_error on non-numeric content.
+  long long GetInt(const std::string& key, long long fallback = 0) const;
+
+  /// Double value; throws on non-numeric content.
+  double GetDouble(const std::string& key, double fallback = 0.0) const;
+
+  /// Boolean: true/false/yes/no/1/0 (case-insensitive); throws otherwise.
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  /// Comma-separated list, items trimmed; empty when absent.
+  std::vector<std::string> GetList(const std::string& key) const;
+
+  /// Comma-separated integers.
+  std::vector<long long> GetIntList(const std::string& key) const;
+
+  /// All keys in insertion-independent (sorted) order.
+  std::vector<std::string> Keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace whitefi

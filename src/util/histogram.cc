@@ -1,0 +1,81 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace whitefi {
+
+IntHistogram::IntHistogram(int max_value) {
+  if (max_value < 0) throw std::invalid_argument("max_value must be >= 0");
+  bins_.assign(static_cast<std::size_t>(max_value) + 1, 0);
+}
+
+void IntHistogram::Add(int value) { AddN(value, 1); }
+
+void IntHistogram::AddN(int value, std::size_t count) {
+  const int clamped = std::clamp(value, 0, MaxValue());
+  bins_[static_cast<std::size_t>(clamped)] += count;
+  total_ += count;
+}
+
+std::size_t IntHistogram::CountOf(int value) const {
+  if (value < 0 || value > MaxValue()) return 0;
+  return bins_[static_cast<std::size_t>(value)];
+}
+
+double IntHistogram::Fraction(int value) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(CountOf(value)) / static_cast<double>(total_);
+}
+
+int IntHistogram::MaxObserved() const {
+  for (int v = MaxValue(); v >= 0; --v) {
+    if (bins_[static_cast<std::size_t>(v)] > 0) return v;
+  }
+  return -1;
+}
+
+void IntHistogram::Merge(const IntHistogram& other) {
+  if (other.bins_.size() != bins_.size()) {
+    throw std::invalid_argument("histogram ranges differ");
+  }
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  total_ += other.total_;
+}
+
+std::string IntHistogram::ToString(const std::string& value_label) const {
+  std::ostringstream os;
+  std::size_t max_count = 1;
+  for (std::size_t c : bins_) max_count = std::max(max_count, c);
+  for (int v = 0; v <= MaxValue(); ++v) {
+    const std::size_t c = CountOf(v);
+    if (c == 0) continue;
+    const auto bar = static_cast<std::size_t>(
+        40.0 * static_cast<double>(c) / static_cast<double>(max_count) + 0.5);
+    os << value_label << " " << v << " : " << std::string(bar, '#') << " "
+       << c << "\n";
+  }
+  return os.str();
+}
+
+DoubleHistogram::DoubleHistogram(double lo, double hi, std::size_t num_bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(num_bins)) {
+  if (num_bins == 0 || hi <= lo) {
+    throw std::invalid_argument("bad histogram parameters");
+  }
+  bins_.assign(num_bins, 0);
+}
+
+void DoubleHistogram::Add(double value) {
+  auto idx = static_cast<long>((value - lo_) / width_);
+  idx = std::clamp<long>(idx, 0, static_cast<long>(bins_.size()) - 1);
+  ++bins_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double DoubleHistogram::BinCenter(std::size_t i) const {
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+}  // namespace whitefi

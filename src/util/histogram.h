@@ -1,0 +1,78 @@
+// Histograms for fragment-width distributions (Figure 2) and
+// general-purpose bucketed measurements.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace whitefi {
+
+/// Histogram over small non-negative integers (e.g. contiguous fragment
+/// widths in UHF channels, 0..30).
+class IntHistogram {
+ public:
+  /// Creates a histogram covering values 0..max_value inclusive.
+  explicit IntHistogram(int max_value);
+
+  /// Adds one observation; values outside [0, max_value] are clamped.
+  void Add(int value);
+
+  /// Adds `count` observations of `value`.
+  void AddN(int value, std::size_t count);
+
+  /// Count in the bin for `value`.
+  std::size_t CountOf(int value) const;
+
+  /// Total number of observations.
+  std::size_t Total() const { return total_; }
+
+  /// Fraction of observations equal to `value`; 0 when empty.
+  double Fraction(int value) const;
+
+  /// Largest value with a non-zero count; -1 when empty.
+  int MaxObserved() const;
+
+  /// Inclusive upper bound of the value range.
+  int MaxValue() const { return static_cast<int>(bins_.size()) - 1; }
+
+  /// Merges another histogram (must have the same range).
+  void Merge(const IntHistogram& other);
+
+  /// Renders an ASCII bar chart, one row per non-empty bin.
+  std::string ToString(const std::string& value_label = "value") const;
+
+ private:
+  std::vector<std::size_t> bins_;
+  std::size_t total_ = 0;
+};
+
+/// Fixed-width histogram over doubles in [lo, hi).
+class DoubleHistogram {
+ public:
+  /// Creates `num_bins` equal-width bins over [lo, hi).
+  DoubleHistogram(double lo, double hi, std::size_t num_bins);
+
+  /// Adds one observation; out-of-range values go to the edge bins.
+  void Add(double value);
+
+  /// Count in bin `i`.
+  std::size_t CountOf(std::size_t i) const { return bins_[i]; }
+
+  /// Center of bin `i`.
+  double BinCenter(std::size_t i) const;
+
+  /// Number of bins.
+  std::size_t NumBins() const { return bins_.size(); }
+
+  /// Total observations.
+  std::size_t Total() const { return total_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> bins_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace whitefi

@@ -1,0 +1,51 @@
+// Minimal leveled logger.
+//
+// Logging is off by default (level Warn) so benchmark output stays clean;
+// examples raise the level to show protocol traces.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace whitefi {
+
+/// Log severity, ordered.
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum level.
+LogLevel GetLogLevel();
+
+/// Emits one line to stderr if `level` passes the global filter.
+void LogLine(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style one-shot log statement; emits on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogLine(level_, os_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace internal
+}  // namespace whitefi
+
+#define WHITEFI_LOG(level) ::whitefi::internal::LogStream(level)
+#define WHITEFI_LOG_INFO WHITEFI_LOG(::whitefi::LogLevel::kInfo)
+#define WHITEFI_LOG_DEBUG WHITEFI_LOG(::whitefi::LogLevel::kDebug)
+#define WHITEFI_LOG_WARN WHITEFI_LOG(::whitefi::LogLevel::kWarn)

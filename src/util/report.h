@@ -1,0 +1,46 @@
+// Table and CSV rendering for the benchmark harnesses.
+//
+// Every bench binary regenerating a paper table/figure prints its rows
+// through `Table` so output is aligned and diff-friendly, and can also emit
+// machine-readable CSV for external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace whitefi {
+
+/// An aligned plain-text table builder.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the row must have exactly as many cells as headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with padded columns, a header underline, and a trailing newline.
+  std::string ToString() const;
+
+  /// Renders as CSV (no padding).
+  std::string ToCsv() const;
+
+  /// Convenience: prints ToString() to the stream.
+  void Print(std::ostream& os) const;
+
+  /// Number of data rows.
+  std::size_t NumRows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits = 2);
+
+/// Formats a fraction in [0,1] as a percentage with one decimal.
+std::string FormatPercent(double fraction);
+
+}  // namespace whitefi

@@ -1,0 +1,63 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace whitefi {
+namespace {
+
+// SplitMix64: used to decorrelate fork seeds derived from a parent seed.
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : engine_(SplitMix64(seed)), seed_(seed) {}
+
+Rng Rng::Fork() {
+  ++fork_counter_;
+  return Rng(SplitMix64(seed_ ^ SplitMix64(fork_counter_ * 0xA24BAED4963EE407ULL)));
+}
+
+double Rng::Uniform01() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  return std::uniform_int_distribution<int>(lo, hi)(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::Rayleigh(double sigma) {
+  // Inverse-CDF sampling: F(x) = 1 - exp(-x^2 / (2 sigma^2)).
+  double u = Uniform01();
+  // Guard the log against u == 1 (cannot happen with [0,1) but be safe).
+  if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+  return sigma * std::sqrt(-2.0 * std::log(1.0 - u));
+}
+
+double Rng::Exponential(double mean) {
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+std::size_t Rng::Index(std::size_t size) {
+  return std::uniform_int_distribution<std::size_t>(0, size - 1)(engine_);
+}
+
+}  // namespace whitefi

@@ -1,0 +1,65 @@
+// Summary statistics used by the benchmark harnesses and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace whitefi {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations added so far.
+  std::size_t Count() const { return n_; }
+
+  /// Sample mean; 0 when empty.
+  double Mean() const { return n_ > 0 ? mean_ : 0.0; }
+
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double Variance() const;
+
+  /// Sample standard deviation.
+  double StdDev() const;
+
+  /// Minimum observation; +inf when empty.
+  double Min() const { return min_; }
+
+  /// Maximum observation; -inf when empty.
+  double Max() const { return max_; }
+
+  /// Sum of all observations.
+  double Sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_;
+  double max_;
+  double sum_ = 0.0;
+};
+
+/// Arithmetic mean of `v`; 0 when empty.
+double Mean(const std::vector<double>& v);
+
+/// Sample standard deviation of `v`; 0 with fewer than two elements.
+double StdDev(const std::vector<double>& v);
+
+/// Median (average of the two middle elements for even sizes); 0 when empty.
+double Median(std::vector<double> v);
+
+/// Linear-interpolated percentile, `p` in [0, 100]; 0 when empty.
+double Percentile(std::vector<double> v, double p);
+
+/// Half-width of a ~95% confidence interval for the mean (normal
+/// approximation, 1.96 standard errors); 0 with fewer than two elements.
+double ConfidenceInterval95(const std::vector<double>& v);
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2).  1 when all shares are
+/// equal, 1/n when one member takes everything; 0 for an empty input.
+double JainFairnessIndex(const std::vector<double>& v);
+
+}  // namespace whitefi

@@ -1,0 +1,49 @@
+// Units and conversions used throughout WhiteFi.
+//
+// Conventions:
+//   * Time is kept in double microseconds (`Us`) in the PHY/SIFT layers,
+//     and in integer microsecond ticks (`SimTime`, see sim/time.h) inside
+//     the discrete-event simulator.
+//   * Frequency is kept in double MHz.
+//   * Power is kept in dBm; amplitude is linear (arbitrary ADC-like units).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace whitefi {
+
+/// Time in microseconds.
+using Us = double;
+
+/// Frequency in MHz.
+using MHz = double;
+
+/// Power in dBm.
+using Dbm = double;
+
+/// One millisecond expressed in microseconds.
+inline constexpr Us kMillisecond = 1000.0;
+
+/// One second expressed in microseconds.
+inline constexpr Us kSecond = 1'000'000.0;
+
+/// Converts a power ratio expressed in dB to a linear power ratio.
+inline double DbToLinear(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Converts a linear power ratio to dB.
+inline double LinearToDb(double linear) { return 10.0 * std::log10(linear); }
+
+/// Converts an attenuation in dB to the multiplicative *amplitude* scale
+/// factor (amplitude scales with the square root of power).
+inline double AttenuationToAmplitudeScale(double attenuation_db) {
+  return std::pow(10.0, -attenuation_db / 20.0);
+}
+
+/// Converts dBm to milliwatts.
+inline double DbmToMilliwatt(Dbm dbm) { return std::pow(10.0, dbm / 10.0); }
+
+/// Converts milliwatts to dBm.
+inline Dbm MilliwattToDbm(double mw) { return 10.0 * std::log10(mw); }
+
+}  // namespace whitefi

@@ -1,0 +1,140 @@
+// Tests for the INI-style config parser and the scenario-file loader.
+#include <gtest/gtest.h>
+
+#include "scenario_file.h"
+#include "spectrum/campus.h"
+#include "util/config.h"
+
+namespace whitefi {
+namespace {
+
+TEST(ConfigFile, ParsesKeysSectionsAndComments) {
+  const auto config = ConfigFile::ParseString(R"(
+# a comment
+seed = 7         ; trailing comment
+name = hello world
+[map]
+name = campus
+widths = 5, 10, 20
+[flags]
+adaptive = true
+)");
+  EXPECT_TRUE(config.Has("seed"));
+  EXPECT_EQ(config.GetInt("seed"), 7);
+  EXPECT_EQ(config.Get("name"), "hello world");
+  EXPECT_EQ(config.Get("map.name"), "campus");
+  EXPECT_EQ(config.GetIntList("map.widths"),
+            (std::vector<long long>{5, 10, 20}));
+  EXPECT_TRUE(config.GetBool("flags.adaptive"));
+  EXPECT_FALSE(config.Has("missing"));
+  EXPECT_EQ(config.Get("missing", "dflt"), "dflt");
+  EXPECT_EQ(config.GetInt("missing", 42), 42);
+  EXPECT_EQ(config.Keys().size(), 5u);
+}
+
+TEST(ConfigFile, NumericAndBooleanValidation) {
+  const auto config = ConfigFile::ParseString(
+      "x = 12\ny = 3.5\nb = YES\nbad = twelve\nbadly = 3x\n");
+  EXPECT_EQ(config.GetInt("x"), 12);
+  EXPECT_DOUBLE_EQ(config.GetDouble("y"), 3.5);
+  EXPECT_DOUBLE_EQ(config.GetDouble("x"), 12.0);
+  EXPECT_TRUE(config.GetBool("b"));
+  EXPECT_THROW(config.GetInt("bad"), std::runtime_error);
+  EXPECT_THROW(config.GetInt("badly"), std::runtime_error);
+  EXPECT_THROW(config.GetDouble("bad"), std::runtime_error);
+  EXPECT_THROW(config.GetBool("x"), std::runtime_error);
+}
+
+TEST(ConfigFile, RejectsMalformedLines) {
+  EXPECT_THROW(ConfigFile::ParseString("just words\n"), std::runtime_error);
+  EXPECT_THROW(ConfigFile::ParseString("[unterminated\n"), std::runtime_error);
+  EXPECT_THROW(ConfigFile::ParseString("= value\n"), std::runtime_error);
+  EXPECT_THROW(ConfigFile::Load("/nonexistent/path.conf"),
+               std::runtime_error);
+}
+
+TEST(ConfigFile, ListEdgeCases) {
+  const auto config = ConfigFile::ParseString("a = 1,, 2 ,3\nempty =\n");
+  EXPECT_EQ(config.GetList("a"), (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_TRUE(config.GetList("empty").empty());
+  EXPECT_TRUE(config.GetList("absent").empty());
+  EXPECT_THROW(ConfigFile::ParseString("l = 1, x\n").GetIntList("l"),
+               std::runtime_error);
+}
+
+// --------------------------------------------------------- scenario file --
+
+TEST(ScenarioFile, LoadsFullScenario) {
+  const auto config = ConfigFile::ParseString(R"(
+seed = 9
+seconds = 12
+warmup = 2
+[map]
+name = building5
+extra_occupied = 48
+[network]
+clients = 3
+[background]
+pairs = 4
+ipd_ms = 25
+payload = 500
+[mic]
+tv_channel = 28
+on_s = 4
+off_s = 100
+)");
+  const auto scenario = bench::LoadScenario(config);
+  EXPECT_EQ(scenario.seed, 9u);
+  EXPECT_DOUBLE_EQ(scenario.measure_s, 12.0);
+  EXPECT_DOUBLE_EQ(scenario.warmup_s, 2.0);
+  EXPECT_EQ(scenario.num_clients, 3);
+  // Building5 has 10 free channels; we occupied 48 on top.
+  EXPECT_EQ(scenario.base_map.NumFree(), 9);
+  EXPECT_TRUE(scenario.base_map.Occupied(IndexOfTvChannel(48)));
+  ASSERT_EQ(scenario.background.size(), 4u);
+  for (const auto& spec : scenario.background) {
+    EXPECT_TRUE(scenario.base_map.Free(spec.channel));
+    EXPECT_EQ(spec.cbr_interval, 25 * kTicksPerMs);
+    EXPECT_EQ(spec.payload_bytes, 500);
+  }
+  ASSERT_EQ(scenario.mics.size(), 1u);
+  EXPECT_EQ(scenario.mics[0].channel, IndexOfTvChannel(28));
+  EXPECT_DOUBLE_EQ(scenario.mics[0].on_time, 4.0 * kSecond);
+  EXPECT_FALSE(scenario.static_channel.has_value());
+}
+
+TEST(ScenarioFile, StaticWidthSelection) {
+  const auto scenario = bench::LoadScenario(ConfigFile::ParseString(
+      "[map]\nname = building5\n[network]\nstatic_width = 20\n"));
+  ASSERT_TRUE(scenario.static_channel.has_value());
+  EXPECT_EQ(scenario.static_channel->width, ChannelWidth::kW20);
+  EXPECT_TRUE(Building5Map().CanUse(*scenario.static_channel));
+}
+
+TEST(ScenarioFile, Validation) {
+  EXPECT_THROW(
+      bench::LoadScenario(ConfigFile::ParseString("[map]\nname = mars\n")),
+      std::runtime_error);
+  // Building5 has no 30 MHz option; 20 exists, but a width with no fitting
+  // channel throws.
+  EXPECT_THROW(bench::LoadScenario(ConfigFile::ParseString(
+                   "[map]\nname = building5\nextra_occupied = "
+                   "26,27,28,29,30\n[network]\nstatic_width = 20\n")),
+               std::runtime_error);
+}
+
+TEST(ScenarioFile, LoadedScenarioRuns) {
+  const auto scenario = bench::LoadScenario(ConfigFile::ParseString(R"(
+seed = 5
+seconds = 4
+[map]
+name = building5
+[network]
+clients = 1
+)"));
+  const auto result = bench::RunScenario(scenario);
+  EXPECT_GT(result.per_client_mbps, 2.0);  // Clean 20 MHz channel.
+}
+
+}  // namespace
+}  // namespace whitefi

@@ -1,0 +1,295 @@
+// Tests for L-SIFT / J-SIFT / baseline AP discovery (paper 4.2.2).
+#include <gtest/gtest.h>
+
+#include "core/ap.h"
+#include "core/discovery.h"
+#include "core/sim_discovery.h"
+#include "util/stats.h"
+
+namespace whitefi {
+namespace {
+
+// Every algorithm must find the AP for every one of the 84 channels when
+// the whole band is free.
+class DiscoverEveryChannel : public ::testing::TestWithParam<Channel> {};
+
+TEST_P(DiscoverEveryChannel, AllThreeAlgorithmsFindTheAp) {
+  const Channel ap = GetParam();
+  const SpectrumMap map;  // All free.
+  AnalyticScanEnvironment env(ap);
+
+  const auto l = LSiftDiscover(env, map);
+  ASSERT_TRUE(l.found) << ap.ToString();
+  EXPECT_EQ(l.channel, ap);
+
+  const auto j = JSiftDiscover(env, map);
+  ASSERT_TRUE(j.found) << ap.ToString();
+  EXPECT_EQ(j.channel, ap);
+
+  const auto b = BaselineDiscover(env, map);
+  ASSERT_TRUE(b.found) << ap.ToString();
+  EXPECT_EQ(b.channel, ap);
+}
+
+INSTANTIATE_TEST_SUITE_P(All84, DiscoverEveryChannel,
+                         ::testing::ValuesIn(AllChannels()));
+
+TEST(Discovery, CostAccountingIsConsistent) {
+  const Channel ap{15, ChannelWidth::kW20};
+  AnalyticScanEnvironment env(ap);
+  const SpectrumMap map;
+  const DiscoveryParams params;
+  const auto l = LSiftDiscover(env, map, params);
+  EXPECT_DOUBLE_EQ(l.elapsed, l.sift_scans * params.sift_scan_time +
+                                  l.beacon_listens * params.beacon_listen_time);
+  EXPECT_EQ(l.beacon_listens, 0);  // L-SIFT knows the center directly.
+  const auto j = JSiftDiscover(env, map, params);
+  EXPECT_DOUBLE_EQ(j.elapsed, j.sift_scans * params.sift_scan_time +
+                                  j.beacon_listens * params.beacon_listen_time);
+  const auto b = BaselineDiscover(env, map, params);
+  EXPECT_EQ(b.sift_scans, 0);
+  EXPECT_GT(b.beacon_listens, 0);
+}
+
+TEST(Discovery, SingleFreeChannelAllAlgorithmsEqual) {
+  // Paper Figure 8: "when there is only one available UHF channel, the
+  // time taken by all the algorithms is the same".
+  SpectrumMap map;
+  for (UhfIndex c = 0; c < kNumUhfChannels; ++c) {
+    if (c != 13) map.SetOccupied(c);
+  }
+  const Channel ap{13, ChannelWidth::kW5};
+  AnalyticScanEnvironment env(ap);
+  const DiscoveryParams params;
+  const auto l = LSiftDiscover(env, map, params);
+  const auto j = JSiftDiscover(env, map, params);
+  const auto b = BaselineDiscover(env, map, params);
+  EXPECT_TRUE(l.found && j.found && b.found);
+  EXPECT_DOUBLE_EQ(l.elapsed, params.sift_scan_time);
+  EXPECT_DOUBLE_EQ(j.elapsed, params.sift_scan_time);
+  EXPECT_DOUBLE_EQ(b.elapsed, params.beacon_listen_time);
+}
+
+TEST(Discovery, ClientSkipsOccupiedChannels) {
+  // Channels outside the free fragment are never scanned.
+  SpectrumMap map;
+  for (UhfIndex c = 0; c < kNumUhfChannels; ++c) {
+    if (c < 10 || c > 19) map.SetOccupied(c);
+  }
+  const Channel ap{12, ChannelWidth::kW5};
+  AnalyticScanEnvironment env(ap);
+  const auto l = LSiftDiscover(env, map);
+  EXPECT_TRUE(l.found);
+  EXPECT_LE(l.sift_scans, 3);  // Channels 10, 11, 12.
+  const auto b = BaselineDiscover(env, map);
+  EXPECT_TRUE(b.found);
+  // Only candidates within the fragment are listened to.
+  EXPECT_LE(b.beacon_listens, 10 + 8 + 6);
+}
+
+double AverageScans(
+    const std::function<DiscoveryResult(ScanEnvironment&, const SpectrumMap&)>&
+        algo,
+    const SpectrumMap& map, ChannelWidth width) {
+  RunningStats stats;
+  for (const Channel& ap : map.UsableChannels()) {
+    if (ap.width != width) continue;
+    AnalyticScanEnvironment env(ap);
+    const auto result = algo(env, map);
+    EXPECT_TRUE(result.found);
+    stats.Add(result.sift_scans + result.beacon_listens);
+  }
+  return stats.Mean();
+}
+
+TEST(Discovery, LSiftAverageScansNearNcOverTwo) {
+  // Average over all 5 MHz AP placements in a fully-free band: expected
+  // scan count NC/2 (paper Section 4.2.2).
+  const SpectrumMap map;
+  const double avg = AverageScans(
+      [](ScanEnvironment& env, const SpectrumMap& m) {
+        return LSiftDiscover(env, m);
+      },
+      map, ChannelWidth::kW5);
+  EXPECT_NEAR(avg, ExpectedLSiftScans(kNumUhfChannels), 0.6);
+}
+
+TEST(Discovery, JSiftBeatsLSiftOnWideWhiteSpace) {
+  // Paper: J-SIFT outperforms L-SIFT for white spaces wider than ~10
+  // channels.  Compare average total cost over all AP placements/widths
+  // for the full 30-channel band.
+  const SpectrumMap map;
+  double l_total = 0.0, j_total = 0.0;
+  int n = 0;
+  for (const Channel& ap : map.UsableChannels()) {
+    AnalyticScanEnvironment env(ap);
+    l_total += LSiftDiscover(env, map).elapsed;
+    j_total += JSiftDiscover(env, map).elapsed;
+    ++n;
+  }
+  EXPECT_LT(j_total, l_total * 0.75);
+}
+
+TEST(Discovery, LSiftBeatsJSiftOnNarrowWhiteSpace) {
+  // ...and L-SIFT wins on narrow fragments (no endgame cost).
+  SpectrumMap map;
+  for (UhfIndex c = 0; c < kNumUhfChannels; ++c) {
+    if (c < 8 || c >= 12) map.SetOccupied(c);  // 4-channel fragment.
+  }
+  double l_total = 0.0, j_total = 0.0;
+  for (const Channel& ap : map.UsableChannels()) {
+    AnalyticScanEnvironment env(ap);
+    l_total += LSiftDiscover(env, map).elapsed;
+    j_total += JSiftDiscover(env, map).elapsed;
+  }
+  EXPECT_LE(l_total, j_total);
+}
+
+TEST(Discovery, BothBeatBaselineSubstantially) {
+  // Section 5.2 headline: J-SIFT improves discovery time by >75% over the
+  // non-SIFT baseline on wide white spaces.
+  const SpectrumMap map;
+  double j_total = 0.0, base_total = 0.0;
+  for (const Channel& ap : map.UsableChannels()) {
+    AnalyticScanEnvironment env(ap);
+    j_total += JSiftDiscover(env, map).elapsed;
+    base_total += BaselineDiscover(env, map).elapsed;
+  }
+  EXPECT_LT(j_total, 0.25 * base_total);
+}
+
+TEST(Discovery, ExpectedScanFormulas) {
+  EXPECT_DOUBLE_EQ(ExpectedLSiftScans(30), 15.0);
+  // (NC + 2^(NW-1) + (NW-1)/2) / NW with NC=30, NW=3: (30+4+1)/3.
+  EXPECT_DOUBLE_EQ(ExpectedJSiftScans(30, 3), 35.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ExpectedBaselineScans(30, 3), 45.0);
+  // Paper: "we expect J-SIFT to outperform L-SIFT when NC is greater than
+  // about 10 UHF channels".
+  EXPECT_GT(ExpectedJSiftScans(8, 3), ExpectedLSiftScans(8));
+  EXPECT_LT(ExpectedJSiftScans(12, 3), ExpectedLSiftScans(12));
+}
+
+TEST(Discovery, NotFoundWhenNoApPresent) {
+  // An AP on an occupied-at-client channel is undiscoverable; the
+  // algorithms terminate with found == false.
+  SpectrumMap map;
+  map.SetOccupied(4);
+  const Channel hidden_ap{4, ChannelWidth::kW5};
+  AnalyticScanEnvironment env(hidden_ap);
+  EXPECT_FALSE(LSiftDiscover(env, map).found);
+  EXPECT_FALSE(JSiftDiscover(env, map).found);
+  EXPECT_FALSE(BaselineDiscover(env, map).found);
+}
+
+TEST(Discovery, JSiftNeverScansAChannelTwicePerRound) {
+  // For an undiscoverable AP, one J-SIFT round's scans equal the number of
+  // free channels (each visited exactly once across all passes).
+  SpectrumMap map;
+  map.SetOccupied(4);
+  AnalyticScanEnvironment env(Channel{4, ChannelWidth::kW5});
+  DiscoveryParams one_round;
+  one_round.max_rounds = 1;
+  const auto j = JSiftDiscover(env, map, one_round);
+  EXPECT_EQ(j.sift_scans, map.NumFree());
+  // With retries enabled, a full pass repeats per round.
+  DiscoveryParams three_rounds;
+  three_rounds.max_rounds = 3;
+  EXPECT_EQ(JSiftDiscover(env, map, three_rounds).sift_scans,
+            3 * map.NumFree());
+}
+
+TEST(Discovery, RetriesRideOutSiftFalseNegatives) {
+  // A lossy scanner (40% per-scan miss rate) still finds the AP thanks to
+  // the retry rounds — the paper: "the discovery algorithm will continue
+  // to work as long as we can detect even a single packet".
+  Rng rng(77);
+  const SpectrumMap map;
+  int l_found = 0, j_found = 0;
+  const int trials = 60;
+  for (int i = 0; i < trials; ++i) {
+    AnalyticScanEnvironment env(Channel{12, ChannelWidth::kW20},
+                                /*miss_probability=*/0.4, &rng);
+    l_found += LSiftDiscover(env, map).found ? 1 : 0;
+    j_found += JSiftDiscover(env, map).found ? 1 : 0;
+  }
+  // A 20 MHz AP overlaps 5 scanned positions per L-SIFT round; missing
+  // all of them for 3 rounds is ~0.4^15.
+  EXPECT_EQ(l_found, trials);
+  EXPECT_GE(j_found, trials - 3);  // J-SIFT has fewer looks per round.
+}
+
+TEST(Discovery, MissedDetectionStillReportsCosts) {
+  SpectrumMap map;
+  map.SetOccupied(4);
+  AnalyticScanEnvironment env(Channel{4, ChannelWidth::kW5});
+  DiscoveryParams params;
+  params.max_rounds = 2;
+  const auto l = LSiftDiscover(env, map, params);
+  EXPECT_FALSE(l.found);
+  EXPECT_EQ(l.sift_scans, 2 * map.NumFree());
+  EXPECT_DOUBLE_EQ(l.elapsed, l.sift_scans * params.sift_scan_time);
+}
+
+// ----------------------------------------------------------------------
+// Discovery through the full simulator: a real beaconing AP, a real
+// searching radio, real tuning delays and contention.
+
+class SimulatedDiscovery : public ::testing::TestWithParam<Channel> {};
+
+TEST_P(SimulatedDiscovery, FindsRealBeaconingAp) {
+  const Channel ap_channel = GetParam();
+  const SpectrumMap map;  // All free.
+
+  World world;
+  DeviceConfig node;
+  node.ssid = 9;
+  ApParams ap_params;
+  ap_params.adaptive = false;
+  world.Create<ApNode>(node, ap_params, ap_channel, ap_channel);
+
+  DeviceConfig searcher_config;
+  searcher_config.ssid = 2;  // Not associated yet.
+  searcher_config.position = {200.0, 0.0};
+  searcher_config.initial_channel = Channel{0, ChannelWidth::kW5};
+  Device& searcher = world.Create<Device>(searcher_config);
+  world.StartAll();
+
+  SimulatedScanEnvironment env(world, searcher, /*target_ssid=*/9);
+  const auto result = JSiftDiscover(env, map);
+  ASSERT_TRUE(result.found) << ap_channel.ToString();
+  EXPECT_EQ(result.channel, ap_channel);
+  EXPECT_GT(env.TimeSpent(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sample, SimulatedDiscovery,
+    ::testing::Values(Channel{0, ChannelWidth::kW5},
+                      Channel{14, ChannelWidth::kW10},
+                      Channel{27, ChannelWidth::kW20},
+                      Channel{2, ChannelWidth::kW20},
+                      Channel{29, ChannelWidth::kW5}));
+
+TEST(SimulatedDiscovery, LSiftAlsoWorksAgainstTheSimulator) {
+  const Channel ap_channel{10, ChannelWidth::kW10};
+  World world;
+  DeviceConfig node;
+  node.ssid = 9;
+  ApParams ap_params;
+  ap_params.adaptive = false;
+  world.Create<ApNode>(node, ap_params, ap_channel, ap_channel);
+  DeviceConfig searcher_config;
+  searcher_config.ssid = 2;
+  searcher_config.position = {150.0, 0.0};
+  Device& searcher = world.Create<Device>(searcher_config);
+  world.StartAll();
+
+  SimulatedScanEnvironment env(world, searcher, 9);
+  const auto result = LSiftDiscover(env, SpectrumMap{});
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.channel, ap_channel);
+  // L-SIFT hits the AP's lowest spanned channel (9) after scanning 0..9.
+  EXPECT_EQ(result.sift_scans, 10);
+}
+
+}  // namespace
+}  // namespace whitefi

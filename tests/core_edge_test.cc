@@ -1,0 +1,251 @@
+// Edge cases of the WhiteFi protocol machines: backup-channel loss,
+// secondary backups, rescue of lost clients, client expiry, priority
+// queueing of control frames, and whole-band outages.
+#include <gtest/gtest.h>
+
+#include "core/ap.h"
+#include "core/client.h"
+#include "sim/traffic.h"
+#include "spectrum/campus.h"
+
+namespace whitefi {
+namespace {
+
+constexpr int kSsid = 5;
+
+DeviceConfig NodeAt(double x, double y, const SpectrumMap& map) {
+  DeviceConfig c;
+  c.position = {x, y};
+  c.ssid = kSsid;
+  c.tv_map = map;
+  return c;
+}
+
+ScannerParams FastScanner() {
+  ScannerParams p;
+  p.dwell = 100 * kTicksPerMs;
+  p.airtime_noise_stddev = 0.0;
+  return p;
+}
+
+struct Net {
+  ApNode* ap;
+  ClientNode* client;
+};
+
+Net MakeNet(World& world, const SpectrumMap& map, Channel main,
+            Channel backup) {
+  ApParams ap_params;
+  ap_params.scanner = FastScanner();
+  ClientParams client_params;
+  client_params.scanner = FastScanner();
+  Net net;
+  net.ap = &world.Create<ApNode>(NodeAt(0, 0, map), ap_params, main, backup);
+  net.client = &world.Create<ClientNode>(NodeAt(120, 60, map), client_params,
+                                         main, backup, net.ap->NodeId());
+  return net;
+}
+
+TEST(Edge, MicOnBackupChannelOnlyPicksFreshBackup) {
+  World world;
+  const SpectrumMap map = Building5Map();
+  const Channel main{IndexOfTvChannel(28), ChannelWidth::kW20};
+  const Channel backup{IndexOfTvChannel(39), ChannelWidth::kW5};
+  Net net = MakeNet(world, map, main, backup);
+  world.StartAll();
+  // Mic lands on the backup channel (39) only.
+  world.SetMicSchedule({{IndexOfTvChannel(39), 2.0 * kSecond,
+                         600.0 * kSecond}});
+  world.RunFor(8.0);
+  // Operating channel untouched; backup moved off channel 39.
+  EXPECT_EQ(net.ap->main_channel(), main);
+  EXPECT_FALSE(net.ap->backup_channel().Contains(IndexOfTvChannel(39)));
+  EXPECT_TRUE(net.client->connected());
+}
+
+TEST(Edge, MicOnMainAndBackupUsesSecondaryBackupAndSweepRescue) {
+  World world;
+  const SpectrumMap map = Building5Map();
+  const Channel main{IndexOfTvChannel(28), ChannelWidth::kW20};
+  const Channel backup{IndexOfTvChannel(39), ChannelWidth::kW5};
+  Net net = MakeNet(world, map, main, backup);
+  world.StartAll();
+  world.RunFor(2.0);
+  // Mics hit the operating channel AND the backup channel simultaneously,
+  // audible only at the client: it must fall back to a secondary backup
+  // (the lowest free channel it observes) and rely on the AP's sweeping
+  // scanner to find its chirps there.
+  const std::vector<int> only_client{net.client->NodeId()};
+  world.AddMic({IndexOfTvChannel(28), 3.0 * kSecond, 600.0 * kSecond},
+               only_client);
+  world.AddMic({IndexOfTvChannel(39), 3.0 * kSecond, 600.0 * kSecond},
+               only_client);
+  world.RunFor(20.0);
+  EXPECT_TRUE(net.client->connected());
+  EXPECT_FALSE(net.ap->main_channel().Contains(IndexOfTvChannel(28)));
+  EXPECT_EQ(net.client->TunedChannel(), net.ap->main_channel());
+  EXPECT_GE(net.client->disconnect_events(), 1);
+}
+
+TEST(Edge, ClientExpiresAfterSilence) {
+  World world;
+  const SpectrumMap map = Building5Map();
+  const Channel main{IndexOfTvChannel(28), ChannelWidth::kW20};
+  const Channel backup{IndexOfTvChannel(39), ChannelWidth::kW5};
+  ApParams ap_params;
+  ap_params.scanner = FastScanner();
+  ap_params.client_expiry = 5 * kTicksPerSec;
+  ApNode& ap =
+      world.Create<ApNode>(NodeAt(0, 0, map), ap_params, main, backup);
+  // A "client" that reports once and then powers off entirely (a real
+  // ClientNode would keep chirping and be rescued — correct behavior, but
+  // not what we want to test here).
+  DeviceConfig ghost_config = NodeAt(100, 0, map);
+  ghost_config.initial_channel = main;
+  Device& ghost = world.Create<Device>(ghost_config);
+  world.StartAll();
+  Frame report;
+  report.type = FrameType::kReport;
+  report.dst = ap.NodeId();
+  report.bytes = 120;
+  report.payload = ReportInfo{map, EmptyBandObservation()};
+  ghost.mac().Enqueue(report);
+  world.RunFor(2.0);
+  EXPECT_EQ(ap.NumKnownClients(), 1);
+  ghost.SwitchChannel(Channel{0, ChannelWidth::kW5});  // Gone for good.
+  world.RunFor(10.0);
+  // BuildInputs prunes on a later assignment evaluation.
+  EXPECT_EQ(ap.NumKnownClients(), 0);
+}
+
+TEST(Edge, WholeBandMicOutageRecoversWhenMicsLeave) {
+  World world;
+  // Tiny band: only channels 26-28 free.
+  const SpectrumMap map = SpectrumMap::FromFreeTvChannels({26, 27, 28});
+  const Channel main{IndexOfTvChannel(27), ChannelWidth::kW10};
+  const Channel backup{IndexOfTvChannel(27), ChannelWidth::kW5};
+  Net net = MakeNet(world, map, main, backup);
+  world.StartAll();
+  // Mics cover the entire free band for 6 seconds.
+  for (int tv : {26, 27, 28}) {
+    world.AddMic({IndexOfTvChannel(tv), 2.0 * kSecond, 8.0 * kSecond});
+  }
+  world.RunFor(20.0);
+  // After the mics leave, the network is back on a usable channel.
+  EXPECT_TRUE(map.CanUse(net.ap->main_channel()));
+  EXPECT_FALSE(world.MicActiveNow(IndexOfTvChannel(27)));
+  EXPECT_TRUE(net.client->connected());
+  EXPECT_EQ(net.client->TunedChannel(), net.ap->main_channel());
+}
+
+TEST(Edge, StragglerClientRescuedAfterMissedSwitch) {
+  World world;
+  const SpectrumMap map = Building5Map();
+  const Channel main{IndexOfTvChannel(28), ChannelWidth::kW20};
+  const Channel backup{IndexOfTvChannel(39), ChannelWidth::kW5};
+  Net net = MakeNet(world, map, main, backup);
+  world.StartAll();
+  world.RunFor(2.0);
+  // Force the client to miss an AP move: retune it off-channel while the
+  // AP reacts to a mic (audible only to the AP).
+  world.AddMic({IndexOfTvChannel(28), 2.5 * kSecond, 600.0 * kSecond},
+               {net.ap->NodeId()});
+  net.client->SwitchChannel(Channel{IndexOfTvChannel(48), ChannelWidth::kW5});
+  world.RunFor(20.0);
+  // The client timed out, chirped on the backup channel, and was rescued.
+  EXPECT_TRUE(net.client->connected());
+  EXPECT_EQ(net.client->TunedChannel(), net.ap->main_channel());
+  EXPECT_GE(net.client->disconnect_events(), 1);
+}
+
+// ------------------------------------------------------------------ mac ---
+
+TEST(Edge, EnqueueFrontJumpsQueueBehindInFlightFrame) {
+  World world;
+  const Channel ch{10, ChannelWidth::kW20};
+  DeviceConfig config;
+  config.initial_channel = ch;
+  Device& a = world.Create<Device>(config);
+  config.position = {50, 0};
+  Device& b = world.Create<Device>(config);
+
+  std::vector<FrameType> received;
+  b.AddReceiveHook([&](const Frame& f) { received.push_back(f.type); });
+
+  Frame data;
+  data.type = FrameType::kData;
+  data.dst = b.NodeId();
+  data.bytes = 1028;
+  a.mac().Enqueue(data);
+  a.mac().Enqueue(data);
+  Frame beacon;
+  beacon.type = FrameType::kBeacon;
+  beacon.dst = kBroadcastId;
+  beacon.bytes = kBeaconBytes;
+  a.mac().EnqueueFront(beacon);
+  EXPECT_EQ(a.mac().CountQueued(FrameType::kBeacon), 1u);
+  world.RunFor(0.5);
+  ASSERT_EQ(received.size(), 3u);
+  // The beacon overtook the second data frame (first data may already have
+  // been at the head).
+  EXPECT_EQ(received[0], FrameType::kBeacon);
+  EXPECT_EQ(received[1], FrameType::kData);
+  EXPECT_EQ(received[2], FrameType::kData);
+}
+
+TEST(Edge, EnqueueFrontNeverDisplacesFrameInService) {
+  World world;
+  const Channel ch{10, ChannelWidth::kW5};
+  DeviceConfig config;
+  config.initial_channel = ch;
+  Device& a = world.Create<Device>(config);
+  config.position = {50, 0};
+  Device& b = world.Create<Device>(config);
+  std::vector<FrameType> received;
+  b.AddReceiveHook([&](const Frame& f) { received.push_back(f.type); });
+
+  Frame data;
+  data.type = FrameType::kData;
+  data.dst = b.NodeId();
+  data.bytes = 1028;
+  a.mac().Enqueue(data);
+  // Let the data frame get on air, then push a control frame.
+  world.RunFor(0.002);
+  Frame announce;
+  announce.type = FrameType::kChannelSwitch;
+  announce.dst = kBroadcastId;
+  announce.bytes = kBeaconBytes;
+  a.mac().EnqueueFront(announce);
+  world.RunFor(0.5);
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0], FrameType::kData);  // In-flight head finished first.
+  EXPECT_EQ(received[1], FrameType::kChannelSwitch);
+}
+
+TEST(Edge, BeaconLoopNeverAccumulatesBacklog) {
+  // With the channel jammed by a foreign saturated pair, the AP's beacon
+  // loop must not grow its queue unboundedly (one pending beacon max).
+  World world;
+  const SpectrumMap map = Building5Map();
+  const Channel main{IndexOfTvChannel(28), ChannelWidth::kW20};
+  const Channel backup{IndexOfTvChannel(39), ChannelWidth::kW5};
+  ApParams ap_params;
+  ap_params.scanner = FastScanner();
+  ApNode& ap =
+      world.Create<ApNode>(NodeAt(0, 0, map), ap_params, main, backup);
+  DeviceConfig jam;
+  jam.ssid = 99;
+  jam.initial_channel = main;
+  jam.position = {20, 0};
+  Device& jtx = world.Create<Device>(jam);
+  jam.position = {25, 0};
+  Device& jrx = world.Create<Device>(jam);
+  SaturatedSource jammer(jtx, jrx.NodeId(), 1500);
+  world.StartAll();
+  jammer.Start();
+  world.RunFor(5.0);
+  EXPECT_LE(ap.mac().CountQueued(FrameType::kBeacon), 1u);
+}
+
+}  // namespace
+}  // namespace whitefi

@@ -1,0 +1,232 @@
+// Integration tests: the full WhiteFi AP/client protocol running in the
+// simulator — association, reporting, disconnection handling via the
+// backup channel + chirps, voluntary adaptation, and the audio MOS model.
+#include <gtest/gtest.h>
+
+#include "audio/mos.h"
+#include "core/ap.h"
+#include "core/client.h"
+#include "sim/traffic.h"
+#include "spectrum/campus.h"
+
+namespace whitefi {
+namespace {
+
+constexpr int kSsid = 7;
+
+DeviceConfig NodeAt(double x, double y, const SpectrumMap& tv_map) {
+  DeviceConfig c;
+  c.position = {x, y};
+  c.ssid = kSsid;
+  c.tv_map = tv_map;
+  return c;
+}
+
+ScannerParams FastScanner() {
+  ScannerParams p;
+  p.dwell = 100 * kTicksPerMs;
+  p.airtime_noise_stddev = 0.005;
+  return p;
+}
+
+struct Network {
+  ApNode* ap = nullptr;
+  std::vector<ClientNode*> clients;
+};
+
+Network MakeNetwork(World& world, const SpectrumMap& tv_map, int num_clients,
+                    Channel main, Channel backup,
+                    ApParams ap_params = ApParams{}) {
+  Network net;
+  ap_params.scanner = FastScanner();
+  net.ap = &world.Create<ApNode>(NodeAt(0, 0, tv_map), ap_params, main, backup);
+  ClientParams client_params;
+  client_params.scanner = FastScanner();
+  for (int i = 0; i < num_clients; ++i) {
+    net.clients.push_back(&world.Create<ClientNode>(
+        NodeAt(50.0 + 10.0 * i, 40.0, tv_map), client_params, main, backup,
+        net.ap->NodeId()));
+  }
+  return net;
+}
+
+TEST(Protocol, ClientsStayAssociatedAndReport) {
+  World world;
+  const SpectrumMap map = Building5Map();
+  const Channel main{IndexOfTvChannel(28), ChannelWidth::kW20};
+  const Channel backup{IndexOfTvChannel(39), ChannelWidth::kW5};
+  Network net = MakeNetwork(world, map, 2, main, backup);
+  world.StartAll();
+  world.RunFor(6.0);
+  EXPECT_TRUE(net.clients[0]->connected());
+  EXPECT_TRUE(net.clients[1]->connected());
+  EXPECT_EQ(net.ap->NumKnownClients(), 2);
+  EXPECT_EQ(net.ap->num_switches(), 0);  // No reason to move.
+  EXPECT_EQ(net.ap->main_channel(), main);
+}
+
+TEST(Protocol, DownlinkTrafficFlows) {
+  World world;
+  const SpectrumMap map = Building5Map();
+  const Channel main{IndexOfTvChannel(28), ChannelWidth::kW20};
+  const Channel backup{IndexOfTvChannel(39), ChannelWidth::kW5};
+  Network net = MakeNetwork(world, map, 2, main, backup);
+  std::vector<int> dsts;
+  for (auto* c : net.clients) dsts.push_back(c->NodeId());
+  SaturatedSource downlink(*net.ap, dsts, 1000);
+  world.StartAll();
+  downlink.Start();
+  world.RunFor(5.0);
+  const double mbps =
+      8.0 * static_cast<double>(world.AppBytesInSsid(kSsid)) / 5.0 / 1e6;
+  EXPECT_GT(mbps, 3.0);  // 20 MHz channel actually saturating.
+}
+
+TEST(Protocol, MicOnOperatingChannelTriggersReassembly) {
+  World world;
+  const SpectrumMap map = Building5Map();
+  const Channel main{IndexOfTvChannel(28), ChannelWidth::kW20};
+  const Channel backup{IndexOfTvChannel(39), ChannelWidth::kW5};
+  Network net = MakeNetwork(world, map, 2, main, backup);
+  std::vector<int> dsts;
+  for (auto* c : net.clients) dsts.push_back(c->NodeId());
+  SaturatedSource downlink(*net.ap, dsts, 1000);
+  world.StartAll();
+  downlink.Start();
+  // A wireless mic appears on TV channel 28 at t = 4 s and stays on.
+  world.SetMicSchedule(
+      {{IndexOfTvChannel(28), 4.0 * kSecond, 120.0 * kSecond}});
+  world.RunFor(12.0);
+
+  // The network vacated: no node's channel covers the mic channel.
+  EXPECT_FALSE(net.ap->main_channel().Contains(IndexOfTvChannel(28)));
+  EXPECT_GE(net.ap->num_switches(), 1);
+  for (auto* client : net.clients) {
+    EXPECT_TRUE(client->connected());
+    EXPECT_EQ(client->TunedChannel(), net.ap->main_channel());
+  }
+  // The new channel avoids the whole 26-30 fragment minus... at minimum it
+  // is usable under the observed map.
+  SpectrumMap observed = map;
+  observed.SetOccupied(IndexOfTvChannel(28));
+  EXPECT_TRUE(observed.CanUse(net.ap->main_channel()));
+}
+
+TEST(Protocol, ThroughputResumesAfterMicWithinSeconds) {
+  // Section 5.3: "the system is operational again after a lag of at most
+  // 4 seconds" (3 s backup-scan interval + reassignment).
+  World world;
+  const SpectrumMap map = Building5Map();
+  const Channel main{IndexOfTvChannel(28), ChannelWidth::kW20};
+  const Channel backup{IndexOfTvChannel(39), ChannelWidth::kW5};
+  Network net = MakeNetwork(world, map, 1, main, backup);
+  SaturatedSource downlink(*net.ap, net.clients[0]->NodeId(), 1000);
+  world.StartAll();
+  downlink.Start();
+  world.SetMicSchedule(
+      {{IndexOfTvChannel(28), 4.0 * kSecond, 300.0 * kSecond}});
+  world.RunFor(4.0);
+  world.ResetAppBytes();
+  world.RunFor(8.0);
+  // Despite the outage, data flowed again within the 8 s window.
+  EXPECT_GT(world.AppBytesInSsid(kSsid), 200000u);
+  ASSERT_EQ(net.clients[0]->disconnect_events(), 1);
+  ASSERT_EQ(net.clients[0]->outages().size(), 1u);
+  // Reconnection took at most ~6 s (paper: ~4 s with a 3 s scan interval).
+  EXPECT_LE(net.clients[0]->outages()[0], 6 * kTicksPerSec);
+}
+
+TEST(Protocol, ClientSideMicAlsoMovesTheNetwork) {
+  // Only the client detects the mic (spatial variation): it chirps on the
+  // backup channel; the AP picks it up with the secondary radio and moves.
+  World world;
+  const SpectrumMap map = Building5Map();
+  const Channel main{IndexOfTvChannel(28), ChannelWidth::kW20};
+  const Channel backup{IndexOfTvChannel(39), ChannelWidth::kW5};
+  Network net = MakeNetwork(world, map, 1, main, backup);
+  // A mic near the client only: the AP cannot sense it (spatial variation).
+  world.AddMic({IndexOfTvChannel(28), 3.0 * kSecond, 600.0 * kSecond},
+               {net.clients[0]->NodeId()});
+  world.StartAll();
+  world.RunFor(13.0);
+  EXPECT_TRUE(net.clients[0]->connected());
+  EXPECT_FALSE(net.ap->main_channel().Contains(IndexOfTvChannel(28)));
+  EXPECT_EQ(net.clients[0]->TunedChannel(), net.ap->main_channel());
+}
+
+TEST(Protocol, StaticApNeverSwitches) {
+  World world;
+  const SpectrumMap map = Building5Map();
+  ApParams params;
+  params.adaptive = false;
+  const Channel main{IndexOfTvChannel(28), ChannelWidth::kW20};
+  const Channel backup{IndexOfTvChannel(39), ChannelWidth::kW5};
+  Network net = MakeNetwork(world, map, 1, main, backup, params);
+  world.StartAll();
+  world.SetMicSchedule(
+      {{IndexOfTvChannel(28), 2.0 * kSecond, 60.0 * kSecond}});
+  world.RunFor(8.0);
+  EXPECT_EQ(net.ap->num_switches(), 0);
+  EXPECT_EQ(net.ap->main_channel(), main);
+}
+
+TEST(Protocol, VoluntarySwitchAwayFromBackgroundTraffic) {
+  World world;
+  const SpectrumMap map = Building5Map();
+  // Start the network on the 10 MHz fragment (33-35) while the 20 MHz
+  // fragment (26-30) is idle: the assigner should voluntarily upgrade.
+  const Channel main{IndexOfTvChannel(34), ChannelWidth::kW10};
+  const Channel backup{IndexOfTvChannel(48), ChannelWidth::kW5};
+  ApParams params;
+  params.assignment_interval = 2 * kTicksPerSec;
+  params.first_assignment_delay = 4 * kTicksPerSec;
+  Network net = MakeNetwork(world, map, 1, main, backup, params);
+  world.StartAll();
+  world.RunFor(15.0);
+  EXPECT_GE(net.ap->num_voluntary_switches(), 1);
+  EXPECT_EQ(net.ap->main_channel().width, ChannelWidth::kW20);
+  EXPECT_TRUE(net.clients[0]->connected());
+  EXPECT_EQ(net.clients[0]->TunedChannel(), net.ap->main_channel());
+}
+
+// ---------------------------------------------------------------- audio ---
+
+TEST(MicAudio, PaperAnchorPoint) {
+  // 70-byte packets every 100 ms at -30 dBm cost 0.9 MOS (Section 2.3).
+  const MicAudioModel model;
+  EXPECT_NEAR(PredictMosDrop(model, 10.0, -30.0), 0.9, 1e-9);
+  EXPECT_NEAR(PredictMicMos(model, 10.0, -30.0), model.clean_mos - 0.9, 1e-9);
+}
+
+TEST(MicAudio, CleanWithoutTraffic) {
+  const MicAudioModel model;
+  EXPECT_DOUBLE_EQ(PredictMicMos(model, 0.0, -30.0), model.clean_mos);
+  EXPECT_DOUBLE_EQ(PredictMosDrop(model, -5.0, -30.0), 0.0);
+}
+
+TEST(MicAudio, MonotonicInRateAndPower) {
+  const MicAudioModel model;
+  EXPECT_LT(PredictMosDrop(model, 1.0, -30.0),
+            PredictMosDrop(model, 10.0, -30.0));
+  EXPECT_LT(PredictMosDrop(model, 10.0, -50.0),
+            PredictMosDrop(model, 10.0, -30.0));
+  EXPECT_LT(PredictMosDrop(model, 10.0, -30.0),
+            PredictMosDrop(model, 10.0, 16.0));
+}
+
+TEST(MicAudio, HarmlessBelowPowerFloorAndSaturatesAtMosFloor) {
+  const MicAudioModel model;
+  EXPECT_DOUBLE_EQ(PredictMosDrop(model, 100.0, -90.0), 0.0);
+  EXPECT_DOUBLE_EQ(PredictMicMos(model, 1e6, 16.0), model.floor_mos);
+}
+
+TEST(MicAudio, EvenSinglePacketPerSecondIsAudible) {
+  // The paper's motivation: even sparse control packets audibly disturb
+  // the mic — a renegotiation protocol on the mic's channel is not viable.
+  const MicAudioModel model;
+  EXPECT_TRUE(InterferenceAudible(model, 2.0, -30.0));
+  EXPECT_FALSE(InterferenceAudible(model, 10.0, -80.0));
+}
+
+}  // namespace
+}  // namespace whitefi

@@ -1,0 +1,101 @@
+// End-to-end behavior of the channel-37 frequency gap (608-614 MHz).
+//
+// The paper's counts (30/28/26 channels) treat the band as logically
+// contiguous; the physically exact mode must never span TV 36|38.  Also
+// covers the medium's in-band power fraction helper.
+#include <gtest/gtest.h>
+
+#include "core/assignment.h"
+#include "core/discovery.h"
+#include "sim/medium.h"
+
+namespace whitefi {
+namespace {
+
+constexpr ChannelEnumerationOptions kGapAware{.respect_channel37_gap = true};
+
+TEST(Channel37Gap, NoEnumeratedChannelStraddlesTheGap) {
+  for (const Channel& c : AllChannels(kGapAware)) {
+    EXPECT_TRUE(c.IsPhysicallyContiguous()) << c.ToString();
+    // TV 36 is index 15; TV 38 is index 16: a physical channel never
+    // covers both.
+    EXPECT_FALSE(c.Contains(15) && c.Contains(16)) << c.ToString();
+  }
+}
+
+TEST(Channel37Gap, AssignerNeverPicksAStraddler) {
+  // Free spectrum exactly around the gap: TV 34-36 and 38-40.
+  const SpectrumMap map =
+      SpectrumMap::FromFreeTvChannels({34, 35, 36, 38, 39, 40});
+  AssignmentInputs inputs;
+  inputs.ap_map = map;
+  inputs.ap_observation = EmptyBandObservation();
+  for (UhfIndex c = 0; c < kNumUhfChannels; ++c) {
+    inputs.ap_observation[static_cast<std::size_t>(c)].incumbent =
+        map.Occupied(c);
+  }
+
+  // Logically contiguous mode would bond across the gap (a 20 MHz channel
+  // covering TV 34..40 exists)...
+  SpectrumAssigner naive;
+  const auto naive_pick = naive.SelectInitial(inputs);
+  ASSERT_TRUE(naive_pick.channel.has_value());
+  EXPECT_EQ(naive_pick.channel->width, ChannelWidth::kW20);
+
+  // ...the gap-aware assigner only sees two 3-channel fragments.
+  AssignmentParams params;
+  params.enumeration = kGapAware;
+  SpectrumAssigner exact(params);
+  const auto exact_pick = exact.SelectInitial(inputs);
+  ASSERT_TRUE(exact_pick.channel.has_value());
+  EXPECT_EQ(exact_pick.channel->width, ChannelWidth::kW10);
+  EXPECT_TRUE(exact_pick.channel->IsPhysicallyContiguous());
+}
+
+TEST(Channel37Gap, DiscoveryStillFindsEveryGapLegalAp) {
+  DiscoveryParams params;
+  params.enumeration = kGapAware;
+  const SpectrumMap map;  // All free.
+  for (const Channel& ap : AllChannels(kGapAware)) {
+    AnalyticScanEnvironment env(ap);
+    const auto j = JSiftDiscover(env, map, params);
+    ASSERT_TRUE(j.found) << ap.ToString();
+    EXPECT_EQ(j.channel, ap);
+  }
+}
+
+TEST(Channel37Gap, FragmentSplitMatchesEnumeration) {
+  // With everything free, the gap-aware fragments are 16 + 14 channels,
+  // and the usable gap-aware channel count is 78 (30 + 26 + 22).
+  const SpectrumMap map;
+  const auto fragments = map.FreeFragments(/*respect_gap=*/true);
+  ASSERT_EQ(fragments.size(), 2u);
+  int usable = 0;
+  for (const Channel& c : AllChannels(kGapAware)) {
+    usable += map.CanUse(c, /*respect_gap=*/true) ? 1 : 0;
+  }
+  EXPECT_EQ(usable, 78);
+}
+
+// --------------------------------------------------- in-band power helper -
+
+TEST(InBandPowerFraction, OverlapRatios) {
+  const Channel wide{10, ChannelWidth::kW20};    // 8..12
+  const Channel narrow{12, ChannelWidth::kW5};   // 12
+  const Channel mid{11, ChannelWidth::kW10};     // 10..12
+  // A narrow tx lands entirely inside a wide listener's band.
+  EXPECT_DOUBLE_EQ(InBandPowerFraction(narrow, wide), 1.0);
+  // A wide tx puts only 1/5 of its power into a narrow listener's band.
+  EXPECT_DOUBLE_EQ(InBandPowerFraction(wide, narrow), 0.2);
+  // Partial overlaps.
+  EXPECT_DOUBLE_EQ(InBandPowerFraction(wide, mid), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(InBandPowerFraction(mid, wide), 1.0);
+  // Disjoint channels exchange nothing.
+  EXPECT_DOUBLE_EQ(InBandPowerFraction(narrow, Channel{20, ChannelWidth::kW5}),
+                   0.0);
+  // Identity.
+  EXPECT_DOUBLE_EQ(InBandPowerFraction(wide, wide), 1.0);
+}
+
+}  // namespace
+}  // namespace whitefi

@@ -1,0 +1,190 @@
+// End-to-end integration stories across the whole stack.
+#include <gtest/gtest.h>
+
+#include "core/ap.h"
+#include "core/client.h"
+#include "core/sim_discovery.h"
+#include "sim/traffic.h"
+#include "spectrum/campus.h"
+
+namespace whitefi {
+namespace {
+
+constexpr int kSsid = 4;
+
+DeviceConfig NodeAt(double x, double y, const SpectrumMap& map,
+                    int ssid = kSsid) {
+  DeviceConfig c;
+  c.position = {x, y};
+  c.ssid = ssid;
+  c.tv_map = map;
+  return c;
+}
+
+// ---------------------------------------------------------------------
+// Story 1: a device joins a network it has never seen — discovery through
+// the live simulator, then association-by-configuration, then traffic.
+
+TEST(Integration, DiscoverThenJoinThenTransfer) {
+  const SpectrumMap map = CampusSimulationMap();
+  World world;
+
+  // The AP is already up on a channel the newcomer does not know.
+  AssignmentInputs boot;
+  boot.ap_map = map;
+  boot.ap_observation = EmptyBandObservation();
+  for (UhfIndex c = 0; c < kNumUhfChannels; ++c) {
+    boot.ap_observation[static_cast<std::size_t>(c)].incumbent =
+        map.Occupied(c);
+  }
+  SpectrumAssigner assigner;
+  const Channel main = *assigner.SelectInitial(boot).channel;
+  const Channel backup = *assigner.SelectBackup(boot, main);
+  ApNode& ap = world.Create<ApNode>(NodeAt(0, 0, map), ApParams{}, main,
+                                    backup);
+
+  // The newcomer scans with J-SIFT against the live medium.
+  Device& searcher = world.Create<Device>(NodeAt(150, 0, map, /*ssid=*/0));
+  world.StartAll();
+  SimulatedScanEnvironment env(world, searcher, kSsid);
+  const DiscoveryResult found = JSiftDiscover(env, map);
+  ASSERT_TRUE(found.found);
+  EXPECT_EQ(found.channel, main);
+
+  // Join with the discovered channel and move data.
+  ClientNode& client = world.Create<ClientNode>(
+      NodeAt(150, 0, map), ClientParams{}, found.channel, backup, ap.NodeId());
+  client.Start();
+  SaturatedSource downlink(ap, client.NodeId(), 1000);
+  downlink.Start();
+  world.RunFor(5.0);
+  EXPECT_TRUE(client.connected());
+  EXPECT_GT(world.AppBytes(client.NodeId()), 1'000'000u);
+}
+
+// ---------------------------------------------------------------------
+// Story 2: two mics in sequence chase the network across the band; when
+// both leave, the voluntary path climbs back to the widest channel.
+
+TEST(Integration, ChasedAcrossTheBandAndBack) {
+  const SpectrumMap map = Building5Map();  // 20 MHz + 10 MHz + 2x 5 MHz.
+  World world;
+  const Channel main{IndexOfTvChannel(28), ChannelWidth::kW20};
+  const Channel backup{IndexOfTvChannel(39), ChannelWidth::kW5};
+  ApParams ap_params;
+  ap_params.assignment_interval = 2 * kTicksPerSec;
+  ap_params.first_assignment_delay = 2 * kTicksPerSec;
+  ap_params.scanner.dwell = 100 * kTicksPerMs;
+  ApNode& ap = world.Create<ApNode>(NodeAt(0, 0, map), ap_params, main, backup);
+  ClientParams client_params;
+  client_params.scanner.dwell = 100 * kTicksPerMs;
+  ClientNode& client = world.Create<ClientNode>(
+      NodeAt(120, 40, map), client_params, main, backup, ap.NodeId());
+  SaturatedSource downlink(ap, client.NodeId(), 1000);
+  // Mic 1 hits the 20 MHz fragment at t=3..14 s.
+  world.AddMic({IndexOfTvChannel(28), 3.0 * kSecond, 14.0 * kSecond});
+  // Mic 2 hits the 10 MHz fragment at t=8..14 s.
+  world.AddMic({IndexOfTvChannel(34), 8.0 * kSecond, 14.0 * kSecond});
+  world.StartAll();
+  downlink.Start();
+
+  world.RunFor(6.0);
+  // Pushed off the 20 MHz fragment.
+  EXPECT_FALSE(ap.main_channel().Contains(IndexOfTvChannel(28)));
+
+  world.RunFor(6.0);  // t=12: both mics active.
+  EXPECT_FALSE(ap.main_channel().Contains(IndexOfTvChannel(28)));
+  EXPECT_FALSE(ap.main_channel().Contains(IndexOfTvChannel(34)));
+  EXPECT_TRUE(client.connected());
+
+  world.RunFor(18.0);  // t=30: mics long gone; voluntary climb back.
+  EXPECT_EQ(ap.main_channel().width, ChannelWidth::kW20);
+  EXPECT_TRUE(client.connected());
+  EXPECT_EQ(client.TunedChannel(), ap.main_channel());
+}
+
+// ---------------------------------------------------------------------
+// Story 3: long-run stability under churning background — clients stay
+// connected and the MAC does not leak retries into drops.
+
+TEST(Integration, LongRunStabilityUnderChurn) {
+  const SpectrumMap map = CampusSimulationMap();
+  World world;
+  const Channel main{2, ChannelWidth::kW20};  // TV 21-25 fragment.
+  const Channel backup{IndexOfTvChannel(33), ChannelWidth::kW5};
+  ApParams ap_params;
+  ap_params.scanner.dwell = 100 * kTicksPerMs;
+  ApNode& ap = world.Create<ApNode>(NodeAt(0, 0, map), ap_params, main, backup);
+  std::vector<ClientNode*> clients;
+  std::vector<int> ids;
+  for (int i = 0; i < 3; ++i) {
+    clients.push_back(&world.Create<ClientNode>(
+        NodeAt(80.0 + 40.0 * i, 60.0, map), ClientParams{}, main, backup,
+        ap.NodeId()));
+    ids.push_back(clients.back()->NodeId());
+  }
+  SaturatedSource downlink(ap, ids, 1000);
+  // Churning background on a far fragment (does not force moves, adds
+  // measurement churn).
+  DeviceConfig bg = NodeAt(300, 300, map, /*ssid=*/50);
+  bg.is_ap = true;
+  bg.initial_channel = Channel{IndexOfTvChannel(39), ChannelWidth::kW5};
+  Device& bg_tx = world.Create<Device>(bg);
+  bg.is_ap = false;
+  bg.position.x += 30.0;
+  Device& bg_rx = world.Create<Device>(bg);
+  MarkovOnOffSource::Params churn;
+  churn.mean_active = 3 * kTicksPerSec;
+  churn.mean_passive = 3 * kTicksPerSec;
+  MarkovOnOffSource bg_source(bg_tx, bg_rx.NodeId(), 800, 20 * kTicksPerMs,
+                              churn);
+  world.StartAll();
+  downlink.Start();
+  bg_source.Start();
+
+  int connected_samples = 0;
+  constexpr int kSamples = 30;
+  for (int s = 0; s < kSamples; ++s) {
+    world.RunFor(2.0);
+    bool all = true;
+    for (const ClientNode* c : clients) all = all && c->connected();
+    connected_samples += all ? 1 : 0;
+  }
+  EXPECT_GE(connected_samples, kSamples - 3);  // >= 90% of sampled instants.
+  // Throughput lived through the hour-long minute.
+  EXPECT_GT(world.AppBytesInSsid(kSsid), 10'000'000u);
+  // No silent drop explosion at the AP.
+  EXPECT_LT(ap.mac().Drops(), 50u);
+}
+
+// ---------------------------------------------------------------------
+// Story 4: determinism — the same seed reproduces the same world, bit for
+// bit, even through disconnections and reassignments.
+
+std::uint64_t RunSeededScenario(std::uint64_t seed) {
+  WorldConfig config;
+  config.seed = seed;
+  World world(config);
+  const SpectrumMap map = Building5Map();
+  const Channel main{IndexOfTvChannel(28), ChannelWidth::kW20};
+  const Channel backup{IndexOfTvChannel(39), ChannelWidth::kW5};
+  ApNode& ap =
+      world.Create<ApNode>(NodeAt(0, 0, map), ApParams{}, main, backup);
+  ClientNode& client = world.Create<ClientNode>(
+      NodeAt(100, 50, map), ClientParams{}, main, backup, ap.NodeId());
+  SaturatedSource downlink(ap, client.NodeId(), 1000);
+  world.AddMic({IndexOfTvChannel(28), 3.0 * kSecond, 60.0 * kSecond});
+  world.StartAll();
+  downlink.Start();
+  world.RunFor(10.0);
+  return world.AppBytes(client.NodeId()) * 1000003ULL +
+         static_cast<std::uint64_t>(world.sim().NumProcessed());
+}
+
+TEST(Integration, SameSeedSameUniverse) {
+  EXPECT_EQ(RunSeededScenario(17), RunSeededScenario(17));
+  EXPECT_NE(RunSeededScenario(17), RunSeededScenario(18));
+}
+
+}  // namespace
+}  // namespace whitefi

@@ -1,0 +1,103 @@
+// Tests for the non-contiguous OFDM capacity model (paper Section 6).
+#include <gtest/gtest.h>
+
+#include "phy/noncontiguous.h"
+#include "spectrum/campus.h"
+#include "spectrum/locales.h"
+
+namespace whitefi {
+namespace {
+
+TEST(NcOfdm, FragmentUsableCapacity) {
+  NcOfdmParams ideal;
+  ideal.edge_guard_mhz = 0.0;
+  ideal.pilot_overhead = 0.0;
+  EXPECT_DOUBLE_EQ(FragmentUsableMHz(Fragment{0, 4}, ideal), 24.0);
+  NcOfdmParams lossy;
+  lossy.edge_guard_mhz = 1.0;
+  lossy.pilot_overhead = 0.1;
+  EXPECT_DOUBLE_EQ(FragmentUsableMHz(Fragment{0, 4}, lossy), 22.0 * 0.9);
+  // A fragment narrower than its guards contributes nothing (never < 0).
+  lossy.edge_guard_mhz = 3.5;
+  EXPECT_DOUBLE_EQ(FragmentUsableMHz(Fragment{0, 1}, lossy), 0.0);
+}
+
+TEST(NcOfdm, ContiguousCapacityMirrorsChannelFitting) {
+  EXPECT_DOUBLE_EQ(BestContiguousCapacity(SpectrumMap{}), 4.0);
+  EXPECT_DOUBLE_EQ(
+      BestContiguousCapacity(SpectrumMap::FromFreeTvChannels({21, 22, 23})),
+      2.0);
+  EXPECT_DOUBLE_EQ(
+      BestContiguousCapacity(SpectrumMap::FromFreeTvChannels({21, 25})), 1.0);
+  SpectrumMap none;
+  for (UhfIndex c = 0; c < kNumUhfChannels; ++c) none.SetOccupied(c);
+  EXPECT_DOUBLE_EQ(BestContiguousCapacity(none), 0.0);
+}
+
+TEST(NcOfdm, IdealAggregationDominatesContiguous) {
+  // With perfect filters, aggregating all fragments can never lose to a
+  // single contiguous slice of the same spectrum.
+  NcOfdmParams ideal;
+  ideal.edge_guard_mhz = 0.0;
+  ideal.pilot_overhead = 0.0;
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto map = SpectrumMap::RandomOccupied(rng.UniformInt(0, 29), rng);
+    EXPECT_GE(NonContiguousCapacity(map, ideal),
+              BestContiguousCapacity(map) - 1e-9)
+        << map.ToString();
+  }
+}
+
+TEST(NcOfdm, GuardsEatNarrowFragmentsFirst) {
+  // Campus map: fragments 6+4+3+2+1+1.  With growing guards the 1-channel
+  // fragments die first, then the 2-channel one, etc.
+  const SpectrumMap map = CampusSimulationMap();
+  NcOfdmParams params;
+  params.pilot_overhead = 0.0;
+  params.edge_guard_mhz = 0.0;
+  const double ideal = NonContiguousCapacity(map, params);
+  EXPECT_DOUBLE_EQ(ideal, 17.0 * 6.0 / 5.0);  // All 102 MHz usable.
+  params.edge_guard_mhz = 3.0;  // Kills 6 MHz per fragment: the 1-ch ones.
+  const double strained = NonContiguousCapacity(map, params);
+  EXPECT_LT(strained, ideal);
+  EXPECT_DOUBLE_EQ(strained, (17.0 * 6.0 - 6.0 * 6.0) / 5.0);
+}
+
+TEST(NcOfdm, BreakEvenGuardBehavior) {
+  // One free UHF channel: aggregation offers 6 MHz vs. the 5 MHz channel;
+  // the 1 MHz edge surplus dies once the two guards exceed 0.5 MHz each.
+  const SpectrumMap one_channel = SpectrumMap::FromFreeTvChannels({21});
+  const MHz breakeven_one = BreakEvenGuardMHz(one_channel);
+  EXPECT_GT(breakeven_one, 0.3);
+  EXPECT_LT(breakeven_one, 0.7);
+
+  // A heavily fragmented map: aggregation is worth so much that it beats
+  // the best contiguous channel for any guard below the search limit.
+  const SpectrumMap fragmented = SpectrumMap::FromFreeTvChannels(
+      {21, 22, 25, 26, 29, 30, 33, 34, 39, 40, 44, 45, 48, 49});
+  EXPECT_DOUBLE_EQ(BreakEvenGuardMHz(fragmented), 3.0);
+  EXPECT_GT(BreakEvenGuardMHz(fragmented), breakeven_one);
+
+  // Nothing free: aggregation never wins.
+  SpectrumMap none;
+  for (UhfIndex c = 0; c < kNumUhfChannels; ++c) none.SetOccupied(c);
+  EXPECT_DOUBLE_EQ(BreakEvenGuardMHz(none), 0.0);
+}
+
+TEST(NcOfdm, MonotoneInGuard) {
+  Rng rng(11);
+  const auto map = SpectrumMap::RandomOccupied(12, rng);
+  double prev = 1e9;
+  for (MHz guard = 0.0; guard <= 3.0; guard += 0.25) {
+    NcOfdmParams params;
+    params.edge_guard_mhz = guard;
+    const double capacity = NonContiguousCapacity(map, params);
+    EXPECT_LE(capacity, prev + 1e-12);
+    EXPECT_GE(capacity, 0.0);
+    prev = capacity;
+  }
+}
+
+}  // namespace
+}  // namespace whitefi

@@ -1,0 +1,201 @@
+// Randomized end-to-end property tests.
+//
+// Each case builds a randomized scenario (spectrum map, node placement,
+// mic schedule) from a seed and checks protocol invariants that must hold
+// regardless of the randomness:
+//
+//  P1  Incumbent protection: once a mic audible to a transmitter has been
+//      active for longer than the sensing latency plus the reaction
+//      budget, that transmitter sends nothing overlapping the mic's
+//      channel.
+//  P2  Reassembly: after things settle, every client is connected and
+//      tuned to the AP's operating channel.
+//  P3  Regulatory placement: the network's final channel is free of
+//      incumbents in every member's observation.
+//  P4  Liveness: data still flows after recovery.
+#include <gtest/gtest.h>
+
+#include "core/ap.h"
+#include "core/client.h"
+#include "core/discovery.h"
+#include "sim/traffic.h"
+#include "spectrum/campus.h"
+
+namespace whitefi {
+namespace {
+
+constexpr int kSsid = 3;
+/// Sensing latency (100 ms) plus protocol reaction budget.
+constexpr SimTime kReactionBudget = 1500 * kTicksPerMs;
+
+class RandomScenario : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomScenario, ProtocolInvariantsHold) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed);
+
+  // Random-ish environment: campus map with a random extra occupied
+  // channel, 1-3 clients, one mic on a random free channel at a random
+  // time, audible either to everyone or to one random member.
+  SpectrumMap map = CampusSimulationMap();
+  map.SetOccupied(rng.Pick(map.FreeIndices()));
+
+  WorldConfig world_config;
+  world_config.seed = seed;
+  World world(world_config);
+
+  AssignmentInputs boot;
+  boot.ap_map = map;
+  boot.ap_observation = EmptyBandObservation();
+  for (UhfIndex c = 0; c < kNumUhfChannels; ++c) {
+    boot.ap_observation[static_cast<std::size_t>(c)].incumbent =
+        map.Occupied(c);
+  }
+  SpectrumAssigner assigner;
+  const Channel main = *assigner.SelectInitial(boot).channel;
+  const Channel backup = *assigner.SelectBackup(boot, main);
+
+  DeviceConfig node;
+  node.ssid = kSsid;
+  node.tv_map = map;
+  ApParams ap_params;
+  ap_params.scanner.dwell = 100 * kTicksPerMs;
+  ApNode& ap = world.Create<ApNode>(node, ap_params, main, backup);
+  const int num_clients = rng.UniformInt(1, 3);
+  std::vector<ClientNode*> clients;
+  std::vector<int> ids;
+  for (int i = 0; i < num_clients; ++i) {
+    node.position = {rng.Uniform(-250.0, 250.0), rng.Uniform(-250.0, 250.0)};
+    clients.push_back(&world.Create<ClientNode>(node, ClientParams{}, main,
+                                                backup, ap.NodeId()));
+    ids.push_back(clients.back()->NodeId());
+  }
+  SaturatedSource downlink(ap, ids, 1000);
+
+  // The mic: placed on a random channel of the *operating* span half the
+  // time (forcing a reaction), elsewhere otherwise.
+  MicActivation mic;
+  mic.channel = rng.Bernoulli(0.5)
+                    ? main.Low() + rng.UniformInt(0, SpanChannels(main.width) - 1)
+                    : rng.Pick(map.FreeIndices());
+  mic.on_time = rng.Uniform(2.0, 4.0) * kSecond;
+  mic.off_time = 600.0 * kSecond;
+  std::vector<int> audible_to;  // Empty = everyone.
+  if (rng.Bernoulli(0.4)) {
+    audible_to.push_back(rng.Bernoulli(0.5) ? ap.NodeId() : rng.Pick(ids));
+  }
+  world.AddMic(mic, audible_to);
+
+  // P1 monitor: tap every transmission by a WhiteFi member.
+  const SimTime mic_deadline = ToTicks(mic.on_time) + kReactionBudget;
+  std::vector<std::string> violations;
+  world.medium().AddFrameTap([&](const Channel& channel, const Frame& frame,
+                                 const RadioPort& tx) {
+    if (tx.NodeId() != ap.NodeId() &&
+        std::find(ids.begin(), ids.end(), tx.NodeId()) == ids.end()) {
+      return;
+    }
+    if (!channel.Contains(mic.channel)) return;
+    if (!world.MicAudible(mic.channel, tx.NodeId())) return;
+    if (world.sim().Now() <= mic_deadline) return;
+    violations.push_back("node " + std::to_string(tx.NodeId()) + " sent " +
+                         frame.ToString() + " over the mic at t=" +
+                         std::to_string(ToSeconds(world.sim().Now())));
+  });
+
+  world.StartAll();
+  downlink.Start();
+  world.RunFor(18.0);
+
+  // P1: no transmissions over a long-active audible mic.
+  EXPECT_TRUE(violations.empty())
+      << violations.front() << " (plus " << violations.size() - 1 << " more)";
+
+  // P2: everyone reassembled.
+  for (const ClientNode* client : clients) {
+    EXPECT_TRUE(client->connected()) << "seed " << seed;
+    EXPECT_EQ(client->TunedChannel(), ap.main_channel()) << "seed " << seed;
+  }
+
+  // P3: the final channel carries no incumbent any member can sense.
+  for (UhfIndex c = ap.main_channel().Low(); c <= ap.main_channel().High();
+       ++c) {
+    EXPECT_FALSE(map.Occupied(c)) << "seed " << seed;
+    EXPECT_FALSE(world.MicAudible(c, ap.NodeId())) << "seed " << seed;
+    for (int id : ids) {
+      EXPECT_FALSE(world.MicAudible(c, id)) << "seed " << seed;
+    }
+  }
+
+  // P4: data flowed in the last stretch of the run.
+  world.ResetAppBytes();
+  world.RunFor(3.0);
+  EXPECT_GT(world.AppBytesInSsid(kSsid), 50000u) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomScenario, ::testing::Range(1, 17));
+
+// Pure-function properties over random inputs.
+
+class RandomMaps : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMaps, AssignerOutputIsAlwaysLegal) {
+  Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  AssignmentInputs inputs;
+  inputs.ap_map = SpectrumMap::RandomOccupied(rng.UniformInt(0, 29), rng);
+  inputs.ap_observation = EmptyBandObservation();
+  for (UhfIndex c = 0; c < kNumUhfChannels; ++c) {
+    auto& o = inputs.ap_observation[static_cast<std::size_t>(c)];
+    o.incumbent = inputs.ap_map.Occupied(c);
+    o.airtime = rng.Uniform(0.0, 1.0);
+    o.ap_count = rng.UniformInt(0, 3);
+  }
+  const int clients = rng.UniformInt(0, 4);
+  for (int i = 0; i < clients; ++i) {
+    inputs.client_maps.push_back(
+        inputs.ap_map.RandomlyFlipped(rng.Uniform(0.0, 0.2), rng));
+    inputs.client_observations.push_back(inputs.ap_observation);
+  }
+  SpectrumAssigner assigner;
+  const auto decision = assigner.SelectInitial(inputs);
+  const SpectrumMap combined = inputs.CombinedMap();
+  if (decision.channel.has_value()) {
+    // Legal under every member's map...
+    EXPECT_TRUE(combined.CanUse(*decision.channel));
+    // ...and its metric matches a direct evaluation.
+    EXPECT_DOUBLE_EQ(decision.metric,
+                     assigner.EvaluateChannel(*decision.channel, inputs));
+    // No candidate is strictly better.
+    for (const Channel& other : combined.UsableChannels()) {
+      EXPECT_LE(assigner.EvaluateChannel(other, inputs),
+                decision.metric + 1e-12);
+    }
+    // A backup, when available, is 5 MHz and legal.
+    const auto backup = assigner.SelectBackup(inputs, *decision.channel);
+    if (backup.has_value()) {
+      EXPECT_EQ(backup->width, ChannelWidth::kW5);
+      EXPECT_TRUE(combined.CanUse(*backup));
+    }
+  } else {
+    EXPECT_TRUE(combined.UsableChannels().empty());
+  }
+}
+
+TEST_P(RandomMaps, DiscoveryAlwaysFindsFindableAps) {
+  Rng rng(2000 + static_cast<std::uint64_t>(GetParam()));
+  const SpectrumMap map = SpectrumMap::RandomOccupied(rng.UniformInt(0, 25), rng);
+  const auto usable = map.UsableChannels();
+  if (usable.empty()) return;
+  const Channel ap = rng.Pick(usable);
+  AnalyticScanEnvironment env(ap);
+  for (auto* algorithm : {&LSiftDiscover, &JSiftDiscover, &BaselineDiscover}) {
+    const auto result = (*algorithm)(env, map, DiscoveryParams{});
+    ASSERT_TRUE(result.found) << ap.ToString() << " map " << map.ToString();
+    EXPECT_EQ(result.channel, ap);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMaps, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace whitefi

@@ -1,0 +1,388 @@
+// Unit + property tests for SIFT: the edge detector, the width matcher,
+// airtime estimation, and the chirp length codec.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phy/signal.h"
+#include "sift/airtime.h"
+#include "sift/chirp.h"
+#include "sift/detector.h"
+#include "sift/matcher.h"
+
+namespace whitefi {
+namespace {
+
+SiftParams DefaultSift() { return SiftParams{}; }
+
+// Builds a clean synthetic trace: `level` inside bursts, ~0 outside.
+std::vector<double> SquareTrace(const std::vector<std::pair<int, int>>& bursts,
+                                int total_samples, double level) {
+  std::vector<double> samples(static_cast<std::size_t>(total_samples), 0.01);
+  for (const auto& [start, len] : bursts) {
+    for (int i = start; i < std::min(start + len, total_samples); ++i) {
+      samples[static_cast<std::size_t>(i)] = level;
+    }
+  }
+  return samples;
+}
+
+// -------------------------------------------------------------- detector --
+
+TEST(SiftDetector, RejectsBadParams) {
+  SiftParams p;
+  p.window = 0;
+  EXPECT_THROW(SiftDetector{p}, std::invalid_argument);
+  p = SiftParams{};
+  p.threshold = 0.0;
+  EXPECT_THROW(SiftDetector{p}, std::invalid_argument);
+}
+
+TEST(SiftDetector, NoiseOnlyProducesNoBursts) {
+  SignalSynthesizer synth(SignalParams{}, Rng(1));
+  SiftDetector detector(DefaultSift());
+  const auto bursts = detector.Detect(synth.Synthesize({}, 100000.0));
+  EXPECT_TRUE(bursts.empty());
+}
+
+TEST(SiftDetector, SquareBurstBoundariesExact) {
+  SiftDetector detector(DefaultSift());
+  const auto samples = SquareTrace({{100, 50}}, 300, 100.0);
+  const auto bursts = detector.Detect(samples);
+  ASSERT_EQ(bursts.size(), 1u);
+  const double period = DefaultSift().sample_period;
+  EXPECT_NEAR(bursts[0].start, 100 * period, period);
+  EXPECT_NEAR(bursts[0].end, 150 * period, period);
+  EXPECT_GT(bursts[0].peak_average, DefaultSift().threshold);
+}
+
+TEST(SiftDetector, SeparatesBurstsAcrossShortGap) {
+  // A 10-sample gap (one 20 MHz SIFS) must be preserved by the 5-sample
+  // window — this is exactly why the paper bounds the window below the
+  // minimum SIFS.
+  SiftDetector detector(DefaultSift());
+  const auto samples = SquareTrace({{100, 200}, {310, 40}}, 500, 100.0);
+  const auto bursts = detector.Detect(samples);
+  ASSERT_EQ(bursts.size(), 2u);
+  const double period = DefaultSift().sample_period;
+  EXPECT_NEAR(bursts[1].start - bursts[0].end, 10 * period, 2 * period);
+}
+
+TEST(SiftDetector, WindowTooLargeBridgesSifsGap) {
+  // Control experiment: a 16-sample window erases the 10-sample gap,
+  // merging data and ACK into one burst.
+  SiftParams params = DefaultSift();
+  params.window = 16;
+  SiftDetector detector(params);
+  const auto samples = SquareTrace({{100, 200}, {310, 40}}, 500, 100.0);
+  EXPECT_EQ(detector.Detect(samples).size(), 1u);
+}
+
+TEST(SiftDetector, RidesOverMidPacketDips) {
+  // OFDM envelopes dip near zero mid-packet (Figure 5); the moving average
+  // must not split the packet on a couple of low samples.
+  auto samples = SquareTrace({{100, 100}}, 300, 100.0);
+  samples[150] = 0.0;
+  samples[151] = 0.1;
+  SiftDetector detector(DefaultSift());
+  EXPECT_EQ(detector.Detect(samples).size(), 1u);
+}
+
+TEST(SiftDetector, StreamingBlocksEqualOneShot) {
+  SignalSynthesizer synth(SignalParams{}, Rng(7));
+  const PhyTiming t = PhyTiming::ForWidth(ChannelWidth::kW20);
+  const auto schedule = MakeCbrSchedule(t, 20, 5000.0, 1000, 500.0);
+  const auto samples = synth.Synthesize(schedule, 120000.0);
+
+  SiftDetector one_shot(DefaultSift());
+  auto copy = samples;
+  const auto expected = one_shot.Detect(copy);
+
+  SiftDetector streaming(DefaultSift());
+  // USRP-style 2048-sample blocks.
+  for (std::size_t i = 0; i < samples.size(); i += 2048) {
+    const std::size_t n = std::min<std::size_t>(2048, samples.size() - i);
+    streaming.ProcessBlock({samples.data() + i, n});
+  }
+  streaming.Flush();
+  const auto actual = streaming.TakeBursts();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_DOUBLE_EQ(actual[i].start, expected[i].start);
+    EXPECT_DOUBLE_EQ(actual[i].end, expected[i].end);
+  }
+}
+
+TEST(SiftDetector, FlushClosesOpenBurst) {
+  SiftDetector detector(DefaultSift());
+  const auto samples = SquareTrace({{100, 150}}, 250, 100.0);  // Burst runs off.
+  detector.ProcessBlock(samples);
+  EXPECT_TRUE(detector.TakeBursts().empty());  // Still open.
+  detector.Flush();
+  const auto bursts = detector.TakeBursts();
+  ASSERT_EQ(bursts.size(), 1u);
+  EXPECT_NEAR(bursts[0].end, 250 * DefaultSift().sample_period, 1.1);
+}
+
+TEST(SiftDetector, TakeBurstsClears) {
+  SiftDetector detector(DefaultSift());
+  detector.Detect(SquareTrace({{10, 20}}, 100, 50.0));
+  EXPECT_TRUE(detector.TakeBursts().empty());
+}
+
+// Property test: synthesized CBR traffic at every width is detected with
+// the right count and durations.
+class DetectorWidthSweep : public ::testing::TestWithParam<ChannelWidth> {};
+
+TEST_P(DetectorWidthSweep, DetectsAllExchangesAtWidth) {
+  const PhyTiming t = PhyTiming::ForWidth(GetParam());
+  SignalParams params;
+  params.deep_ramp_probability = 0.0;  // Clean hardware for this test.
+  SignalSynthesizer synth(params, Rng(42));
+  const int kPackets = 25;
+  const Us spacing = t.FrameDuration(1000) + t.Sifs() + t.AckDuration() + 2000.0;
+  const auto schedule = MakeCbrSchedule(t, kPackets, spacing, 1000, 300.0);
+  const auto samples = synth.Synthesize(schedule, kPackets * spacing + 2000.0);
+
+  SiftDetector detector(DefaultSift());
+  const auto bursts = detector.Detect(samples);
+  ASSERT_EQ(bursts.size(), 2u * kPackets);
+  for (int i = 0; i < kPackets; ++i) {
+    // Data burst duration close to the true frame duration...
+    EXPECT_NEAR(bursts[2 * i].Duration(), t.FrameDuration(1000),
+                0.05 * t.FrameDuration(1000));
+    // ...and ACK duration close to the ACK air time.
+    EXPECT_NEAR(bursts[2 * i + 1].Duration(), t.AckDuration(),
+                0.25 * t.AckDuration() + 5.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, DetectorWidthSweep,
+                         ::testing::ValuesIn(kAllWidths));
+
+// --------------------------------------------------------------- matcher --
+
+DetectedBurst MakeBurst(Us start, Us duration) {
+  return DetectedBurst{start, start + duration, 100.0};
+}
+
+class MatcherWidthSweep : public ::testing::TestWithParam<ChannelWidth> {};
+
+TEST_P(MatcherWidthSweep, ClassifiesExactTimings) {
+  const PhyTiming t = PhyTiming::ForWidth(GetParam());
+  const auto data = MakeBurst(0.0, t.FrameDuration(1000));
+  const auto ack = MakeBurst(data.end + t.Sifs(), t.AckDuration());
+  PatternMatcher matcher;
+  const auto width = matcher.ClassifyPair(data, ack);
+  ASSERT_TRUE(width.has_value());
+  EXPECT_EQ(*width, GetParam());
+}
+
+TEST_P(MatcherWidthSweep, ClassifiesBeaconCtsPair) {
+  const PhyTiming t = PhyTiming::ForWidth(GetParam());
+  const auto beacon = MakeBurst(0.0, t.BeaconDuration());
+  const auto cts = MakeBurst(beacon.end + t.Sifs(), t.CtsDuration());
+  PatternMatcher matcher;
+  const auto width = matcher.ClassifyPair(beacon, cts);
+  ASSERT_TRUE(width.has_value());
+  EXPECT_EQ(*width, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, MatcherWidthSweep,
+                         ::testing::ValuesIn(kAllWidths));
+
+TEST(Matcher, RejectsWrongGap) {
+  const PhyTiming t = PhyTiming::ForWidth(ChannelWidth::kW20);
+  const auto data = MakeBurst(0.0, t.FrameDuration(1000));
+  // Gap of 70 us matches no width's SIFS (10/20/40 with 45% tolerance).
+  const auto ack = MakeBurst(data.end + 70.0, t.AckDuration());
+  EXPECT_FALSE(PatternMatcher().ClassifyPair(data, ack).has_value());
+}
+
+TEST(Matcher, RejectsWrongAckDuration) {
+  const PhyTiming t = PhyTiming::ForWidth(ChannelWidth::kW20);
+  const auto data = MakeBurst(0.0, t.FrameDuration(1000));
+  const auto bogus = MakeBurst(data.end + t.Sifs(), 500.0);
+  EXPECT_FALSE(PatternMatcher().ClassifyPair(data, bogus).has_value());
+}
+
+TEST(Matcher, RejectsAckAckPair) {
+  // Two ACK-sized bursts SIFS apart: the first is too short to be data.
+  const PhyTiming t = PhyTiming::ForWidth(ChannelWidth::kW20);
+  const auto a = MakeBurst(0.0, t.AckDuration());
+  const auto b = MakeBurst(a.end + t.Sifs(), t.AckDuration());
+  EXPECT_FALSE(PatternMatcher().ClassifyPair(a, b).has_value());
+}
+
+TEST(Matcher, RejectsNegativeGap) {
+  const auto a = MakeBurst(0.0, 300.0);
+  const auto b = MakeBurst(100.0, 44.0);  // Overlapping.
+  EXPECT_FALSE(PatternMatcher().ClassifyPair(a, b).has_value());
+}
+
+TEST(Matcher, MatchAllConsumesPairsOnce) {
+  const PhyTiming t = PhyTiming::ForWidth(ChannelWidth::kW10);
+  std::vector<DetectedBurst> bursts;
+  for (int i = 0; i < 3; ++i) {
+    const Us base = i * 5000.0;
+    bursts.push_back(MakeBurst(base, t.FrameDuration(1000)));
+    bursts.push_back(MakeBurst(bursts.back().end + t.Sifs(), t.AckDuration()));
+  }
+  const auto matches = PatternMatcher().MatchAll(bursts);
+  ASSERT_EQ(matches.size(), 3u);
+  for (std::size_t i = 0; i < matches.size(); ++i) {
+    EXPECT_EQ(matches[i].width, ChannelWidth::kW10);
+    EXPECT_EQ(matches[i].data_burst, 2 * i);
+    EXPECT_EQ(matches[i].ack_burst, 2 * i + 1);
+  }
+}
+
+TEST(Matcher, DominantWidthFromMixedTraffic) {
+  const PhyTiming t20 = PhyTiming::ForWidth(ChannelWidth::kW20);
+  const PhyTiming t5 = PhyTiming::ForWidth(ChannelWidth::kW5);
+  std::vector<DetectedBurst> bursts;
+  Us at = 0.0;
+  for (int i = 0; i < 4; ++i) {  // Four 20 MHz exchanges...
+    bursts.push_back(MakeBurst(at, t20.FrameDuration(1000)));
+    bursts.push_back(MakeBurst(bursts.back().end + t20.Sifs(),
+                               t20.AckDuration()));
+    at = bursts.back().end + 3000.0;
+  }
+  // ...and one 5 MHz exchange.
+  bursts.push_back(MakeBurst(at, t5.FrameDuration(1000)));
+  bursts.push_back(MakeBurst(bursts.back().end + t5.Sifs(), t5.AckDuration()));
+
+  const auto width = PatternMatcher().DominantWidth(bursts);
+  ASSERT_TRUE(width.has_value());
+  EXPECT_EQ(*width, ChannelWidth::kW20);
+  EXPECT_FALSE(PatternMatcher().DominantWidth({}).has_value());
+}
+
+// End-to-end: synthesize -> detect -> classify, per width; this is the full
+// SIFT pipeline the paper uses for AP discovery.
+class PipelineWidthSweep : public ::testing::TestWithParam<ChannelWidth> {};
+
+TEST_P(PipelineWidthSweep, WidthAlwaysCorrectEvenWithRampArtifact) {
+  const PhyTiming t = PhyTiming::ForWidth(GetParam());
+  SignalParams params;  // Default includes the 5 MHz deep-ramp artifact.
+  SignalSynthesizer synth(params, Rng(9));
+  const Us spacing = t.FrameDuration(1000) + t.Sifs() + t.AckDuration() + 3000.0;
+  const auto schedule = MakeCbrSchedule(t, 30, spacing, 1000, 400.0);
+  const auto samples = synth.Synthesize(schedule, 30 * spacing + 3000.0);
+  SiftDetector detector(SiftParams{});
+  const auto width = PatternMatcher().DominantWidth(detector.Detect(samples));
+  ASSERT_TRUE(width.has_value());
+  // Paper: "SIFT always correctly detects the channel width of the
+  // transmitted packet, even when it mis-estimates the packet length."
+  EXPECT_EQ(*width, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, PipelineWidthSweep,
+                         ::testing::ValuesIn(kAllWidths));
+
+// --------------------------------------------------------------- airtime --
+
+TEST(Airtime, BusyFractionBasics) {
+  std::vector<DetectedBurst> bursts{MakeBurst(100.0, 200.0),
+                                    MakeBurst(500.0, 100.0)};
+  EXPECT_DOUBLE_EQ(BusyAirtimeFraction(bursts, 0.0, 1000.0), 0.3);
+  EXPECT_DOUBLE_EQ(BusyAirtimeFraction({}, 0.0, 1000.0), 0.0);
+  EXPECT_DOUBLE_EQ(BusyAirtimeFraction(bursts, 0.0, 0.0), 0.0);
+}
+
+TEST(Airtime, BurstsClippedToWindow) {
+  std::vector<DetectedBurst> bursts{MakeBurst(-50.0, 100.0),  // Half inside.
+                                    MakeBurst(950.0, 100.0)};  // Half inside.
+  EXPECT_DOUBLE_EQ(BusyAirtimeFraction(bursts, 0.0, 1000.0), 0.1);
+}
+
+TEST(Airtime, TotalAndEmptyObservation) {
+  std::vector<DetectedBurst> bursts{MakeBurst(0.0, 10.0), MakeBurst(20.0, 5.0)};
+  EXPECT_DOUBLE_EQ(TotalBurstAirtime(bursts), 15.0);
+  const BandObservation obs = EmptyBandObservation();
+  EXPECT_EQ(obs.size(), 30u);
+  for (const auto& o : obs) {
+    EXPECT_DOUBLE_EQ(o.airtime, 0.0);
+    EXPECT_EQ(o.ap_count, 0);
+    EXPECT_FALSE(o.incumbent);
+  }
+}
+
+// ----------------------------------------------------------------- chirp --
+
+TEST(ChirpCodec, RoundTripAllIds) {
+  const ChirpCodec codec;
+  for (int id = 0; id <= codec.params().max_id; ++id) {
+    const Us duration = codec.Encode(id);
+    const auto decoded = codec.Decode(duration);
+    ASSERT_TRUE(decoded.has_value()) << id;
+    EXPECT_EQ(*decoded, id);
+  }
+}
+
+TEST(ChirpCodec, RoundTripSurvivesMeasurementNoise) {
+  const ChirpCodec codec;
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int id = rng.UniformInt(0, codec.params().max_id);
+    const Us noise = rng.Uniform(-0.3, 0.3) * codec.params().quantum *
+                     codec.params().tolerance;
+    const auto decoded = codec.Decode(codec.Encode(id) + noise);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, id);
+  }
+}
+
+TEST(ChirpCodec, RejectsOutOfBand) {
+  const ChirpCodec codec;
+  EXPECT_FALSE(codec.Decode(0.0).has_value());
+  EXPECT_FALSE(
+      codec.Decode(codec.Encode(codec.params().max_id) + 10 * codec.params().quantum)
+          .has_value());
+  // Between symbols, outside tolerance.
+  const Us between = codec.Encode(3) + 0.5 * codec.params().quantum;
+  EXPECT_FALSE(codec.Decode(between).has_value());
+}
+
+TEST(ChirpCodec, EncodeValidation) {
+  const ChirpCodec codec;
+  EXPECT_THROW(codec.Encode(-1), std::out_of_range);
+  EXPECT_THROW(codec.Encode(codec.params().max_id + 1), std::out_of_range);
+}
+
+TEST(ChirpCodec, ParamValidation) {
+  ChirpCodecParams p;
+  p.quantum = 0.0;
+  EXPECT_THROW(ChirpCodec{p}, std::invalid_argument);
+  p = ChirpCodecParams{};
+  p.tolerance = 0.5;
+  EXPECT_THROW(ChirpCodec{p}, std::invalid_argument);
+}
+
+TEST(ChirpCodec, DecodesFromDetectedBurst) {
+  const ChirpCodec codec;
+  DetectedBurst burst{1000.0, 1000.0 + codec.Encode(17), 50.0};
+  const auto decoded = codec.Decode(burst);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, 17);
+}
+
+// End-to-end chirp: synthesize a chirp burst, SIFT-detect it, decode the id.
+TEST(ChirpCodec, EndToEndThroughSift) {
+  const ChirpCodec codec;
+  SignalParams params;
+  SignalSynthesizer synth(params, Rng(12));
+  for (int id : {0, 5, 31, 63}) {
+    const Burst burst{2000.0, codec.Encode(id), false, 1.0};
+    const auto samples = synth.Synthesize({{burst}}, 15000.0);
+    SiftDetector detector(SiftParams{});
+    const auto bursts = detector.Detect(samples);
+    ASSERT_EQ(bursts.size(), 1u) << id;
+    const auto decoded = codec.Decode(bursts[0]);
+    ASSERT_TRUE(decoded.has_value()) << id;
+    EXPECT_EQ(*decoded, id);
+  }
+}
+
+}  // namespace
+}  // namespace whitefi

@@ -1,0 +1,127 @@
+// Validates the fast (books-based) scanner against the faithful
+// signal-level scanner: on the same scenario both must report the same
+// airtime, AP counts, and incumbent flags — the justification for using
+// the fast scanner in the large simulation benches.
+#include <gtest/gtest.h>
+
+#include "sim/scanner.h"
+#include "sim/signal_scanner.h"
+#include "sim/traffic.h"
+#include "sim/world.h"
+
+namespace whitefi {
+namespace {
+
+DeviceConfig At(double x, double y, Channel ch, int ssid, bool is_ap = false) {
+  DeviceConfig c;
+  c.position = {x, y};
+  c.initial_channel = ch;
+  c.ssid = ssid;
+  c.is_ap = is_ap;
+  return c;
+}
+
+/// One foreign CBR pair on `channel`; the sender also beacons every 100 ms
+/// (so B_c estimation has beacons to count).
+void AddForeignPair(World& world, UhfIndex channel, SimTime ipd, int ssid,
+                    std::vector<std::unique_ptr<CbrSource>>& sources) {
+  const Channel home{channel, ChannelWidth::kW5};
+  Device& tx = world.Create<Device>(At(40, 40, home, ssid, /*is_ap=*/true));
+  Device& rx = world.Create<Device>(At(60, 40, home, ssid));
+  sources.push_back(std::make_unique<CbrSource>(tx, rx.NodeId(), 1000, ipd));
+  sources.back()->Start();
+  // Beacon loop for the foreign AP.
+  struct Beaconer {
+    static void Tick(World& w, Device& ap) {
+      Frame beacon;
+      beacon.type = FrameType::kBeacon;
+      beacon.dst = kBroadcastId;
+      beacon.bytes = kBeaconBytes;
+      ap.mac().EnqueueFront(beacon);
+      w.sim().ScheduleAfter(100 * kTicksPerMs,
+                            [&w, &ap] { Tick(w, ap); });
+    }
+  };
+  Beaconer::Tick(world, tx);
+}
+
+TEST(SignalLevelScanner, AgreesWithBooksScannerOnAirtime) {
+  World world;
+  std::vector<std::unique_ptr<CbrSource>> sources;
+  // Channel 7: ~50% duty; channel 12: ~14% duty; channel 20: idle.
+  AddForeignPair(world, 7, 14 * kTicksPerMs, 100, sources);
+  AddForeignPair(world, 12, 50 * kTicksPerMs, 101, sources);
+
+  Device& observer =
+      world.Create<Device>(At(0, 0, Channel{25, ChannelWidth::kW5}, 1));
+  ScannerParams books_params;
+  books_params.dwell = 250 * kTicksPerMs;
+  books_params.airtime_noise_stddev = 0.0;
+  Scanner books(observer, books_params);
+  SignalScannerParams signal_params;
+  signal_params.dwell = 250 * kTicksPerMs;
+  SignalLevelScanner signal(observer, signal_params);
+  books.StartSweep();
+  signal.StartSweep();
+  world.RunFor(20.0);  // Both complete at least two sweeps.
+  EXPECT_GE(books.SweepsCompleted(), 2);
+  EXPECT_GE(signal.SweepsCompleted(), 2);
+
+  for (UhfIndex c : {7, 12, 20}) {
+    const auto i = static_cast<std::size_t>(c);
+    EXPECT_NEAR(signal.Observation()[i].airtime, books.Observation()[i].airtime,
+                0.12)
+        << "channel " << c;
+  }
+  EXPECT_GT(signal.Observation()[7].airtime, 0.3);
+  EXPECT_LT(signal.Observation()[20].airtime, 0.05);
+}
+
+TEST(SignalLevelScanner, CountsApsFromBeaconPatterns) {
+  World world;
+  std::vector<std::unique_ptr<CbrSource>> sources;
+  AddForeignPair(world, 9, 40 * kTicksPerMs, 100, sources);
+  Device& observer =
+      world.Create<Device>(At(0, 0, Channel{25, ChannelWidth::kW5}, 1));
+  SignalScannerParams params;
+  params.dwell = 500 * kTicksPerMs;  // ~5 beacon intervals per dwell.
+  SignalLevelScanner scanner(observer, params);
+  scanner.StartSweep();
+  world.RunFor(32.0);
+  EXPECT_EQ(scanner.Observation()[9].ap_count, 1);
+  EXPECT_EQ(scanner.Observation()[20].ap_count, 0);
+}
+
+TEST(SignalLevelScanner, ExcludesOwnSsidTraffic) {
+  World world;
+  const Channel ch{7, ChannelWidth::kW5};
+  Device& mine = world.Create<Device>(At(0, 0, ch, /*ssid=*/1, true));
+  Device& peer = world.Create<Device>(At(10, 0, ch, /*ssid=*/1));
+  SaturatedSource sat(mine, peer.NodeId(), 1000);
+  sat.Start();
+  SignalScannerParams params;
+  params.dwell = 250 * kTicksPerMs;
+  SignalLevelScanner scanner(peer, params);
+  scanner.StartSweep();
+  world.RunFor(16.0);
+  EXPECT_LT(scanner.Observation()[7].airtime, 0.1);
+}
+
+TEST(SignalLevelScanner, FlagsIncumbents) {
+  World world;
+  DeviceConfig config = At(0, 0, Channel{25, ChannelWidth::kW5}, 1);
+  config.tv_map = SpectrumMap::FromOccupiedIndices({4});
+  Device& observer = world.Create<Device>(config);
+  world.SetMicSchedule({{11, 0.0, 600.0 * kSecond}});
+  SignalScannerParams params;
+  params.dwell = 100 * kTicksPerMs;
+  SignalLevelScanner scanner(observer, params);
+  scanner.StartSweep();
+  world.RunFor(6.0);
+  EXPECT_TRUE(scanner.Observation()[4].incumbent);
+  EXPECT_TRUE(scanner.Observation()[11].incumbent);
+  EXPECT_FALSE(scanner.Observation()[12].incumbent);
+}
+
+}  // namespace
+}  // namespace whitefi

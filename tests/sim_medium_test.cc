@@ -1,0 +1,276 @@
+// Tests for the radio medium: exact-channel delivery, width dropping,
+// cross-width carrier sense, SINR collisions, airtime books, frame taps,
+// and half-duplex behavior.
+#include <gtest/gtest.h>
+
+#include "sim/medium.h"
+
+namespace whitefi {
+namespace {
+
+/// Minimal scriptable radio for medium-level tests.
+class FakeRadio : public RadioPort {
+ public:
+  FakeRadio(int id, Position pos, Channel channel, bool is_ap = false)
+      : id_(id), pos_(pos), channel_(channel), is_ap_(is_ap) {}
+
+  int NodeId() const override { return id_; }
+  Position Location() const override { return pos_; }
+  const Channel& TunedChannel() const override { return channel_; }
+  bool RxEnabled() const override { return rx_enabled; }
+  bool IsAp() const override { return is_ap_; }
+  void DeliverFrame(const Frame& frame, Dbm power) override {
+    delivered.push_back(frame);
+    powers.push_back(power);
+  }
+  void MediumChanged() override { ++medium_changes; }
+
+  void Tune(const Channel& c) { channel_ = c; }
+
+  bool rx_enabled = true;
+  std::vector<Frame> delivered;
+  std::vector<Dbm> powers;
+  int medium_changes = 0;
+
+ private:
+  int id_;
+  Position pos_;
+  Channel channel_;
+  bool is_ap_;
+};
+
+Frame DataFrame(int src, int dst, int bytes = 1028) {
+  Frame f;
+  f.type = FrameType::kData;
+  f.src = src;
+  f.dst = dst;
+  f.bytes = bytes;
+  return f;
+}
+
+class MediumTest : public ::testing::Test {
+ protected:
+  MediumTest() : medium_(sim_, MediumParams{}) {}
+
+  Simulator sim_;
+  Medium medium_;
+};
+
+TEST_F(MediumTest, DeliversToSameChannelRadio) {
+  const Channel ch{10, ChannelWidth::kW20};
+  FakeRadio tx(1, {0, 0}, ch), rx(2, {100, 0}, ch);
+  medium_.Register(&tx);
+  medium_.Register(&rx);
+  bool ended = false;
+  medium_.Transmit(&tx, ch, DataFrame(1, 2), 16.0, 200, [&] { ended = true; });
+  sim_.Run(1000);
+  EXPECT_TRUE(ended);
+  ASSERT_EQ(rx.delivered.size(), 1u);
+  EXPECT_EQ(rx.delivered[0].src, 1);
+  EXPECT_TRUE(tx.delivered.empty());  // Sender does not hear itself.
+  // Received power matches propagation at 100 m.
+  EXPECT_NEAR(rx.powers[0], 16.0 - (28.0 + 22.0 * 2.0), 1e-6);
+}
+
+TEST_F(MediumTest, DropsDifferentWidthSameCenter) {
+  // Paper 5.4: "we explicitly drop packets that were sent at a different
+  // channel width".
+  const Channel tx_ch{10, ChannelWidth::kW20};
+  const Channel rx_ch{10, ChannelWidth::kW10};
+  FakeRadio tx(1, {0, 0}, tx_ch), rx(2, {50, 0}, rx_ch);
+  medium_.Register(&tx);
+  medium_.Register(&rx);
+  medium_.Transmit(&tx, tx_ch, DataFrame(1, 2), 16.0, 200, nullptr);
+  sim_.Run(1000);
+  EXPECT_TRUE(rx.delivered.empty());
+  // But the overlapping-energy notification did fire (carrier sense).
+  EXPECT_GT(rx.medium_changes, 0);
+}
+
+TEST_F(MediumTest, DropsDifferentCenterSameWidth) {
+  const Channel a{5, ChannelWidth::kW5};
+  const Channel b{6, ChannelWidth::kW5};
+  FakeRadio tx(1, {0, 0}, a), rx(2, {50, 0}, b);
+  medium_.Register(&tx);
+  medium_.Register(&rx);
+  medium_.Transmit(&tx, a, DataFrame(1, 2), 16.0, 200, nullptr);
+  sim_.Run(1000);
+  EXPECT_TRUE(rx.delivered.empty());
+  EXPECT_EQ(rx.medium_changes, 0);  // No spectral overlap either.
+}
+
+TEST_F(MediumTest, NoDeliveryWhileRxDisabled) {
+  const Channel ch{10, ChannelWidth::kW5};
+  FakeRadio tx(1, {0, 0}, ch), rx(2, {50, 0}, ch);
+  rx.rx_enabled = false;  // PLL retuning.
+  medium_.Register(&tx);
+  medium_.Register(&rx);
+  medium_.Transmit(&tx, ch, DataFrame(1, 2), 16.0, 200, nullptr);
+  sim_.Run(1000);
+  EXPECT_TRUE(rx.delivered.empty());
+}
+
+TEST_F(MediumTest, CarrierSenseAcrossOverlappingWidths) {
+  // A 20 MHz transmission spanning channels 8..12 must be sensed by a
+  // 5 MHz radio on channel 12 but not by one on channel 13 — the paper's
+  // carrier-sense modification.
+  const Channel wide{10, ChannelWidth::kW20};
+  FakeRadio tx(1, {0, 0}, wide);
+  FakeRadio on12(2, {50, 0}, Channel{12, ChannelWidth::kW5});
+  FakeRadio on13(3, {50, 0}, Channel{13, ChannelWidth::kW5});
+  medium_.Register(&tx);
+  medium_.Register(&on12);
+  medium_.Register(&on13);
+  medium_.Transmit(&tx, wide, DataFrame(1, 99), 16.0, 500, nullptr);
+  sim_.Run(100);  // Mid-transmission.
+  EXPECT_TRUE(medium_.CarrierSensed(on12, on12.TunedChannel()));
+  EXPECT_FALSE(medium_.CarrierSensed(on13, on13.TunedChannel()));
+  // A node never senses its own transmission as foreign carrier.
+  EXPECT_FALSE(medium_.CarrierSensed(tx, wide));
+  EXPECT_TRUE(medium_.Transmitting(tx));
+  sim_.Run(1000);
+  EXPECT_FALSE(medium_.CarrierSensed(on12, on12.TunedChannel()));
+  EXPECT_FALSE(medium_.Transmitting(tx));
+}
+
+TEST_F(MediumTest, CollisionDestroysBothFrames) {
+  const Channel ch{10, ChannelWidth::kW5};
+  FakeRadio a(1, {0, 0}, ch), b(2, {10, 0}, ch), rx(3, {5, 5}, ch);
+  medium_.Register(&a);
+  medium_.Register(&b);
+  medium_.Register(&rx);
+  medium_.Transmit(&a, ch, DataFrame(1, 3), 16.0, 200, nullptr);
+  medium_.Transmit(&b, ch, DataFrame(2, 3), 16.0, 200, nullptr);
+  sim_.Run(1000);
+  // Comparable powers => SINR ~ 0 dB < 10 dB threshold for both.
+  EXPECT_TRUE(rx.delivered.empty());
+}
+
+TEST_F(MediumTest, CaptureWhenInterfererIsWeak) {
+  const Channel ch{10, ChannelWidth::kW5};
+  FakeRadio near_tx(1, {0, 0}, ch);
+  FakeRadio far_tx(2, {5000, 0}, ch);  // ~75 dB weaker at the receiver.
+  FakeRadio rx(3, {10, 0}, ch);
+  medium_.Register(&near_tx);
+  medium_.Register(&far_tx);
+  medium_.Register(&rx);
+  medium_.Transmit(&near_tx, ch, DataFrame(1, 3), 16.0, 200, nullptr);
+  medium_.Transmit(&far_tx, ch, DataFrame(2, 3), 16.0, 200, nullptr);
+  sim_.Run(1000);
+  // The near frame captures; the far one is buried.
+  ASSERT_EQ(rx.delivered.size(), 1u);
+  EXPECT_EQ(rx.delivered[0].src, 1);
+}
+
+TEST_F(MediumTest, HalfDuplexReceiverMissesWhileTransmitting) {
+  const Channel ch{10, ChannelWidth::kW5};
+  FakeRadio a(1, {0, 0}, ch), b(2, {10, 0}, ch);
+  medium_.Register(&a);
+  medium_.Register(&b);
+  // b transmits during a's frame; b must not receive a's frame.
+  medium_.Transmit(&a, ch, DataFrame(1, 2), 16.0, 300, nullptr);
+  sim_.Run(50);
+  medium_.Transmit(&b, ch, DataFrame(2, 1), 16.0, 100, nullptr);
+  sim_.Run(1000);
+  EXPECT_TRUE(b.delivered.empty());
+}
+
+TEST_F(MediumTest, AirtimeBooksTrackBusyTime) {
+  const Channel wide{10, ChannelWidth::kW20};  // Spans 8..12.
+  FakeRadio tx(1, {0, 0}, wide, /*is_ap=*/true);
+  medium_.Register(&tx);
+  const AirtimeBooks before = medium_.SnapshotBooks();
+  medium_.Transmit(&tx, wide, DataFrame(1, 99), 16.0, 400, nullptr);
+  sim_.Run(1000);
+  const AirtimeBooks after = medium_.SnapshotBooks();
+  for (UhfIndex c = 8; c <= 12; ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    EXPECT_DOUBLE_EQ(after[i].busy - before[i].busy, 400.0) << c;
+    EXPECT_DOUBLE_EQ(after[i].per_node.at(1), 400.0) << c;
+  }
+  EXPECT_DOUBLE_EQ(after[7].busy, before[7].busy);
+  EXPECT_DOUBLE_EQ(after[13].busy, before[13].busy);
+}
+
+TEST_F(MediumTest, OverlappingTransmissionsBusyTimeIsUnion) {
+  const Channel ch{5, ChannelWidth::kW5};
+  FakeRadio a(1, {0, 0}, ch), b(2, {10, 0}, ch);
+  medium_.Register(&a);
+  medium_.Register(&b);
+  medium_.Transmit(&a, ch, DataFrame(1, 9), 16.0, 300, nullptr);
+  sim_.Run(100);
+  medium_.Transmit(&b, ch, DataFrame(2, 9), 16.0, 300, nullptr);  // 100..400.
+  sim_.Run(1000);
+  const AirtimeBooks books = medium_.SnapshotBooks();
+  // Union busy time is 400 us, not 600.
+  EXPECT_DOUBLE_EQ(books[5].busy, 400.0);
+  // Per-node books carry each transmitter's own air time.
+  EXPECT_DOUBLE_EQ(books[5].per_node.at(1), 300.0);
+  EXPECT_DOUBLE_EQ(books[5].per_node.at(2), 300.0);
+}
+
+TEST_F(MediumTest, ActiveApsBetweenSnapshotsAndApIds) {
+  const Channel ch{3, ChannelWidth::kW5};
+  FakeRadio ap(1, {0, 0}, ch, /*is_ap=*/true);
+  FakeRadio client(2, {10, 0}, ch, /*is_ap=*/false);
+  medium_.Register(&ap);
+  medium_.Register(&client);
+  EXPECT_EQ(medium_.ApIds(), (std::vector<int>{1}));
+  const AirtimeBooks before = medium_.SnapshotBooks();
+  medium_.Transmit(&ap, ch, DataFrame(1, 2), 16.0, 100, nullptr);
+  sim_.Run(1000);
+  const AirtimeBooks after = medium_.SnapshotBooks();
+  EXPECT_EQ(Medium::ActiveApsBetween(before, after, 3, {1, 2}),
+            (std::vector<int>{1}));
+  EXPECT_TRUE(Medium::ActiveApsBetween(before, after, 4, {1, 2}).empty());
+  EXPECT_TRUE(Medium::ActiveApsBetween(after, after, 3, {1, 2}).empty());
+}
+
+TEST_F(MediumTest, FrameTapSeesEveryTransmission) {
+  const Channel ch{3, ChannelWidth::kW5};
+  FakeRadio tx(1, {0, 0}, ch);
+  medium_.Register(&tx);
+  int taps = 0;
+  Channel tapped_channel{0, ChannelWidth::kW5};
+  medium_.AddFrameTap([&](const Channel& c, const Frame& f, const RadioPort& r) {
+    ++taps;
+    tapped_channel = c;
+    EXPECT_EQ(f.type, FrameType::kChirp);
+    EXPECT_EQ(r.NodeId(), 1);
+  });
+  Frame chirp;
+  chirp.type = FrameType::kChirp;
+  chirp.src = 1;
+  chirp.bytes = 60;
+  medium_.Transmit(&tx, ch, chirp, 16.0, 100, nullptr);
+  sim_.Run(1000);
+  EXPECT_EQ(taps, 1);
+  EXPECT_EQ(tapped_channel, ch);
+}
+
+TEST_F(MediumTest, UnregisterStopsDelivery) {
+  const Channel ch{3, ChannelWidth::kW5};
+  FakeRadio tx(1, {0, 0}, ch), rx(2, {10, 0}, ch);
+  medium_.Register(&tx);
+  medium_.Register(&rx);
+  medium_.Unregister(&rx);
+  medium_.Transmit(&tx, ch, DataFrame(1, 2), 16.0, 100, nullptr);
+  sim_.Run(1000);
+  EXPECT_TRUE(rx.delivered.empty());
+}
+
+TEST_F(MediumTest, FarAwayReceiverBelowSnrGetsNothing) {
+  MediumParams params;
+  params.propagation.exponent = 3.5;  // Harsh environment for this test.
+  Medium medium(sim_, params);
+  const Channel ch{3, ChannelWidth::kW5};
+  FakeRadio tx(1, {0, 0}, ch), rx(2, {20000, 0}, ch);
+  medium.Register(&tx);
+  medium.Register(&rx);
+  medium.Transmit(&tx, ch, DataFrame(1, 2), 16.0, 100, nullptr);
+  sim_.Run(1000);
+  EXPECT_TRUE(rx.delivered.empty());
+}
+
+}  // namespace
+}  // namespace whitefi

@@ -1,0 +1,19 @@
+// Build smoke test: pulls in the umbrella header and touches each layer.
+#include "core/whitefi.h"
+
+#include <gtest/gtest.h>
+
+namespace whitefi {
+namespace {
+
+TEST(Smoke, UmbrellaHeaderCompilesAndBasicsWork) {
+  EXPECT_EQ(kNumUhfChannels, 30);
+  EXPECT_EQ(AllChannels().size(), 84u);
+  EXPECT_DOUBLE_EQ(IdleMCham(ChannelWidth::kW20), 4.0);
+
+  World world;
+  EXPECT_EQ(world.sim().Now(), 0);
+}
+
+}  // namespace
+}  // namespace whitefi

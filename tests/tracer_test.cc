@@ -1,0 +1,107 @@
+// Tests for the frame tracer and the fairness statistic.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/tracer.h"
+#include "sim/traffic.h"
+#include "sim/world.h"
+#include "util/stats.h"
+
+namespace whitefi {
+namespace {
+
+DeviceConfig At(double x, Channel ch) {
+  DeviceConfig c;
+  c.position = {x, 0};
+  c.initial_channel = ch;
+  c.ssid = 1;
+  return c;
+}
+
+TEST(Tracer, RecordsFramesWithTimeAndChannel) {
+  World world;
+  const Channel ch{10, ChannelWidth::kW20};
+  Device& a = world.Create<Device>(At(0, ch));
+  Device& b = world.Create<Device>(At(50, ch));
+  Tracer tracer(world);
+  Frame data;
+  data.type = FrameType::kData;
+  data.dst = b.NodeId();
+  data.bytes = 1028;
+  a.mac().Enqueue(data);
+  world.RunFor(0.1);
+  // Data frame + its ACK.
+  EXPECT_EQ(tracer.CountOf(FrameType::kData), 1u);
+  EXPECT_EQ(tracer.CountOf(FrameType::kAck), 1u);
+  ASSERT_EQ(tracer.Records().size(), 2u);
+  EXPECT_NE(tracer.Records()[0].line.find("Data"), std::string::npos);
+  EXPECT_NE(tracer.Records()[0].line.find("(ch31, 20MHz)"), std::string::npos);
+  EXPECT_LT(tracer.Records()[0].at, tracer.Records()[1].at);
+}
+
+TEST(Tracer, TypeFilterAndLiveStream) {
+  World world;
+  const Channel ch{5, ChannelWidth::kW10};
+  Device& a = world.Create<Device>(At(0, ch));
+  Device& b = world.Create<Device>(At(50, ch));
+  std::ostringstream live;
+  TracerOptions options;
+  options.only = {FrameType::kData};
+  options.live = &live;
+  Tracer tracer(world, options);
+  Frame data;
+  data.type = FrameType::kData;
+  data.dst = b.NodeId();
+  data.bytes = 528;
+  a.mac().Enqueue(data);
+  a.mac().Enqueue(data);
+  world.RunFor(0.2);
+  // Only the data frames are recorded; ACKs are counted but filtered.
+  EXPECT_EQ(tracer.Records().size(), 2u);
+  EXPECT_EQ(tracer.CountOf(FrameType::kAck), 2u);
+  EXPECT_NE(live.str().find("Data"), std::string::npos);
+  EXPECT_EQ(live.str().find("Ack"), std::string::npos);
+}
+
+TEST(Tracer, NotesAndCap) {
+  World world;
+  TracerOptions options;
+  options.max_records = 1;
+  Tracer tracer(world, options);
+  tracer.Note("first milestone");
+  tracer.Note("second (beyond the cap)");
+  ASSERT_EQ(tracer.Records().size(), 1u);
+  EXPECT_NE(tracer.ToString().find("first milestone"), std::string::npos);
+}
+
+// ------------------------------------------------------------- fairness --
+
+TEST(Fairness, JainIndexBasics) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({}), 0.0);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({5.0}), 1.0);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({3.0, 3.0, 3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({1.0, 0.0, 0.0, 0.0}), 0.25);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({0.0, 0.0}), 1.0);
+  EXPECT_NEAR(JainFairnessIndex({1.0, 2.0, 3.0}), 36.0 / 42.0, 1e-12);
+}
+
+TEST(Fairness, DcfSharesFairlyAmongEqualClients) {
+  // Three equal clients of a saturated downlink: Jain index near 1.
+  World world;
+  const Channel ch{10, ChannelWidth::kW20};
+  Device& ap = world.Create<Device>(At(0, ch));
+  std::vector<int> ids;
+  for (int i = 0; i < 3; ++i) {
+    ids.push_back(world.Create<Device>(At(40.0 + 10 * i, ch)).NodeId());
+  }
+  SaturatedSource downlink(ap, ids, 1000);
+  downlink.Start();
+  world.RunFor(5.0);
+  std::vector<double> shares;
+  for (int id : ids) shares.push_back(static_cast<double>(world.AppBytes(id)));
+  EXPECT_GT(JainFairnessIndex(shares), 0.99);
+}
+
+}  // namespace
+}  // namespace whitefi

@@ -1,0 +1,296 @@
+// Unit tests for util: rng, stats, histogram, report, units.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/histogram.h"
+#include "util/report.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace whitefi {
+namespace {
+
+// ---------------------------------------------------------------- units ---
+
+TEST(Units, DbLinearRoundTrip) {
+  EXPECT_DOUBLE_EQ(DbToLinear(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(DbToLinear(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(DbToLinear(3.0), std::pow(10.0, 0.3));
+  EXPECT_NEAR(LinearToDb(DbToLinear(7.7)), 7.7, 1e-12);
+}
+
+TEST(Units, AttenuationScalesAmplitudeNotPower) {
+  // 20 dB of attenuation is a 10x amplitude reduction.
+  EXPECT_NEAR(AttenuationToAmplitudeScale(20.0), 0.1, 1e-12);
+  EXPECT_NEAR(AttenuationToAmplitudeScale(6.0), 0.501187, 1e-5);
+  EXPECT_DOUBLE_EQ(AttenuationToAmplitudeScale(0.0), 1.0);
+}
+
+TEST(Units, DbmMilliwattRoundTrip) {
+  EXPECT_DOUBLE_EQ(DbmToMilliwatt(0.0), 1.0);
+  EXPECT_NEAR(DbmToMilliwatt(16.0), 39.81, 0.01);  // FCC cap ~40 mW.
+  EXPECT_NEAR(MilliwattToDbm(DbmToMilliwatt(-73.2)), -73.2, 1e-9);
+}
+
+// ------------------------------------------------------------------ rng ---
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform01(), b.Uniform01());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform01() == b.Uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkStreamsAreIndependentAndDistinct) {
+  Rng parent(7);
+  Rng c1 = parent.Fork();
+  Rng c2 = parent.Fork();
+  // Distinct from each other.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1.Uniform01() == c2.Uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+  // Forks are reproducible: same parent seed, same fork order.
+  Rng parent2(7);
+  Rng c1b = parent2.Fork();
+  for (int i = 0; i < 100; ++i) c1b.Uniform01();  // Same consumption as c1.
+  Rng parent3(7);
+  Rng c1c = parent3.Fork();
+  Rng check(0);
+  (void)check;
+  Rng c1d = Rng(7).Fork();
+  EXPECT_DOUBLE_EQ(c1c.Uniform01(), c1d.Uniform01());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(2.5, 3.5);
+    EXPECT_GE(x, 2.5);
+    EXPECT_LT(x, 3.5);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(4);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 3));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_TRUE(seen.count(0) == 1 && seen.count(3) == 1);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-1.0));
+    EXPECT_TRUE(rng.Bernoulli(2.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(6);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, RayleighMeanMatchesTheory) {
+  // Rayleigh(sigma) has mean sigma * sqrt(pi/2).
+  Rng rng(8);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(rng.Rayleigh(2.0));
+  EXPECT_NEAR(stats.Mean(), 2.0 * std::sqrt(M_PI / 2.0), 0.05);
+  EXPECT_GT(stats.Min(), 0.0);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(9);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(rng.Exponential(5.0));
+  EXPECT_NEAR(stats.Mean(), 5.0, 0.2);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(10);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, PickReturnsElementFromVector) {
+  Rng rng(11);
+  const std::vector<int> v{10, 20, 30};
+  for (int i = 0; i < 50; ++i) {
+    const int x = rng.Pick(v);
+    EXPECT_TRUE(x == 10 || x == 20 || x == 30);
+  }
+}
+
+// ---------------------------------------------------------------- stats ---
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats s;
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  s.Add(2.0);
+  s.Add(4.0);
+  s.Add(6.0);
+  EXPECT_EQ(s.Count(), 3u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 12.0);
+}
+
+TEST(Stats, MeanMedianOfVectors) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({5}), 5.0);
+  EXPECT_DOUBLE_EQ(Median({1, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({9, 1, 5}), 5.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 50.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 30.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 20.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 12.5), 15.0);
+  // Clamped out-of-range p.
+  EXPECT_DOUBLE_EQ(Percentile(v, -10), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 400), 50.0);
+}
+
+TEST(Stats, StdDevMatchesRunningStats) {
+  const std::vector<double> v{1.5, 2.5, 9.0, -4.0};
+  RunningStats s;
+  for (double x : v) s.Add(x);
+  EXPECT_NEAR(StdDev(v), s.StdDev(), 1e-12);
+}
+
+TEST(Stats, ConfidenceIntervalShrinksWithN) {
+  std::vector<double> small{1, 2, 3, 4};
+  std::vector<double> large;
+  for (int i = 0; i < 16; ++i) large.insert(large.end(), {1, 2, 3, 4});
+  EXPECT_GT(ConfidenceInterval95(small), ConfidenceInterval95(large));
+  EXPECT_DOUBLE_EQ(ConfidenceInterval95({1.0}), 0.0);
+}
+
+// ------------------------------------------------------------- histogram --
+
+TEST(IntHistogram, AddCountFraction) {
+  IntHistogram h(10);
+  h.Add(3);
+  h.Add(3);
+  h.Add(7);
+  EXPECT_EQ(h.Total(), 3u);
+  EXPECT_EQ(h.CountOf(3), 2u);
+  EXPECT_EQ(h.CountOf(7), 1u);
+  EXPECT_EQ(h.CountOf(0), 0u);
+  EXPECT_DOUBLE_EQ(h.Fraction(3), 2.0 / 3.0);
+  EXPECT_EQ(h.MaxObserved(), 7);
+}
+
+TEST(IntHistogram, ClampsOutOfRange) {
+  IntHistogram h(5);
+  h.Add(-3);
+  h.Add(99);
+  EXPECT_EQ(h.CountOf(0), 1u);
+  EXPECT_EQ(h.CountOf(5), 1u);
+}
+
+TEST(IntHistogram, MergeRequiresSameRange) {
+  IntHistogram a(5), b(5), c(6);
+  a.Add(1);
+  b.Add(1);
+  a.Merge(b);
+  EXPECT_EQ(a.CountOf(1), 2u);
+  EXPECT_THROW(a.Merge(c), std::invalid_argument);
+}
+
+TEST(IntHistogram, EmptyProperties) {
+  IntHistogram h(4);
+  EXPECT_EQ(h.MaxObserved(), -1);
+  EXPECT_DOUBLE_EQ(h.Fraction(2), 0.0);
+  EXPECT_THROW(IntHistogram(-1), std::invalid_argument);
+}
+
+TEST(IntHistogram, ToStringShowsNonEmptyBins) {
+  IntHistogram h(3);
+  h.AddN(2, 5);
+  const std::string s = h.ToString("width");
+  EXPECT_NE(s.find("width 2"), std::string::npos);
+  EXPECT_EQ(s.find("width 1"), std::string::npos);
+}
+
+TEST(DoubleHistogram, BinsAndEdges) {
+  DoubleHistogram h(0.0, 10.0, 5);
+  h.Add(0.5);   // bin 0
+  h.Add(9.99);  // bin 4
+  h.Add(-3.0);  // clamped to bin 0
+  h.Add(50.0);  // clamped to bin 4
+  EXPECT_EQ(h.CountOf(0), 2u);
+  EXPECT_EQ(h.CountOf(4), 2u);
+  EXPECT_EQ(h.Total(), 4u);
+  EXPECT_DOUBLE_EQ(h.BinCenter(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.BinCenter(4), 9.0);
+  EXPECT_THROW(DoubleHistogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(DoubleHistogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- report ---
+
+TEST(Table, AlignsColumnsAndCountsRows) {
+  Table t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "2.50"});
+  EXPECT_EQ(t.NumRows(), 2u);
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(Report, Formatters) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatPercent(0.123), "12.3%");
+}
+
+}  // namespace
+}  // namespace whitefi
