@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_discovery_miss.dir/bench_ablation_discovery_miss.cc.o"
+  "CMakeFiles/bench_ablation_discovery_miss.dir/bench_ablation_discovery_miss.cc.o.d"
+  "bench_ablation_discovery_miss"
+  "bench_ablation_discovery_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_discovery_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_metric.dir/bench_ablation_metric.cc.o"
+  "CMakeFiles/bench_ablation_metric.dir/bench_ablation_metric.cc.o.d"
+  "bench_ablation_metric"
+  "bench_ablation_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

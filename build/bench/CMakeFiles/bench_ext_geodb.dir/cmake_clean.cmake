@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_geodb.dir/bench_ext_geodb.cc.o"
+  "CMakeFiles/bench_ext_geodb.dir/bench_ext_geodb.cc.o.d"
+  "bench_ext_geodb"
+  "bench_ext_geodb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_geodb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

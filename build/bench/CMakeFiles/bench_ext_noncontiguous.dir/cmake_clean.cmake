@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_noncontiguous.dir/bench_ext_noncontiguous.cc.o"
+  "CMakeFiles/bench_ext_noncontiguous.dir/bench_ext_noncontiguous.cc.o.d"
+  "bench_ext_noncontiguous"
+  "bench_ext_noncontiguous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_noncontiguous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_background.dir/bench_fig11_background.cc.o"
+  "CMakeFiles/bench_fig11_background.dir/bench_fig11_background.cc.o.d"
+  "bench_fig11_background"
+  "bench_fig11_background.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_background.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_churn.dir/bench_fig13_churn.cc.o"
+  "CMakeFiles/bench_fig13_churn.dir/bench_fig13_churn.cc.o.d"
+  "bench_fig13_churn"
+  "bench_fig13_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

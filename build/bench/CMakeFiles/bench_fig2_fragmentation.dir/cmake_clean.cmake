@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_fragmentation.dir/bench_fig2_fragmentation.cc.o"
+  "CMakeFiles/bench_fig2_fragmentation.dir/bench_fig2_fragmentation.cc.o.d"
+  "bench_fig2_fragmentation"
+  "bench_fig2_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

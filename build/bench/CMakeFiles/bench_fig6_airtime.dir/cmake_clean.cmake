@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_airtime.dir/bench_fig6_airtime.cc.o"
+  "CMakeFiles/bench_fig6_airtime.dir/bench_fig6_airtime.cc.o.d"
+  "bench_fig6_airtime"
+  "bench_fig6_airtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_airtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

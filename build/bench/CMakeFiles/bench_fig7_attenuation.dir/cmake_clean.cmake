@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_attenuation.dir/bench_fig7_attenuation.cc.o"
+  "CMakeFiles/bench_fig7_attenuation.dir/bench_fig7_attenuation.cc.o.d"
+  "bench_fig7_attenuation"
+  "bench_fig7_attenuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_attenuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_discovery_contiguous.dir/bench_fig8_discovery_contiguous.cc.o"
+  "CMakeFiles/bench_fig8_discovery_contiguous.dir/bench_fig8_discovery_contiguous.cc.o.d"
+  "bench_fig8_discovery_contiguous"
+  "bench_fig8_discovery_contiguous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_discovery_contiguous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

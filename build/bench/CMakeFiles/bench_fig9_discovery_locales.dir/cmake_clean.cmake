@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_discovery_locales.dir/bench_fig9_discovery_locales.cc.o"
+  "CMakeFiles/bench_fig9_discovery_locales.dir/bench_fig9_discovery_locales.cc.o.d"
+  "bench_fig9_discovery_locales"
+  "bench_fig9_discovery_locales.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_discovery_locales.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_sift.dir/bench_micro_sift.cc.o"
+  "CMakeFiles/bench_micro_sift.dir/bench_micro_sift.cc.o.d"
+  "bench_micro_sift"
+  "bench_micro_sift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_sift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

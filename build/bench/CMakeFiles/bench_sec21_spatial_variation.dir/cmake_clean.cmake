@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec21_spatial_variation.dir/bench_sec21_spatial_variation.cc.o"
+  "CMakeFiles/bench_sec21_spatial_variation.dir/bench_sec21_spatial_variation.cc.o.d"
+  "bench_sec21_spatial_variation"
+  "bench_sec21_spatial_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec21_spatial_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec23_mic_mos.dir/bench_sec23_mic_mos.cc.o"
+  "CMakeFiles/bench_sec23_mic_mos.dir/bench_sec23_mic_mos.cc.o.d"
+  "bench_sec23_mic_mos"
+  "bench_sec23_mic_mos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec23_mic_mos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

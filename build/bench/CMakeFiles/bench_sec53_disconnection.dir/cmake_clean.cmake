@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec53_disconnection.dir/bench_sec53_disconnection.cc.o"
+  "CMakeFiles/bench_sec53_disconnection.dir/bench_sec53_disconnection.cc.o.d"
+  "bench_sec53_disconnection"
+  "bench_sec53_disconnection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec53_disconnection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "../lib/libwhitefi_bench_common.a"
+  "../lib/libwhitefi_bench_common.pdb"
+  "CMakeFiles/whitefi_bench_common.dir/scenario.cc.o"
+  "CMakeFiles/whitefi_bench_common.dir/scenario.cc.o.d"
+  "CMakeFiles/whitefi_bench_common.dir/scenario_file.cc.o"
+  "CMakeFiles/whitefi_bench_common.dir/scenario_file.cc.o.d"
+  "CMakeFiles/whitefi_bench_common.dir/sift_experiment.cc.o"
+  "CMakeFiles/whitefi_bench_common.dir/sift_experiment.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whitefi_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

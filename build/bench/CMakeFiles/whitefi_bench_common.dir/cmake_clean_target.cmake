@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libwhitefi_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_mic_dodge.dir/campus_mic_dodge.cpp.o"
+  "CMakeFiles/campus_mic_dodge.dir/campus_mic_dodge.cpp.o.d"
+  "campus_mic_dodge"
+  "campus_mic_dodge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_mic_dodge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rural_broadband.dir/rural_broadband.cpp.o"
+  "CMakeFiles/rural_broadband.dir/rural_broadband.cpp.o.d"
+  "rural_broadband"
+  "rural_broadband.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rural_broadband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rural_broadband.
+# This may be replaced when dependencies are built.

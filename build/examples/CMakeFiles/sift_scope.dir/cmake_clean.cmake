@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sift_scope.dir/sift_scope.cpp.o"
+  "CMakeFiles/sift_scope.dir/sift_scope.cpp.o.d"
+  "sift_scope"
+  "sift_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sift_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

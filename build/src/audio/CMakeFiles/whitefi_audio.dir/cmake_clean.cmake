@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whitefi_audio.dir/mos.cc.o"
+  "CMakeFiles/whitefi_audio.dir/mos.cc.o.d"
+  "libwhitefi_audio.a"
+  "libwhitefi_audio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whitefi_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ap.cc" "src/core/CMakeFiles/whitefi_core.dir/ap.cc.o" "gcc" "src/core/CMakeFiles/whitefi_core.dir/ap.cc.o.d"
+  "/root/repo/src/core/assignment.cc" "src/core/CMakeFiles/whitefi_core.dir/assignment.cc.o" "gcc" "src/core/CMakeFiles/whitefi_core.dir/assignment.cc.o.d"
+  "/root/repo/src/core/client.cc" "src/core/CMakeFiles/whitefi_core.dir/client.cc.o" "gcc" "src/core/CMakeFiles/whitefi_core.dir/client.cc.o.d"
+  "/root/repo/src/core/discovery.cc" "src/core/CMakeFiles/whitefi_core.dir/discovery.cc.o" "gcc" "src/core/CMakeFiles/whitefi_core.dir/discovery.cc.o.d"
+  "/root/repo/src/core/mcham.cc" "src/core/CMakeFiles/whitefi_core.dir/mcham.cc.o" "gcc" "src/core/CMakeFiles/whitefi_core.dir/mcham.cc.o.d"
+  "/root/repo/src/core/sim_discovery.cc" "src/core/CMakeFiles/whitefi_core.dir/sim_discovery.cc.o" "gcc" "src/core/CMakeFiles/whitefi_core.dir/sim_discovery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/whitefi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sift/CMakeFiles/whitefi_sift.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/whitefi_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectrum/CMakeFiles/whitefi_spectrum.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/whitefi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

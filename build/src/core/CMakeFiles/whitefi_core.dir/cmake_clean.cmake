@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whitefi_core.dir/ap.cc.o"
+  "CMakeFiles/whitefi_core.dir/ap.cc.o.d"
+  "CMakeFiles/whitefi_core.dir/assignment.cc.o"
+  "CMakeFiles/whitefi_core.dir/assignment.cc.o.d"
+  "CMakeFiles/whitefi_core.dir/client.cc.o"
+  "CMakeFiles/whitefi_core.dir/client.cc.o.d"
+  "CMakeFiles/whitefi_core.dir/discovery.cc.o"
+  "CMakeFiles/whitefi_core.dir/discovery.cc.o.d"
+  "CMakeFiles/whitefi_core.dir/mcham.cc.o"
+  "CMakeFiles/whitefi_core.dir/mcham.cc.o.d"
+  "CMakeFiles/whitefi_core.dir/sim_discovery.cc.o"
+  "CMakeFiles/whitefi_core.dir/sim_discovery.cc.o.d"
+  "libwhitefi_core.a"
+  "libwhitefi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whitefi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

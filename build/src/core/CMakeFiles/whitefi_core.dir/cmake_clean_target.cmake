@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwhitefi_core.a"
+)

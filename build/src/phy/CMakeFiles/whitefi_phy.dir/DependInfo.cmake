@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/attenuation.cc" "src/phy/CMakeFiles/whitefi_phy.dir/attenuation.cc.o" "gcc" "src/phy/CMakeFiles/whitefi_phy.dir/attenuation.cc.o.d"
+  "/root/repo/src/phy/noncontiguous.cc" "src/phy/CMakeFiles/whitefi_phy.dir/noncontiguous.cc.o" "gcc" "src/phy/CMakeFiles/whitefi_phy.dir/noncontiguous.cc.o.d"
+  "/root/repo/src/phy/signal.cc" "src/phy/CMakeFiles/whitefi_phy.dir/signal.cc.o" "gcc" "src/phy/CMakeFiles/whitefi_phy.dir/signal.cc.o.d"
+  "/root/repo/src/phy/timing.cc" "src/phy/CMakeFiles/whitefi_phy.dir/timing.cc.o" "gcc" "src/phy/CMakeFiles/whitefi_phy.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spectrum/CMakeFiles/whitefi_spectrum.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/whitefi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

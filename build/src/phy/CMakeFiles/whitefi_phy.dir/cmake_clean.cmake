@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whitefi_phy.dir/attenuation.cc.o"
+  "CMakeFiles/whitefi_phy.dir/attenuation.cc.o.d"
+  "CMakeFiles/whitefi_phy.dir/noncontiguous.cc.o"
+  "CMakeFiles/whitefi_phy.dir/noncontiguous.cc.o.d"
+  "CMakeFiles/whitefi_phy.dir/signal.cc.o"
+  "CMakeFiles/whitefi_phy.dir/signal.cc.o.d"
+  "CMakeFiles/whitefi_phy.dir/timing.cc.o"
+  "CMakeFiles/whitefi_phy.dir/timing.cc.o.d"
+  "libwhitefi_phy.a"
+  "libwhitefi_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whitefi_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sift/airtime.cc" "src/sift/CMakeFiles/whitefi_sift.dir/airtime.cc.o" "gcc" "src/sift/CMakeFiles/whitefi_sift.dir/airtime.cc.o.d"
+  "/root/repo/src/sift/chirp.cc" "src/sift/CMakeFiles/whitefi_sift.dir/chirp.cc.o" "gcc" "src/sift/CMakeFiles/whitefi_sift.dir/chirp.cc.o.d"
+  "/root/repo/src/sift/detector.cc" "src/sift/CMakeFiles/whitefi_sift.dir/detector.cc.o" "gcc" "src/sift/CMakeFiles/whitefi_sift.dir/detector.cc.o.d"
+  "/root/repo/src/sift/matcher.cc" "src/sift/CMakeFiles/whitefi_sift.dir/matcher.cc.o" "gcc" "src/sift/CMakeFiles/whitefi_sift.dir/matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/whitefi_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectrum/CMakeFiles/whitefi_spectrum.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/whitefi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

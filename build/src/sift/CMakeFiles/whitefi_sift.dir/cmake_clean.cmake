@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whitefi_sift.dir/airtime.cc.o"
+  "CMakeFiles/whitefi_sift.dir/airtime.cc.o.d"
+  "CMakeFiles/whitefi_sift.dir/chirp.cc.o"
+  "CMakeFiles/whitefi_sift.dir/chirp.cc.o.d"
+  "CMakeFiles/whitefi_sift.dir/detector.cc.o"
+  "CMakeFiles/whitefi_sift.dir/detector.cc.o.d"
+  "CMakeFiles/whitefi_sift.dir/matcher.cc.o"
+  "CMakeFiles/whitefi_sift.dir/matcher.cc.o.d"
+  "libwhitefi_sift.a"
+  "libwhitefi_sift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whitefi_sift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/events.cc" "src/sim/CMakeFiles/whitefi_sim.dir/events.cc.o" "gcc" "src/sim/CMakeFiles/whitefi_sim.dir/events.cc.o.d"
+  "/root/repo/src/sim/mac.cc" "src/sim/CMakeFiles/whitefi_sim.dir/mac.cc.o" "gcc" "src/sim/CMakeFiles/whitefi_sim.dir/mac.cc.o.d"
+  "/root/repo/src/sim/medium.cc" "src/sim/CMakeFiles/whitefi_sim.dir/medium.cc.o" "gcc" "src/sim/CMakeFiles/whitefi_sim.dir/medium.cc.o.d"
+  "/root/repo/src/sim/node.cc" "src/sim/CMakeFiles/whitefi_sim.dir/node.cc.o" "gcc" "src/sim/CMakeFiles/whitefi_sim.dir/node.cc.o.d"
+  "/root/repo/src/sim/propagation.cc" "src/sim/CMakeFiles/whitefi_sim.dir/propagation.cc.o" "gcc" "src/sim/CMakeFiles/whitefi_sim.dir/propagation.cc.o.d"
+  "/root/repo/src/sim/scanner.cc" "src/sim/CMakeFiles/whitefi_sim.dir/scanner.cc.o" "gcc" "src/sim/CMakeFiles/whitefi_sim.dir/scanner.cc.o.d"
+  "/root/repo/src/sim/signal_scanner.cc" "src/sim/CMakeFiles/whitefi_sim.dir/signal_scanner.cc.o" "gcc" "src/sim/CMakeFiles/whitefi_sim.dir/signal_scanner.cc.o.d"
+  "/root/repo/src/sim/tracer.cc" "src/sim/CMakeFiles/whitefi_sim.dir/tracer.cc.o" "gcc" "src/sim/CMakeFiles/whitefi_sim.dir/tracer.cc.o.d"
+  "/root/repo/src/sim/traffic.cc" "src/sim/CMakeFiles/whitefi_sim.dir/traffic.cc.o" "gcc" "src/sim/CMakeFiles/whitefi_sim.dir/traffic.cc.o.d"
+  "/root/repo/src/sim/world.cc" "src/sim/CMakeFiles/whitefi_sim.dir/world.cc.o" "gcc" "src/sim/CMakeFiles/whitefi_sim.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sift/CMakeFiles/whitefi_sift.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/whitefi_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectrum/CMakeFiles/whitefi_spectrum.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/whitefi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

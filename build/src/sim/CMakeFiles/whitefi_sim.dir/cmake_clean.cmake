@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whitefi_sim.dir/events.cc.o"
+  "CMakeFiles/whitefi_sim.dir/events.cc.o.d"
+  "CMakeFiles/whitefi_sim.dir/mac.cc.o"
+  "CMakeFiles/whitefi_sim.dir/mac.cc.o.d"
+  "CMakeFiles/whitefi_sim.dir/medium.cc.o"
+  "CMakeFiles/whitefi_sim.dir/medium.cc.o.d"
+  "CMakeFiles/whitefi_sim.dir/node.cc.o"
+  "CMakeFiles/whitefi_sim.dir/node.cc.o.d"
+  "CMakeFiles/whitefi_sim.dir/propagation.cc.o"
+  "CMakeFiles/whitefi_sim.dir/propagation.cc.o.d"
+  "CMakeFiles/whitefi_sim.dir/scanner.cc.o"
+  "CMakeFiles/whitefi_sim.dir/scanner.cc.o.d"
+  "CMakeFiles/whitefi_sim.dir/signal_scanner.cc.o"
+  "CMakeFiles/whitefi_sim.dir/signal_scanner.cc.o.d"
+  "CMakeFiles/whitefi_sim.dir/tracer.cc.o"
+  "CMakeFiles/whitefi_sim.dir/tracer.cc.o.d"
+  "CMakeFiles/whitefi_sim.dir/traffic.cc.o"
+  "CMakeFiles/whitefi_sim.dir/traffic.cc.o.d"
+  "CMakeFiles/whitefi_sim.dir/world.cc.o"
+  "CMakeFiles/whitefi_sim.dir/world.cc.o.d"
+  "libwhitefi_sim.a"
+  "libwhitefi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whitefi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

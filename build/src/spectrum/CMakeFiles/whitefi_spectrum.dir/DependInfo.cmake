@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spectrum/campus.cc" "src/spectrum/CMakeFiles/whitefi_spectrum.dir/campus.cc.o" "gcc" "src/spectrum/CMakeFiles/whitefi_spectrum.dir/campus.cc.o.d"
+  "/root/repo/src/spectrum/channel.cc" "src/spectrum/CMakeFiles/whitefi_spectrum.dir/channel.cc.o" "gcc" "src/spectrum/CMakeFiles/whitefi_spectrum.dir/channel.cc.o.d"
+  "/root/repo/src/spectrum/geodb.cc" "src/spectrum/CMakeFiles/whitefi_spectrum.dir/geodb.cc.o" "gcc" "src/spectrum/CMakeFiles/whitefi_spectrum.dir/geodb.cc.o.d"
+  "/root/repo/src/spectrum/incumbents.cc" "src/spectrum/CMakeFiles/whitefi_spectrum.dir/incumbents.cc.o" "gcc" "src/spectrum/CMakeFiles/whitefi_spectrum.dir/incumbents.cc.o.d"
+  "/root/repo/src/spectrum/locales.cc" "src/spectrum/CMakeFiles/whitefi_spectrum.dir/locales.cc.o" "gcc" "src/spectrum/CMakeFiles/whitefi_spectrum.dir/locales.cc.o.d"
+  "/root/repo/src/spectrum/spectrum_map.cc" "src/spectrum/CMakeFiles/whitefi_spectrum.dir/spectrum_map.cc.o" "gcc" "src/spectrum/CMakeFiles/whitefi_spectrum.dir/spectrum_map.cc.o.d"
+  "/root/repo/src/spectrum/uhf.cc" "src/spectrum/CMakeFiles/whitefi_spectrum.dir/uhf.cc.o" "gcc" "src/spectrum/CMakeFiles/whitefi_spectrum.dir/uhf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/whitefi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whitefi_spectrum.dir/campus.cc.o"
+  "CMakeFiles/whitefi_spectrum.dir/campus.cc.o.d"
+  "CMakeFiles/whitefi_spectrum.dir/channel.cc.o"
+  "CMakeFiles/whitefi_spectrum.dir/channel.cc.o.d"
+  "CMakeFiles/whitefi_spectrum.dir/geodb.cc.o"
+  "CMakeFiles/whitefi_spectrum.dir/geodb.cc.o.d"
+  "CMakeFiles/whitefi_spectrum.dir/incumbents.cc.o"
+  "CMakeFiles/whitefi_spectrum.dir/incumbents.cc.o.d"
+  "CMakeFiles/whitefi_spectrum.dir/locales.cc.o"
+  "CMakeFiles/whitefi_spectrum.dir/locales.cc.o.d"
+  "CMakeFiles/whitefi_spectrum.dir/spectrum_map.cc.o"
+  "CMakeFiles/whitefi_spectrum.dir/spectrum_map.cc.o.d"
+  "CMakeFiles/whitefi_spectrum.dir/uhf.cc.o"
+  "CMakeFiles/whitefi_spectrum.dir/uhf.cc.o.d"
+  "libwhitefi_spectrum.a"
+  "libwhitefi_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whitefi_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

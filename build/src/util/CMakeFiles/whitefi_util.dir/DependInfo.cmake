@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/config.cc" "src/util/CMakeFiles/whitefi_util.dir/config.cc.o" "gcc" "src/util/CMakeFiles/whitefi_util.dir/config.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/util/CMakeFiles/whitefi_util.dir/histogram.cc.o" "gcc" "src/util/CMakeFiles/whitefi_util.dir/histogram.cc.o.d"
+  "/root/repo/src/util/log.cc" "src/util/CMakeFiles/whitefi_util.dir/log.cc.o" "gcc" "src/util/CMakeFiles/whitefi_util.dir/log.cc.o.d"
+  "/root/repo/src/util/report.cc" "src/util/CMakeFiles/whitefi_util.dir/report.cc.o" "gcc" "src/util/CMakeFiles/whitefi_util.dir/report.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/util/CMakeFiles/whitefi_util.dir/rng.cc.o" "gcc" "src/util/CMakeFiles/whitefi_util.dir/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/util/CMakeFiles/whitefi_util.dir/stats.cc.o" "gcc" "src/util/CMakeFiles/whitefi_util.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whitefi_util.dir/config.cc.o"
+  "CMakeFiles/whitefi_util.dir/config.cc.o.d"
+  "CMakeFiles/whitefi_util.dir/histogram.cc.o"
+  "CMakeFiles/whitefi_util.dir/histogram.cc.o.d"
+  "CMakeFiles/whitefi_util.dir/log.cc.o"
+  "CMakeFiles/whitefi_util.dir/log.cc.o.d"
+  "CMakeFiles/whitefi_util.dir/report.cc.o"
+  "CMakeFiles/whitefi_util.dir/report.cc.o.d"
+  "CMakeFiles/whitefi_util.dir/rng.cc.o"
+  "CMakeFiles/whitefi_util.dir/rng.cc.o.d"
+  "CMakeFiles/whitefi_util.dir/stats.cc.o"
+  "CMakeFiles/whitefi_util.dir/stats.cc.o.d"
+  "libwhitefi_util.a"
+  "libwhitefi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whitefi_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_discovery_test.cc" "tests/CMakeFiles/core_discovery_test.dir/core_discovery_test.cc.o" "gcc" "tests/CMakeFiles/core_discovery_test.dir/core_discovery_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/whitefi_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/whitefi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/whitefi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sift/CMakeFiles/whitefi_sift.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/whitefi_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectrum/CMakeFiles/whitefi_spectrum.dir/DependInfo.cmake"
+  "/root/repo/build/src/audio/CMakeFiles/whitefi_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/whitefi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

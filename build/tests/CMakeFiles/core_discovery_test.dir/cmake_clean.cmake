@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_discovery_test.dir/core_discovery_test.cc.o"
+  "CMakeFiles/core_discovery_test.dir/core_discovery_test.cc.o.d"
+  "core_discovery_test"
+  "core_discovery_test.pdb"
+  "core_discovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_discovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

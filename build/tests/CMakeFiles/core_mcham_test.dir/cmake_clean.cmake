@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mcham_test.dir/core_mcham_test.cc.o"
+  "CMakeFiles/core_mcham_test.dir/core_mcham_test.cc.o.d"
+  "core_mcham_test"
+  "core_mcham_test.pdb"
+  "core_mcham_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mcham_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geodb_test.dir/geodb_test.cc.o"
+  "CMakeFiles/geodb_test.dir/geodb_test.cc.o.d"
+  "geodb_test"
+  "geodb_test.pdb"
+  "geodb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geodb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noncontiguous_test.dir/noncontiguous_test.cc.o"
+  "CMakeFiles/noncontiguous_test.dir/noncontiguous_test.cc.o.d"
+  "noncontiguous_test"
+  "noncontiguous_test.pdb"
+  "noncontiguous_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noncontiguous_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signal_scanner_test.dir/signal_scanner_test.cc.o"
+  "CMakeFiles/signal_scanner_test.dir/signal_scanner_test.cc.o.d"
+  "signal_scanner_test"
+  "signal_scanner_test.pdb"
+  "signal_scanner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signal_scanner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

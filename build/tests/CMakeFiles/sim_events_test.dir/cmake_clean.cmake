@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_events_test.dir/sim_events_test.cc.o"
+  "CMakeFiles/sim_events_test.dir/sim_events_test.cc.o.d"
+  "sim_events_test"
+  "sim_events_test.pdb"
+  "sim_events_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_events_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

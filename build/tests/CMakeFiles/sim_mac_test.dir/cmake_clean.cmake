@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_mac_test.dir/sim_mac_test.cc.o"
+  "CMakeFiles/sim_mac_test.dir/sim_mac_test.cc.o.d"
+  "sim_mac_test"
+  "sim_mac_test.pdb"
+  "sim_mac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_mac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/spectrum_test[1]_include.cmake")
+include("/root/repo/build/tests/phy_test[1]_include.cmake")
+include("/root/repo/build/tests/sift_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_events_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_medium_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_mac_test[1]_include.cmake")
+include("/root/repo/build/tests/core_mcham_test[1]_include.cmake")
+include("/root/repo/build/tests/core_discovery_test[1]_include.cmake")
+include("/root/repo/build/tests/core_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/core_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/sift_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/geodb_test[1]_include.cmake")
+include("/root/repo/build/tests/noncontiguous_test[1]_include.cmake")
+include("/root/repo/build/tests/signal_scanner_test[1]_include.cmake")
+include("/root/repo/build/tests/config_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/tracer_test[1]_include.cmake")
+include("/root/repo/build/tests/gap_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
