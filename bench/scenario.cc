@@ -44,6 +44,7 @@ std::vector<Channel> StaticCandidates(const ScenarioConfig& config,
 RunResult RunScenario(const ScenarioConfig& config) {
   WorldConfig world_config;
   world_config.seed = config.seed;
+  world_config.obs = config.obs;
   World world(world_config);
   Rng rng = world.NewRng();
 
@@ -192,6 +193,7 @@ double OptStaticThroughput(const ScenarioConfig& config, ChannelWidth w,
   for (const Channel& candidate : StaticCandidates(config, w)) {
     ScenarioConfig trial = config;
     trial.static_channel = candidate;
+    trial.obs = {};  // Baseline sweeps must not pollute the caller's metrics.
     if (reduced_measure_s > 0.0) trial.measure_s = reduced_measure_s;
     best = std::max(best, RunScenario(trial).per_client_mbps);
   }

@@ -52,6 +52,9 @@ struct ScenarioConfig {
   ClientParams client_params;
   /// Invoked after StartAll with access to the world (scripted events).
   std::function<void(World&)> customize;
+  /// Optional observability sinks, copied into the WorldConfig (non-owning;
+  /// must outlive the run).  Leave null for zero instrumentation cost.
+  Observability obs;
 };
 
 /// Result of one run.

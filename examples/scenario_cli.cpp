@@ -6,14 +6,26 @@
 //                [--mic TVCHANNEL] [--mic-at SECONDS] [--static W]
 //                [--map campus|building5|rural|urban|suburban]
 //                [--seconds S] [--verbose]
+//                [--metrics] [--metrics-csv FILE] [--metrics-json FILE]
+//                [--trace-json FILE] [--trace-jsonl FILE] [--profile]
 //   scenario_cli --config FILE.conf   (QualNet-style scenario file; see
 //                                      examples/configs/)
+//
+// Observability flags (work in both modes):
+//   --metrics           print the metrics snapshot (counters + histograms)
+//   --metrics-csv FILE  write the snapshot as CSV
+//   --metrics-json FILE write the snapshot as JSON
+//   --trace-json FILE   write a Chrome trace-event file (chrome://tracing)
+//   --trace-jsonl FILE  write raw structured events, one JSON per line
+//   --profile           print wall-clock cost per simulation phase
 //
 // Examples:
 //   scenario_cli --map building5 --clients 3 --mic 28 --mic-at 5
 //   scenario_cli --map campus --background 12 --ipd 30 --static 20
-//   scenario_cli --config ../examples/configs/mic_outage.conf
+//   scenario_cli --config ../examples/configs/busy_campus.conf --metrics \
+//                --trace-json out.json
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -36,6 +48,100 @@ struct Options {
   double seconds = 15.0;
   bool verbose = false;
   bool trace = false;  ///< Print every control frame as it airs.
+  std::string config_file;  ///< Non-empty: config-file mode.
+
+  // Observability outputs.
+  bool metrics = false;
+  std::string metrics_csv;
+  std::string metrics_json;
+  std::string trace_json;   ///< Chrome trace-event format.
+  std::string trace_jsonl;  ///< Raw JSONL records.
+  bool profile = false;
+};
+
+/// Owns the observability sinks for one CLI run and renders the outputs.
+struct ObsSession {
+  MetricsRegistry registry;
+  EventTrace events;
+  PhaseProfiler profiler;
+  const Options& options;
+
+  explicit ObsSession(const Options& opts) : options(opts) {
+    // Pre-register the cold-path metrics so every snapshot contains them
+    // (a quiet run shows zeros instead of missing rows).  Hot-path metrics
+    // (per-frame-type tx/rx/drop, MAC retries) register at wiring time.
+    registry.GetCounter("whitefi.node.channel_switches");
+    registry.GetCounter("whitefi.discovery.probes");
+    registry.GetCounter("whitefi.scanner.dwells");
+    registry.GetCounter("whitefi.sift.detections");
+    registry.GetHistogram("whitefi.sift.detect_latency_us");
+    registry.GetCounter("whitefi.client.disconnects");
+    registry.GetCounter("whitefi.client.chirps");
+    registry.GetCounter("whitefi.ap.chirps_heard");
+    registry.GetCounter("whitefi.ap.switches");
+    registry.GetCounter("whitefi.ap.voluntary_switches");
+    registry.GetCounter("whitefi.ap.reverts");
+  }
+
+  bool Wanted() const {
+    return options.metrics || !options.metrics_csv.empty() ||
+           !options.metrics_json.empty() || !options.trace_json.empty() ||
+           !options.trace_jsonl.empty() || options.profile;
+  }
+
+  Observability Sinks() {
+    Observability obs;
+    obs.metrics = &registry;
+    if (!options.trace_json.empty() || !options.trace_jsonl.empty()) {
+      obs.trace = &events;
+    }
+    if (options.profile) obs.profiler = &profiler;
+    return obs;
+  }
+
+  static void ReportFile(const std::ofstream& out, const std::string& what,
+                         const std::string& path) {
+    if (out.good()) {
+      std::cout << what << " written to " << path << "\n";
+    } else {
+      std::cerr << "error: cannot write " << what << " to " << path << "\n";
+    }
+  }
+
+  void WriteOutputs(double sim_seconds) const {
+    if (options.metrics) {
+      std::cout << "\nmetrics:\n" << registry.Snapshot().ToText();
+    }
+    if (!options.metrics_csv.empty()) {
+      std::ofstream out(options.metrics_csv);
+      out << registry.Snapshot().ToCsv();
+      ReportFile(out, "metrics csv", options.metrics_csv);
+    }
+    if (!options.metrics_json.empty()) {
+      std::ofstream out(options.metrics_json);
+      out << registry.Snapshot().ToJson() << "\n";
+      ReportFile(out, "metrics json", options.metrics_json);
+    }
+    if (!options.trace_json.empty()) {
+      std::ofstream out(options.trace_json);
+      events.WriteChromeTrace(out);
+      ReportFile(out,
+                 "chrome trace (" + std::to_string(events.events().size()) +
+                     " events)",
+                 options.trace_json);
+    }
+    if (!options.trace_jsonl.empty()) {
+      std::ofstream out(options.trace_jsonl);
+      events.WriteJsonl(out);
+      ReportFile(out,
+                 "event trace (" + std::to_string(events.events().size()) +
+                     " events)",
+                 options.trace_jsonl);
+    }
+    if (options.profile) {
+      std::cout << "\nphase profile:\n" << profiler.ToString(sim_seconds);
+    }
+  }
 };
 
 SpectrumMap ResolveMap(const std::string& name, Rng& rng) {
@@ -67,21 +173,28 @@ bool ParseOptions(int argc, char** argv, Options& options) {
     else if (flag == "--seconds") options.seconds = std::stod(next());
     else if (flag == "--verbose") options.verbose = true;
     else if (flag == "--trace") options.trace = true;
+    else if (flag == "--config") options.config_file = next();
+    else if (flag == "--metrics") options.metrics = true;
+    else if (flag == "--metrics-csv") options.metrics_csv = next();
+    else if (flag == "--metrics-json") options.metrics_json = next();
+    else if (flag == "--trace-json") options.trace_json = next();
+    else if (flag == "--trace-jsonl") options.trace_jsonl = next();
+    else if (flag == "--profile") options.profile = true;
     else if (flag == "--help" || flag == "-h") return false;
     else throw std::invalid_argument("unknown flag: " + flag);
   }
   return true;
 }
 
-}  // namespace
-
-int RunFromConfigFile(const std::string& path, bool verbose) {
-  if (verbose) SetLogLevel(LogLevel::kInfo);
-  const bench::ScenarioConfig scenario = bench::LoadScenarioFile(path);
-  std::cout << "scenario " << path << ": map " << scenario.base_map.ToString()
-            << ", " << scenario.num_clients << " clients, "
-            << scenario.background.size() << " background pairs, "
-            << scenario.mics.size() << " mic(s)\n";
+int RunFromConfigFile(const Options& options) {
+  if (options.verbose) SetLogLevel(LogLevel::kInfo);
+  bench::ScenarioConfig scenario = bench::LoadScenarioFile(options.config_file);
+  std::cout << "scenario " << options.config_file << ": map "
+            << scenario.base_map.ToString() << ", " << scenario.num_clients
+            << " clients, " << scenario.background.size()
+            << " background pairs, " << scenario.mics.size() << " mic(s)\n";
+  ObsSession obs(options);
+  if (obs.Wanted()) scenario.obs = obs.Sinks();
   const bench::RunResult result = bench::RunScenario(scenario);
   std::cout << "per-client throughput: "
             << FormatDouble(result.per_client_mbps, 2) << " Mbps\n"
@@ -92,35 +205,27 @@ int RunFromConfigFile(const std::string& path, bool verbose) {
               << " s";
   }
   std::cout << "\nfinal channel: " << result.final_channel.ToString() << "\n";
+  if (obs.Wanted()) {
+    obs.WriteOutputs(scenario.warmup_s + scenario.measure_s);
+  }
   return 0;
 }
 
-int main(int argc, char** argv) {
-  // Config-file mode takes over entirely.
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--config") == 0) {
-      bool verbose = false;
-      for (int j = 1; j < argc; ++j) {
-        if (std::strcmp(argv[j], "--verbose") == 0) verbose = true;
-      }
-      try {
-        return RunFromConfigFile(argv[i + 1], verbose);
-      } catch (const std::exception& e) {
-        std::cerr << "error: " << e.what() << "\n";
-        return 1;
-      }
-    }
-  }
+}  // namespace
 
+int main(int argc, char** argv) {
   Options options;
   try {
     if (!ParseOptions(argc, argv, options)) {
       std::cout << "usage: scenario_cli [--seed N] [--clients N] "
                    "[--background N] [--ipd MS] [--mic TV] [--mic-at S] "
                    "[--static 5|10|20] [--map NAME] [--seconds S] "
-                   "[--verbose]\n";
+                   "[--verbose] [--metrics] [--metrics-csv FILE] "
+                   "[--metrics-json FILE] [--trace-json FILE] "
+                   "[--trace-jsonl FILE] [--profile] [--config FILE]\n";
       return 0;
     }
+    if (!options.config_file.empty()) return RunFromConfigFile(options);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
@@ -161,8 +266,10 @@ int main(int argc, char** argv) {
             << (options.static_width != 0 ? " (static)" : " (adaptive)")
             << "\n";
 
+  ObsSession obs(options);
   WorldConfig world_config;
   world_config.seed = options.seed;
+  if (obs.Wanted()) world_config.obs = obs.Sinks();
   World world(world_config);
   Rng rng = world.NewRng();
 
@@ -242,5 +349,6 @@ int main(int argc, char** argv) {
             << FormatDouble(
                    8.0 * world.AppBytesInSsid(1) / options.seconds / 1e6, 2)
             << " Mbps\n";
+  if (obs.Wanted()) obs.WriteOutputs(options.seconds);
   return 0;
 }

@@ -116,8 +116,13 @@ void ApNode::EvaluateAssignment() {
   if (state_ != State::kOperating || announce_pending_) return;
 
   const AssignmentInputs inputs = BuildInputs();
-  const AssignmentDecision decision = assigner_.Reevaluate(inputs, main_);
+  const AssignmentDecision decision = [&] {
+    ScopedPhaseTimer timer(world_.profiler(), "mcham.evaluate");
+    return assigner_.Reevaluate(inputs, main_);
+  }();
   last_metric_ = decision.metric;
+  MetricsRegistry::Set(world_.metrics(), "whitefi.ap.last_metric",
+                       last_metric_);
   if (!decision.channel.has_value()) return;
   if (!decision.switched) {
     // Keep the backup channel fresh (it may have been lost to a mic).
@@ -133,6 +138,7 @@ void ApNode::EvaluateAssignment() {
   const Channel next = *decision.channel;
   const auto next_backup = assigner_.SelectBackup(inputs, next);
   ++voluntary_switches_;
+  MetricsRegistry::Count(world_.metrics(), "whitefi.ap.voluntary_switches");
   revert_channel_ = main_;
   revert_backup_ = backup_;
   pre_switch_rate_bps_ = RecentThroughputBps(params_.revert_check_delay);
@@ -186,11 +192,12 @@ void ApNode::ApplyPendingSwitch() {
   main_ = pending_main_;
   backup_ = pending_backup_;
   ++switches_;
+  MetricsRegistry::Count(world_.metrics(), "whitefi.ap.switches");
   state_ = State::kOperating;
   scanner_.SetChirpChannel(backup_);
   SwitchChannel(main_);
-  WHITEFI_LOG_INFO << "AP " << NodeId() << " now on " << main_.ToString()
-                   << " backup " << backup_.ToString();
+  WHITEFI_LOG_TAGGED(LogLevel::kInfo, "core/ap" + std::to_string(NodeId()))
+      << "now on " << main_.ToString() << " backup " << backup_.ToString();
   if (pending_voluntary_ && revert_armed_) {
     world_.sim().ScheduleAfter(params_.revert_check_delay, [this] {
       if (!revert_armed_ || state_ != State::kOperating) return;
@@ -198,6 +205,7 @@ void ApNode::ApplyPendingSwitch() {
       const double post = RecentThroughputBps(params_.revert_check_delay);
       if (post < params_.revert_tolerance * pre_switch_rate_bps_) {
         ++reverts_;
+        MetricsRegistry::Count(world_.metrics(), "whitefi.ap.reverts");
         AnnounceAndSwitch(revert_channel_, revert_backup_,
                           /*voluntary=*/false);
       }
@@ -240,15 +248,21 @@ void ApNode::BeginCollect() {
   revert_armed_ = false;
   SwitchChannel(backup_);  // Beacon loop keeps beaconing, now on backup.
   world_.sim().ScheduleAfter(params_.collect_window, [this] { FinishCollect(); });
-  WHITEFI_LOG_INFO << "AP " << NodeId() << " vacated " << main_.ToString()
-                   << ", collecting on backup " << backup_.ToString();
+  WHITEFI_LOG_TAGGED(LogLevel::kInfo, "core/ap" + std::to_string(NodeId()))
+      << "vacated " << main_.ToString() << ", collecting on backup "
+      << backup_.ToString();
 }
 
 void ApNode::FinishCollect() {
   if (state_ != State::kCollecting) return;
   const AssignmentInputs inputs = BuildInputs();
-  const AssignmentDecision decision = assigner_.SelectInitial(inputs);
+  const AssignmentDecision decision = [&] {
+    ScopedPhaseTimer timer(world_.profiler(), "mcham.evaluate");
+    return assigner_.SelectInitial(inputs);
+  }();
   last_metric_ = decision.metric;
+  MetricsRegistry::Set(world_.metrics(), "whitefi.ap.last_metric",
+                       last_metric_);
   if (!decision.channel.has_value()) {
     // Nothing usable yet; keep collecting (rare: whole band occupied).
     world_.sim().ScheduleAfter(params_.collect_window,
@@ -262,6 +276,15 @@ void ApNode::FinishCollect() {
 
 void ApNode::OnChirpHeard(const ChirpInfo& info, const Channel& heard_on) {
   if (!params_.adaptive) return;
+  MetricsRegistry::Count(world_.metrics(), "whitefi.ap.chirps_heard");
+  {
+    TraceEvent event;
+    event.kind = TraceEventKind::kChirp;
+    event.node = NodeId();
+    event.src = info.sender;
+    event.detail = "heard on " + heard_on.ToString();
+    world_.TraceEventNow(std::move(event));
+  }
   // Merge the chirper's availability.
   ClientInfo& client = clients_[info.sender];
   client.map = info.map;

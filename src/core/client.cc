@@ -64,8 +64,9 @@ void ClientNode::CheckContact() {
                              [this] { CheckContact(); });
   if (!connected_) return;
   if (world_.sim().Now() - last_contact_ > params_.contact_timeout) {
-    WHITEFI_LOG_INFO << "client " << NodeId() << " lost contact, vacating to "
-                     << backup_.ToString();
+    WHITEFI_LOG_TAGGED(LogLevel::kInfo,
+                       "core/client" + std::to_string(NodeId()))
+        << "lost contact, vacating to " << backup_.ToString();
     Disconnect();
   }
 }
@@ -74,6 +75,7 @@ void ClientNode::Disconnect() {
   if (!connected_) return;
   connected_ = false;
   ++disconnects_;
+  MetricsRegistry::Count(world_.metrics(), "whitefi.client.disconnects");
   disconnected_at_ = world_.sim().Now();
   SwitchChannel(backup_);
   Chirp();
@@ -83,8 +85,10 @@ void ClientNode::Reconnect() {
   if (connected_) return;
   connected_ = true;
   outages_.push_back(world_.sim().Now() - disconnected_at_);
-  WHITEFI_LOG_INFO << "client " << NodeId() << " reconnected after "
-                   << ToSeconds(outages_.back()) << " s";
+  MetricsRegistry::Observe(world_.metrics(), "whitefi.client.outage_s",
+                           ToSeconds(outages_.back()));
+  WHITEFI_LOG_TAGGED(LogLevel::kInfo, "core/client" + std::to_string(NodeId()))
+      << "reconnected after " << ToSeconds(outages_.back()) << " s";
   // Give the AP a fresh view promptly — but not before the AP has applied
   // its own switch (it keeps announcing on the rendezvous channel for a
   // few tens of milliseconds after we have already moved).
@@ -103,6 +107,16 @@ void ClientNode::Chirp() {
   chirp.bytes = params_.chirp_bytes;
   chirp.payload =
       ChirpInfo{ObservedMap(), scanner_.Observation(), ssid(), NodeId()};
+  MetricsRegistry::Count(world_.metrics(), "whitefi.client.chirps");
+  {
+    TraceEvent event;
+    event.kind = TraceEventKind::kChirp;
+    event.node = NodeId();
+    event.src = NodeId();
+    event.bytes = chirp.bytes;
+    event.detail = "sent on " + TunedChannel().ToString();
+    world_.TraceEventNow(std::move(event));
+  }
   // Jump the queue: application traffic (e.g. a still-running backlogged
   // uplink) must not starve the distress signal.
   mac().EnqueueFront(chirp);
@@ -128,8 +142,10 @@ void ClientNode::SendReport() {
 void ClientNode::OnIncumbentDetected(UhfIndex channel) {
   Device::OnIncumbentDetected(channel);
   if (connected_ && TunedChannel().Contains(channel)) {
-    WHITEFI_LOG_INFO << "client " << NodeId() << " detected incumbent on ch"
-                     << TvChannelNumber(channel) << ", vacating";
+    WHITEFI_LOG_TAGGED(LogLevel::kInfo,
+                       "core/client" + std::to_string(NodeId()))
+        << "detected incumbent on ch" << TvChannelNumber(channel)
+        << ", vacating";
     Disconnect();
     return;
   }

@@ -22,6 +22,15 @@ SimulatedScanEnvironment::SimulatedScanEnvironment(World& world,
 }
 
 std::optional<SiftDetection> SimulatedScanEnvironment::SiftScan(UhfIndex c) {
+  ScopedPhaseTimer timer(world_.profiler(), "discovery.scan");
+  MetricsRegistry::Count(world_.metrics(), "whitefi.discovery.probes");
+  {
+    TraceEvent event;
+    event.kind = TraceEventKind::kDiscoveryProbe;
+    event.node = searcher_.NodeId();
+    event.detail = "sift ch" + std::to_string(c);
+    world_.TraceEventNow(std::move(event));
+  }
   // The secondary radio samples channel `c` for one dwell; SIFT detects
   // any WhiteFi transmission overlapping it without decoding.
   const AirtimeBooks before = world_.medium().SnapshotBooks();
@@ -48,6 +57,15 @@ std::optional<SiftDetection> SimulatedScanEnvironment::SiftScan(UhfIndex c) {
 }
 
 bool SimulatedScanEnvironment::TryDecodeBeacon(const Channel& channel) {
+  ScopedPhaseTimer timer(world_.profiler(), "discovery.listen");
+  MetricsRegistry::Count(world_.metrics(), "whitefi.discovery.probes");
+  {
+    TraceEvent event;
+    event.kind = TraceEventKind::kDiscoveryProbe;
+    event.node = searcher_.NodeId();
+    event.detail = "listen " + channel.ToString();
+    world_.TraceEventNow(std::move(event));
+  }
   searcher_.SwitchChannel(channel);
   const int before = beacons_heard_;
   world_.RunFor(ToSeconds(listen_dwell_));

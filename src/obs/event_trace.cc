@@ -1,0 +1,272 @@
+#include "obs/event_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace whitefi {
+namespace {
+
+constexpr const char* kKindNames[kNumTraceEventKinds] = {
+    "frame_tx",     "frame_rx",     "frame_drop",  "mac_backoff",
+    "mac_retry",    "channel_switch", "incumbent_on", "incumbent_off",
+    "chirp",        "discovery_probe", "note",
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendEventJson(std::ostream& os, const TraceEvent& e) {
+  os << "{\"t\":" << e.at_us << ",\"kind\":\"" << TraceEventKindName(e.kind)
+     << "\"";
+  if (e.node != -1) os << ",\"node\":" << e.node;
+  if (e.src != -1) os << ",\"src\":" << e.src;
+  if (e.dst != -1) os << ",\"dst\":" << e.dst;
+  if (e.bytes != 0) os << ",\"bytes\":" << e.bytes;
+  if (!e.frame_type.empty()) {
+    os << ",\"frame\":\"" << JsonEscape(e.frame_type) << "\"";
+  }
+  if (!e.detail.empty()) os << ",\"detail\":\"" << JsonEscape(e.detail) << "\"";
+  os << "}";
+}
+
+/// Tiny parser for the flat objects AppendEventJson emits.
+class LineParser {
+ public:
+  explicit LineParser(const std::string& line) : s_(line) {}
+
+  TraceEvent Parse() {
+    TraceEvent event;
+    SkipWs();
+    Expect('{');
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return event;
+    }
+    while (true) {
+      SkipWs();
+      const std::string key = ParseString();
+      SkipWs();
+      Expect(':');
+      SkipWs();
+      if (key == "kind") {
+        const std::string name = ParseString();
+        const auto kind = ParseTraceEventKind(name);
+        if (!kind.has_value()) Fail("unknown kind '" + name + "'");
+        event.kind = *kind;
+      } else if (key == "frame") {
+        event.frame_type = ParseString();
+      } else if (key == "detail") {
+        event.detail = ParseString();
+      } else if (key == "t") {
+        event.at_us = ParseInt();
+      } else if (key == "node") {
+        event.node = static_cast<int>(ParseInt());
+      } else if (key == "src") {
+        event.src = static_cast<int>(ParseInt());
+      } else if (key == "dst") {
+        event.dst = static_cast<int>(ParseInt());
+      } else if (key == "bytes") {
+        event.bytes = static_cast<int>(ParseInt());
+      } else {
+        Fail("unknown key '" + key + "'");
+      }
+      SkipWs();
+      const char c = Next();
+      if (c == '}') break;
+      if (c != ',') Fail("expected ',' or '}'");
+    }
+    return event;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& why) const {
+    throw std::runtime_error("bad trace JSONL at column " +
+                             std::to_string(pos_) + ": " + why + " in: " + s_);
+  }
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  char Next() {
+    if (pos_ >= s_.size()) Fail("unexpected end");
+    return s_[pos_++];
+  }
+  void Expect(char c) {
+    if (Next() != c) Fail(std::string("expected '") + c + "'");
+  }
+  void SkipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) ++pos_;
+  }
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      char c = Next();
+      if (c == '"') return out;
+      if (c == '\\') {
+        c = Next();
+        switch (c) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u': {
+            int code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = Next();
+              code = code * 16 +
+                     (h >= '0' && h <= '9'   ? h - '0'
+                      : h >= 'a' && h <= 'f' ? h - 'a' + 10
+                      : h >= 'A' && h <= 'F' ? h - 'A' + 10
+                                             : (Fail("bad \\u escape"), 0));
+            }
+            out += static_cast<char>(code);
+            break;
+          }
+          default: out += c;
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+  std::int64_t ParseInt() {
+    const bool negative = Peek() == '-';
+    if (negative) ++pos_;
+    if (Peek() < '0' || Peek() > '9') Fail("expected digit");
+    std::int64_t value = 0;
+    while (Peek() >= '0' && Peek() <= '9') {
+      value = value * 10 + (Next() - '0');
+    }
+    return negative ? -value : value;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  const auto index = static_cast<std::size_t>(kind);
+  return index < kNumTraceEventKinds ? kKindNames[index] : "?";
+}
+
+std::optional<TraceEventKind> ParseTraceEventKind(std::string_view name) {
+  for (int i = 0; i < kNumTraceEventKinds; ++i) {
+    if (name == kKindNames[i]) return static_cast<TraceEventKind>(i);
+  }
+  return std::nullopt;
+}
+
+EventTrace::EventTrace(const EventTraceOptions& options) : options_(options) {}
+
+void EventTrace::Append(TraceEvent event) {
+  ++total_;
+  const auto index = static_cast<std::size_t>(event.kind);
+  if (index < counts_.size()) ++counts_[index];
+  if (!options_.only.empty() &&
+      std::find(options_.only.begin(), options_.only.end(), event.kind) ==
+          options_.only.end()) {
+    return;
+  }
+  if (events_.size() >= options_.max_events) {
+    if (!options_.keep_last) return;
+    events_.pop_front();
+  }
+  events_.push_back(std::move(event));
+}
+
+std::size_t EventTrace::CountOf(TraceEventKind kind) const {
+  const auto index = static_cast<std::size_t>(kind);
+  return index < counts_.size() ? counts_[index] : 0;
+}
+
+void EventTrace::Clear() {
+  events_.clear();
+  counts_.fill(0);
+  total_ = 0;
+}
+
+void EventTrace::WriteJsonl(std::ostream& os) const {
+  for (const TraceEvent& event : events_) {
+    AppendEventJson(os, event);
+    os << "\n";
+  }
+}
+
+std::string EventTrace::ToJsonl() const {
+  std::ostringstream os;
+  WriteJsonl(os);
+  return os.str();
+}
+
+std::vector<TraceEvent> EventTrace::ReadJsonl(std::istream& is) {
+  std::vector<TraceEvent> events;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    events.push_back(LineParser(line).Parse());
+  }
+  return events;
+}
+
+void EventTrace::WriteChromeTrace(std::ostream& os) const {
+  // Instant events, one timeline row per node; world-level events (mic
+  // transitions) land on row -1 so they bracket everything.
+  os << "[";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"";
+    if (!e.frame_type.empty()) {
+      os << JsonEscape(e.frame_type) << " " << TraceEventKindName(e.kind);
+    } else {
+      os << TraceEventKindName(e.kind);
+    }
+    os << "\",\"cat\":\"" << TraceEventKindName(e.kind)
+       << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":" << e.node
+       << ",\"ts\":" << e.at_us << ",\"args\":{";
+    bool first_arg = true;
+    auto arg = [&](const char* key, const std::string& value, bool quote) {
+      if (!first_arg) os << ",";
+      first_arg = false;
+      os << "\"" << key << "\":";
+      if (quote) {
+        os << "\"" << JsonEscape(value) << "\"";
+      } else {
+        os << value;
+      }
+    };
+    if (e.src != -1) arg("src", std::to_string(e.src), false);
+    if (e.dst != -1) arg("dst", std::to_string(e.dst), false);
+    if (e.bytes != 0) arg("bytes", std::to_string(e.bytes), false);
+    if (!e.detail.empty()) arg("detail", e.detail, true);
+    os << "}}";
+  }
+  os << "\n]\n";
+}
+
+}  // namespace whitefi

@@ -1,0 +1,117 @@
+// EventTrace — typed, structured simulation events.
+//
+// Where sim/tracer.h is a human-readable tcpdump (free-form lines), this
+// is the machine-readable upgrade: every interesting protocol moment is a
+// typed record keyed on simulated time — frame TX/RX/drop, MAC backoff and
+// retry, channel switches, incumbent (mic) appearances, chirps, discovery
+// probes.  Records serialize as JSONL (one JSON object per line, exact
+// round-trip via ReadJsonl) and as the Chrome trace-event format, so a run
+// can be dropped straight into chrome://tracing with one timeline row per
+// node.
+//
+// The trace is attached through WorldConfig (see Observability in
+// obs/obs.h); a null trace pointer costs instrumentation sites one branch.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace whitefi {
+
+/// What happened.
+enum class TraceEventKind {
+  kFrameTx = 0,      ///< A transmission completed on air.
+  kFrameRx,          ///< A frame was decoded and delivered at a node.
+  kFrameDrop,        ///< A frame was lost (SINR failure / retry limit).
+  kMacBackoff,       ///< A MAC drew a fresh backoff for a frame.
+  kMacRetry,         ///< A unicast attempt timed out and will be retried.
+  kChannelSwitch,    ///< A node retuned its main radio.
+  kIncumbentOn,      ///< An incumbent (wireless mic) switched on.
+  kIncumbentOff,     ///< An incumbent switched off.
+  kChirp,            ///< A disconnection chirp was sent or heard.
+  kDiscoveryProbe,   ///< A discovery scan probe (SIFT dwell / beacon listen).
+  kNote,             ///< Free-form milestone.
+};
+
+inline constexpr int kNumTraceEventKinds = 11;
+
+/// Stable wire name, e.g. "frame_tx".
+const char* TraceEventKindName(TraceEventKind kind);
+
+/// Inverse of TraceEventKindName; nullopt for unknown names.
+std::optional<TraceEventKind> ParseTraceEventKind(std::string_view name);
+
+/// One structured record.  Unused fields keep their defaults and are
+/// omitted from the JSONL encoding.
+struct TraceEvent {
+  std::int64_t at_us = 0;  ///< Simulated time, microsecond ticks.
+  TraceEventKind kind = TraceEventKind::kNote;
+  int node = -1;           ///< Acting node id (-1: the world itself).
+  int src = -1;            ///< Frame source (frame events).
+  int dst = -1;            ///< Frame destination (-1 = broadcast).
+  int bytes = 0;           ///< Frame size / event magnitude.
+  std::string frame_type;  ///< FrameTypeName for frame events, else empty.
+  std::string detail;      ///< Channel string or free text.
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+/// Capture options.
+struct EventTraceOptions {
+  /// Record cap.  Per-kind counts stay exact beyond it.
+  std::size_t max_events = 1 << 20;
+  /// When true the cap acts as a ring buffer (oldest records evicted);
+  /// when false, recording stops at the cap.
+  bool keep_last = false;
+  /// Kinds to record; empty = all.  Counts still include filtered kinds.
+  std::vector<TraceEventKind> only;
+};
+
+/// The trace buffer.
+class EventTrace {
+ public:
+  explicit EventTrace(const EventTraceOptions& options = {});
+
+  /// Appends one record (subject to the kind filter and the cap).
+  void Append(TraceEvent event);
+
+  /// Records currently held (capped / ring-buffered).
+  const std::deque<TraceEvent>& events() const { return events_; }
+
+  /// Number of events offered to Append since construction (exact, not
+  /// affected by the cap or the kind filter).
+  std::size_t TotalSeen() const { return total_; }
+
+  /// Exact per-kind count (also unaffected by cap and filter).
+  std::size_t CountOf(TraceEventKind kind) const;
+
+  /// Drops all buffered records and zeroes the counts.
+  void Clear();
+
+  /// JSONL: one compact JSON object per line.
+  void WriteJsonl(std::ostream& os) const;
+  std::string ToJsonl() const;
+
+  /// Parses WriteJsonl output back into records (exact round-trip).
+  /// Throws std::runtime_error on malformed lines.
+  static std::vector<TraceEvent> ReadJsonl(std::istream& is);
+
+  /// Chrome trace-event format (JSON array of instant events, ts in
+  /// microseconds of simulated time, one timeline row per node) — loads
+  /// directly in chrome://tracing / Perfetto.
+  void WriteChromeTrace(std::ostream& os) const;
+
+ private:
+  EventTraceOptions options_;
+  std::deque<TraceEvent> events_;
+  std::array<std::size_t, kNumTraceEventKinds> counts_{};
+  std::size_t total_ = 0;
+};
+
+}  // namespace whitefi

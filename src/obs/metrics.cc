@@ -1,0 +1,192 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/report.h"
+
+namespace whitefi {
+namespace {
+
+const char* KindLabel(bool counter, bool gauge) {
+  return counter ? "counter" : gauge ? "gauge" : "histogram";
+}
+
+/// Minimal JSON string escaping (names/units are plain ASCII in practice).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::CheckKind(const std::string& name, Kind kind) const {
+  const auto it = kinds_.find(name);
+  if (it != kinds_.end() && it->second != kind) {
+    throw std::invalid_argument(
+        "metric name '" + name + "' already registered as a " +
+        KindLabel(it->second == Kind::kCounter, it->second == Kind::kGauge));
+  }
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  CheckKind(name, Kind::kCounter);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+    kinds_.emplace(name, Kind::kCounter);
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  CheckKind(name, Kind::kGauge);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+    kinds_.emplace(name, Kind::kGauge);
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  CheckKind(name, Kind::kHistogram);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+    kinds_.emplace(name, Kind::kHistogram);
+  }
+  return *slot;
+}
+
+void MetricsRegistry::Count(MetricsRegistry* registry, const std::string& name,
+                            std::uint64_t n) {
+  if (registry != nullptr) registry->GetCounter(name).Add(n);
+}
+
+void MetricsRegistry::Set(MetricsRegistry* registry, const std::string& name,
+                          double value) {
+  if (registry != nullptr) registry->GetGauge(name).Set(value);
+}
+
+void MetricsRegistry::Observe(MetricsRegistry* registry,
+                              const std::string& name, double value) {
+  if (registry != nullptr) registry->GetHistogram(name).Observe(value);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->value()});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->value()});
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.push_back({name, histogram->distribution()});
+  }
+  return snapshot;  // std::map iteration is already name-sorted.
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::ostringstream os;
+  if (!counters.empty() || !gauges.empty()) {
+    Table table({"metric", "kind", "value"});
+    for (const auto& c : counters) {
+      table.AddRow({c.name, "counter", std::to_string(c.value)});
+    }
+    for (const auto& g : gauges) {
+      table.AddRow({g.name, "gauge", FormatDouble(g.value, 4)});
+    }
+    os << table.ToString();
+  }
+  if (!histograms.empty()) {
+    if (!counters.empty() || !gauges.empty()) os << "\n";
+    Table table({"histogram", "count", "mean", "p50", "p90", "p99", "max"});
+    for (const auto& h : histograms) {
+      const ExpHistogram& d = h.distribution;
+      table.AddRow({h.name, std::to_string(d.Count()),
+                    FormatDouble(d.Mean(), 2), FormatDouble(d.Percentile(50), 2),
+                    FormatDouble(d.Percentile(90), 2),
+                    FormatDouble(d.Percentile(99), 2),
+                    FormatDouble(d.Max(), 2)});
+    }
+    os << table.ToString();
+  }
+  return os.str();
+}
+
+std::string MetricsSnapshot::ToCsv() const {
+  Table table({"metric", "kind", "field", "value"});
+  for (const auto& c : counters) {
+    table.AddRow({c.name, "counter", "value", std::to_string(c.value)});
+  }
+  for (const auto& g : gauges) {
+    table.AddRow({g.name, "gauge", "value", FormatDouble(g.value, 6)});
+  }
+  for (const auto& h : histograms) {
+    const ExpHistogram& d = h.distribution;
+    table.AddRow({h.name, "histogram", "count", std::to_string(d.Count())});
+    table.AddRow({h.name, "histogram", "sum", FormatDouble(d.Sum(), 6)});
+    table.AddRow({h.name, "histogram", "mean", FormatDouble(d.Mean(), 6)});
+    table.AddRow({h.name, "histogram", "min", FormatDouble(d.Min(), 6)});
+    table.AddRow({h.name, "histogram", "p50", FormatDouble(d.Percentile(50), 6)});
+    table.AddRow({h.name, "histogram", "p90", FormatDouble(d.Percentile(90), 6)});
+    table.AddRow({h.name, "histogram", "p99", FormatDouble(d.Percentile(99), 6)});
+    table.AddRow({h.name, "histogram", "max", FormatDouble(d.Max(), 6)});
+  }
+  return table.ToCsv();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << JsonEscape(counters[i].name) << "\":" << counters[i].value;
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << JsonEscape(gauges[i].name) << "\":" << gauges[i].value;
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    if (i > 0) os << ",";
+    const ExpHistogram& d = histograms[i].distribution;
+    os << "\"" << JsonEscape(histograms[i].name) << "\":{"
+       << "\"count\":" << d.Count() << ",\"sum\":" << d.Sum()
+       << ",\"mean\":" << d.Mean() << ",\"min\":" << d.Min()
+       << ",\"p50\":" << d.Percentile(50) << ",\"p90\":" << d.Percentile(90)
+       << ",\"p99\":" << d.Percentile(99) << ",\"max\":" << d.Max() << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace whitefi

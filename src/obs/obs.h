@@ -1,0 +1,21 @@
+// Observability — the pointer bundle threaded through the simulation.
+//
+// One struct instead of three parameters everywhere: WorldConfig embeds an
+// Observability, World hands it to Medium/Mac/devices, bench::ScenarioConfig
+// copies one in.  All pointers are optional and non-owning; the default
+// (all null) makes every instrumentation site a dead branch.
+#pragma once
+
+#include "obs/event_trace.h"
+#include "obs/metrics.h"
+#include "obs/phase_timer.h"
+
+namespace whitefi {
+
+struct Observability {
+  MetricsRegistry* metrics = nullptr;
+  EventTrace* trace = nullptr;
+  PhaseProfiler* profiler = nullptr;
+};
+
+}  // namespace whitefi

@@ -1,0 +1,38 @@
+#include "obs/phase_timer.h"
+
+#include <algorithm>
+
+#include "util/report.h"
+
+namespace whitefi {
+
+std::string PhaseProfiler::ToString(double sim_seconds) const {
+  std::vector<const std::map<std::string, PhaseStats>::value_type*> rows;
+  rows.reserve(phases_.size());
+  for (const auto& entry : phases_) rows.push_back(&entry);
+  std::stable_sort(rows.begin(), rows.end(), [](const auto* a, const auto* b) {
+    return a->second.total_us > b->second.total_us;
+  });
+
+  std::vector<std::string> headers = {"phase",   "calls",   "total_ms",
+                                      "self_ms", "mean_us", "max_us"};
+  if (sim_seconds > 0.0) headers.push_back("ms_per_sim_s");
+  Table table(headers);
+  for (const auto* entry : rows) {
+    const PhaseStats& s = entry->second;
+    std::vector<std::string> row = {
+        entry->first,
+        std::to_string(s.count),
+        FormatDouble(s.total_us / 1000.0, 3),
+        FormatDouble(s.self_us / 1000.0, 3),
+        FormatDouble(s.count == 0 ? 0.0 : s.total_us / s.count, 2),
+        FormatDouble(s.max_us, 2)};
+    if (sim_seconds > 0.0) {
+      row.push_back(FormatDouble(s.total_us / 1000.0 / sim_seconds, 3));
+    }
+    table.AddRow(row);
+  }
+  return table.ToString();
+}
+
+}  // namespace whitefi

@@ -1,0 +1,99 @@
+// PhaseProfiler — wall-clock cost of the expensive kernels.
+//
+// Instrumentation sites wrap a kernel in a ScopedPhaseTimer("sift.detect")
+// and the profiler accumulates per-phase call counts, total and maximum
+// wall time, plus *self* time: nested phases subtract their elapsed time
+// from the enclosing phase, so "medium.deliver" containing "sift.detect"
+// reports only its own work.  Timing uses the steady clock (real time, not
+// simulated time — this answers "where do the CPU cycles go", the metrics
+// registry answers "what did the protocol do").
+//
+// A null profiler pointer makes ScopedPhaseTimer construction a single
+// branch with no clock read, so always-on call sites are free by default.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace whitefi {
+
+/// Accumulated cost of one named phase.
+struct PhaseStats {
+  std::uint64_t count = 0;   ///< Completed timer scopes.
+  double total_us = 0.0;     ///< Wall time inside the scope, children included.
+  double self_us = 0.0;      ///< total_us minus nested phases' wall time.
+  double max_us = 0.0;       ///< Longest single scope.
+};
+
+class PhaseProfiler {
+ public:
+  /// Per-phase stats, keyed (and therefore sorted) by phase name.
+  const std::map<std::string, PhaseStats>& phases() const { return phases_; }
+
+  /// Currently open (nested) timer scopes.
+  std::size_t depth() const { return stack_.size(); }
+
+  void Reset() {
+    phases_.clear();
+    stack_.clear();
+  }
+
+  /// Aligned table sorted by total time, most expensive phase first.  When
+  /// `sim_seconds` > 0 an extra column reports milliseconds of wall time
+  /// spent per simulated second.
+  std::string ToString(double sim_seconds = 0.0) const;
+
+ private:
+  friend class ScopedPhaseTimer;
+
+  struct Frame {
+    std::string phase;
+    std::chrono::steady_clock::time_point start;
+    double child_us = 0.0;  ///< Wall time of nested scopes closed so far.
+  };
+
+  void Begin(std::string phase) {
+    stack_.push_back({std::move(phase), std::chrono::steady_clock::now(), 0.0});
+  }
+
+  void End() {
+    Frame frame = std::move(stack_.back());
+    stack_.pop_back();
+    const double elapsed_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - frame.start)
+            .count();
+    PhaseStats& stats = phases_[frame.phase];
+    ++stats.count;
+    stats.total_us += elapsed_us;
+    stats.self_us += elapsed_us - frame.child_us;
+    if (elapsed_us > stats.max_us) stats.max_us = elapsed_us;
+    if (!stack_.empty()) stack_.back().child_us += elapsed_us;
+  }
+
+  std::map<std::string, PhaseStats> phases_;
+  std::vector<Frame> stack_;
+};
+
+/// RAII scope: times from construction to destruction and feeds the
+/// profiler.  Null profiler = no clock reads, just one branch each way.
+class ScopedPhaseTimer {
+ public:
+  ScopedPhaseTimer(PhaseProfiler* profiler, std::string phase)
+      : profiler_(profiler) {
+    if (profiler_ != nullptr) profiler_->Begin(std::move(phase));
+  }
+  ~ScopedPhaseTimer() {
+    if (profiler_ != nullptr) profiler_->End();
+  }
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+ private:
+  PhaseProfiler* profiler_;
+};
+
+}  // namespace whitefi

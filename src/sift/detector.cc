@@ -13,6 +13,17 @@ SiftDetector::SiftDetector(const SiftParams& params) : params_(params) {
   window_.assign(static_cast<std::size_t>(params_.window), 0.0);
 }
 
+void SiftDetector::SetObservability(const Observability& obs) {
+  profiler_ = obs.profiler;
+  if (obs.metrics == nullptr) {
+    bursts_counter_ = nullptr;
+    burst_us_ = nullptr;
+    return;
+  }
+  bursts_counter_ = &obs.metrics->GetCounter("whitefi.sift.bursts");
+  burst_us_ = &obs.metrics->GetHistogram("whitefi.sift.burst_us");
+}
+
 void SiftDetector::Step(double sample) {
   // Slide the window.
   window_sum_ -= window_[window_pos_];
@@ -59,10 +70,15 @@ void SiftDetector::EmitBurst(std::size_t end_sample) {
   burst.end = static_cast<double>(std::max(end_sample, burst_start_sample_)) *
               params_.sample_period;
   burst.peak_average = burst_peak_;
-  if (burst.end > burst.start) completed_.push_back(burst);
+  if (burst.end > burst.start) {
+    WHITEFI_METRIC_COUNT(bursts_counter_, 1);
+    WHITEFI_METRIC_OBSERVE(burst_us_, burst.Duration());
+    completed_.push_back(burst);
+  }
 }
 
 void SiftDetector::ProcessBlock(std::span<const double> samples) {
+  ScopedPhaseTimer timer(profiler_, "sift.detect");
   for (double s : samples) Step(s);
 }
 

@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/obs.h"
 #include "util/units.h"
 
 namespace whitefi {
@@ -68,6 +69,11 @@ class SiftDetector {
   /// The configuration in use.
   const SiftParams& params() const { return params_; }
 
+  /// Attaches metrics/profiler sinks (pointers may be null): ProcessBlock
+  /// runs under the "sift.detect" phase, completed bursts feed
+  /// whitefi.sift.bursts and the whitefi.sift.burst_us histogram.
+  void SetObservability(const Observability& obs);
+
  private:
   void Step(double sample);
   void EmitBurst(std::size_t end_sample);
@@ -82,6 +88,11 @@ class SiftDetector {
   std::size_t last_above_sample_ = 0;  ///< Last sample index above threshold.
   double burst_peak_ = 0.0;
   std::vector<DetectedBurst> completed_;
+
+  // Observability (optional).
+  PhaseProfiler* profiler_ = nullptr;
+  Counter* bursts_counter_ = nullptr;
+  Histogram* burst_us_ = nullptr;
 };
 
 }  // namespace whitefi

@@ -29,6 +29,9 @@ enum class FrameType {
   kReport,         ///< Client's spectrum map + airtime report.
 };
 
+/// Number of FrameType values (for per-type count arrays).
+inline constexpr int kNumFrameTypes = 7;
+
 /// Human-readable frame-type name.
 const char* FrameTypeName(FrameType type);
 

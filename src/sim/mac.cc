@@ -18,6 +18,21 @@ Mac::Mac(Simulator& sim, Medium& medium, RadioPort& radio,
       rng_(std::move(rng)),
       cw_(params.cw_min) {}
 
+void Mac::SetObservability(const Observability& obs) {
+  trace_ = obs.trace;
+  if (obs.metrics == nullptr) {
+    retries_counter_ = nullptr;
+    drop_counters_.fill(nullptr);
+    return;
+  }
+  retries_counter_ = &obs.metrics->GetCounter("whitefi.mac.retries");
+  for (int i = 0; i < kNumFrameTypes; ++i) {
+    drop_counters_[i] = &obs.metrics->GetCounter(
+        std::string("whitefi.mac.drop.") +
+        FrameTypeName(static_cast<FrameType>(i)));
+  }
+}
+
 bool Mac::Enqueue(Frame frame) {
   if (queue_.size() >= params_.max_queue) return false;
   frame.src = radio_.NodeId();
@@ -105,7 +120,19 @@ void Mac::DifsExpired() {
     state_ = State::kWaitIdle;
     return;
   }
-  if (backoff_slots_ < 0) backoff_slots_ = rng_.UniformInt(0, cw_);
+  if (backoff_slots_ < 0) {
+    backoff_slots_ = rng_.UniformInt(0, cw_);
+    if (trace_ != nullptr && !queue_.empty()) {
+      TraceEvent event;
+      event.at_us = sim_.Now();
+      event.kind = TraceEventKind::kMacBackoff;
+      event.node = radio_.NodeId();
+      event.bytes = backoff_slots_;  // Magnitude: slots drawn.
+      event.frame_type = FrameTypeName(queue_.front().type);
+      event.detail = "cw=" + std::to_string(cw_);
+      trace_->Append(std::move(event));
+    }
+  }
   state_ = State::kBackoff;
   if (backoff_slots_ == 0) {
     TransmitHead();
@@ -196,8 +223,37 @@ void Mac::AckTimeout(std::uint64_t epoch) {
   ++attempts_;
   if (attempts_ > params_.retry_limit) {
     ++drops_;
+    const Frame& frame = queue_.front();
+    WHITEFI_METRIC_COUNT(
+        drop_counters_[static_cast<std::size_t>(frame.type)], 1);
+    if (trace_ != nullptr) {
+      TraceEvent event;
+      event.at_us = sim_.Now();
+      event.kind = TraceEventKind::kFrameDrop;
+      event.node = radio_.NodeId();
+      event.src = frame.src;
+      event.dst = frame.dst;
+      event.bytes = frame.bytes;
+      event.frame_type = FrameTypeName(frame.type);
+      event.detail = "retry_limit";
+      trace_->Append(std::move(event));
+    }
     CompleteHead(false);
     return;
+  }
+  WHITEFI_METRIC_COUNT(retries_counter_, 1);
+  if (trace_ != nullptr) {
+    const Frame& frame = queue_.front();
+    TraceEvent event;
+    event.at_us = sim_.Now();
+    event.kind = TraceEventKind::kMacRetry;
+    event.node = radio_.NodeId();
+    event.src = frame.src;
+    event.dst = frame.dst;
+    event.bytes = frame.bytes;
+    event.frame_type = FrameTypeName(frame.type);
+    event.detail = "attempt=" + std::to_string(attempts_);
+    trace_->Append(std::move(event));
   }
   cw_ = std::min(cw_ * 2 + 1, params_.cw_max);
   state_ = State::kIdle;

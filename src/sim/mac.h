@@ -12,6 +12,7 @@
 // attempts are always scheduled through the simulator.
 #pragma once
 
+#include <array>
 #include <deque>
 #include <map>
 #include <optional>
@@ -51,6 +52,10 @@ class Mac {
 
   /// Updates interframe timings (call when the radio's width changes).
   void SetTiming(const PhyTiming& timing) { timing_ = timing; }
+
+  /// Attaches metrics/trace sinks (pointers may be null).  Counter handles
+  /// are resolved once here; the per-event cost is a null check.
+  void SetObservability(const Observability& obs);
 
   /// Current timing.
   const PhyTiming& timing() const { return timing_; }
@@ -129,6 +134,11 @@ class Mac {
   std::uint64_t next_seq_ = 1;
   std::uint64_t drops_ = 0;
   std::map<int, std::uint64_t> last_seq_from_;  ///< Duplicate filter.
+
+  // Observability (optional): whitefi.mac.retries, whitefi.mac.drop.<Type>.
+  EventTrace* trace_ = nullptr;
+  Counter* retries_counter_ = nullptr;
+  std::array<Counter*, kNumFrameTypes> drop_counters_{};
 };
 
 }  // namespace whitefi

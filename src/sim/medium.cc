@@ -57,6 +57,20 @@ void Medium::Transmit(RadioPort* tx, const Channel& channel,
                       std::function<void()> on_end) {
   AccrueBooks();
   const std::uint64_t id = next_tx_id_++;
+  const auto type_index = static_cast<std::size_t>(frame.type);
+  WHITEFI_METRIC_COUNT(tx_counters_[type_index], 1);
+  if (obs_.trace != nullptr) {
+    TraceEvent event;
+    event.at_us = sim_.Now();
+    event.kind = TraceEventKind::kFrameTx;
+    event.node = tx->NodeId();
+    event.src = frame.src;
+    event.dst = frame.dst;
+    event.bytes = frame.bytes;
+    event.frame_type = FrameTypeName(frame.type);
+    event.detail = channel.ToString();
+    obs_.trace->Append(std::move(event));
+  }
   ActiveTx record{id,      tx,  channel, frame,
                   tx_power, sim_.Now(), sim_.Now() + duration,
                   {}};
@@ -113,6 +127,23 @@ void Medium::EndTransmission(std::uint64_t tx_id,
 
 void Medium::AddFrameTap(FrameTap tap) { taps_.push_back(std::move(tap)); }
 
+void Medium::SetObservability(const Observability& obs) {
+  obs_ = obs;
+  if (obs_.metrics == nullptr) {
+    tx_counters_.fill(nullptr);
+    rx_counters_.fill(nullptr);
+    drop_counters_.fill(nullptr);
+    return;
+  }
+  for (int i = 0; i < kNumFrameTypes; ++i) {
+    const std::string type = FrameTypeName(static_cast<FrameType>(i));
+    tx_counters_[i] = &obs_.metrics->GetCounter("whitefi.medium.tx." + type);
+    rx_counters_[i] = &obs_.metrics->GetCounter("whitefi.medium.rx." + type);
+    drop_counters_[i] =
+        &obs_.metrics->GetCounter("whitefi.medium.drop." + type);
+  }
+}
+
 double Medium::InterferencePowerMw(const ActiveTx& tx,
                                    const RadioPort& rx) const {
   double total_mw = 0.0;
@@ -138,6 +169,7 @@ double Medium::InterferencePowerMw(const ActiveTx& tx,
 }
 
 void Medium::ResolveReceptions(const ActiveTx& tx) {
+  ScopedPhaseTimer timer(obs_.profiler, "medium.deliver");
   // Half-duplex: a radio that transmitted during this frame cannot have
   // received it.  Any such transmission on the same channel is recorded in
   // the interferer list, so collect those node ids.
@@ -173,7 +205,35 @@ void Medium::ResolveReceptions(const ActiveTx& tx) {
         prop_.ReceivedPower(tx.power, tx.tx->Location(), rx->Location());
     const double signal_mw = DbmToMilliwatt(rx_power);
     const double interference_mw = InterferencePowerMw(tx, *rx);
-    if (signal_mw / (noise_mw + interference_mw) < min_sinr) continue;
+    const auto type_index = static_cast<std::size_t>(tx.frame.type);
+    if (signal_mw / (noise_mw + interference_mw) < min_sinr) {
+      WHITEFI_METRIC_COUNT(drop_counters_[type_index], 1);
+      if (obs_.trace != nullptr) {
+        TraceEvent event;
+        event.at_us = sim_.Now();
+        event.kind = TraceEventKind::kFrameDrop;
+        event.node = rx->NodeId();
+        event.src = tx.frame.src;
+        event.dst = tx.frame.dst;
+        event.bytes = tx.frame.bytes;
+        event.frame_type = FrameTypeName(tx.frame.type);
+        event.detail = "sinr";
+        obs_.trace->Append(std::move(event));
+      }
+      continue;
+    }
+    WHITEFI_METRIC_COUNT(rx_counters_[type_index], 1);
+    if (obs_.trace != nullptr) {
+      TraceEvent event;
+      event.at_us = sim_.Now();
+      event.kind = TraceEventKind::kFrameRx;
+      event.node = rx->NodeId();
+      event.src = tx.frame.src;
+      event.dst = tx.frame.dst;
+      event.bytes = tx.frame.bytes;
+      event.frame_type = FrameTypeName(tx.frame.type);
+      obs_.trace->Append(std::move(event));
+    }
     rx->DeliverFrame(tx.frame, rx_power);
   }
 }

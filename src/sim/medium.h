@@ -22,6 +22,7 @@
 #include <map>
 #include <vector>
 
+#include "obs/obs.h"
 #include "sim/events.h"
 #include "sim/frame.h"
 #include "sim/propagation.h"
@@ -143,6 +144,11 @@ class Medium {
   /// Registers a tap (never removed; keep captured objects alive).
   void AddFrameTap(FrameTap tap);
 
+  /// Attaches metrics/trace/profiler sinks (any pointer may be null).
+  /// Counter handles are resolved here, once, so the per-frame cost is a
+  /// null check.  Called by World; must precede traffic.
+  void SetObservability(const Observability& obs);
+
   const MediumParams& params() const { return params_; }
   const PropagationModel& propagation() const { return prop_; }
 
@@ -180,6 +186,13 @@ class Medium {
   AirtimeBooks books_;
   std::array<int, static_cast<std::size_t>(kNumUhfChannels)> active_count_{};
   SimTime books_accrued_at_ = 0;
+
+  // Observability (all optional).  Per-frame-type counter handles are
+  // pre-resolved: whitefi.medium.{tx,rx,drop}.<Type>.
+  Observability obs_;
+  std::array<Counter*, kNumFrameTypes> tx_counters_{};
+  std::array<Counter*, kNumFrameTypes> rx_counters_{};
+  std::array<Counter*, kNumFrameTypes> drop_counters_{};
 };
 
 }  // namespace whitefi

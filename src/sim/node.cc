@@ -12,6 +12,7 @@ Device::Device(World& world, int id, const DeviceConfig& config)
       mac_(world.sim(), world.medium(), *this, *this, config.tx_power,
            config.mac, world.NewRng()) {
   mac_.SetTiming(PhyTiming::ForWidth(channel_.width));
+  mac_.SetObservability(world.obs());
   world_.medium().Register(this);
 }
 
@@ -42,6 +43,14 @@ void Device::MacSendComplete(const Frame& frame, bool success) {
 
 void Device::SwitchChannel(const Channel& channel) {
   if (channel == channel_ && RxEnabled()) return;
+  MetricsRegistry::Count(world_.metrics(), "whitefi.node.channel_switches");
+  {
+    TraceEvent event;
+    event.kind = TraceEventKind::kChannelSwitch;
+    event.node = id_;
+    event.detail = channel_.ToString() + " -> " + channel.ToString();
+    world_.TraceEventNow(std::move(event));
+  }
   mac_.Reset();
   channel_ = channel;
   mac_.SetTiming(PhyTiming::ForWidth(channel.width));
@@ -56,6 +65,21 @@ void Device::SwitchChannel(const Channel& channel) {
 }
 
 void Device::OnIncumbentDetected(UhfIndex channel) {
+  if (detected_mics_.find(channel) == detected_mics_.end()) {
+    // Fresh detection: record how long the incumbent had been on air
+    // before this node reacted (microsecond ticks).
+    MetricsRegistry::Count(world_.metrics(), "whitefi.sift.detections");
+    if (const auto since = world_.MicOnSince(channel); since.has_value()) {
+      MetricsRegistry::Observe(world_.metrics(),
+                               "whitefi.sift.detect_latency_us",
+                               static_cast<double>(*since));
+    }
+    TraceEvent event;
+    event.kind = TraceEventKind::kNote;
+    event.node = id_;
+    event.detail = "incumbent detected ch" + std::to_string(channel);
+    world_.TraceEventNow(std::move(event));
+  }
   NoteMicObservation(channel, true);
 }
 

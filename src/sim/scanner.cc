@@ -43,6 +43,7 @@ void Scanner::BeginDwell() {
     }
     break;
   }
+  MetricsRegistry::Count(world.metrics(), "whitefi.scanner.dwells");
   dwell_start_books_ = world.medium().SnapshotBooks();
   world.sim().ScheduleAfter(params_.dwell, [this] { EndDwell(); });
 }

@@ -9,10 +9,6 @@
 
 namespace whitefi {
 
-namespace {
-constexpr int kNumFrameTypes = 7;
-}  // namespace
-
 Tracer::Tracer(World& world, const TracerOptions& options)
     : world_(world),
       options_(options),
@@ -21,6 +17,15 @@ Tracer::Tracer(World& world, const TracerOptions& options)
       [this](const Channel& channel, const Frame& frame, const RadioPort& tx) {
         OnFrame(channel, frame, tx);
       });
+}
+
+void Tracer::Record(std::string line) {
+  if (options_.live != nullptr) *options_.live << line << "\n";
+  if (records_.size() >= options_.max_records) {
+    if (!options_.keep_last) return;
+    records_.pop_front();
+  }
+  records_.push_back(TraceRecord{world_.sim().Now(), std::move(line)});
 }
 
 void Tracer::OnFrame(const Channel& channel, const Frame& frame,
@@ -36,20 +41,14 @@ void Tracer::OnFrame(const Channel& channel, const Frame& frame,
   os << "t=" << FormatDouble(ToSeconds(world_.sim().Now()), 6) << "  node "
      << tx.NodeId() << "  " << frame.ToString() << "  on "
      << channel.ToString();
-  if (options_.live != nullptr) *options_.live << os.str() << "\n";
-  if (records_.size() < options_.max_records) {
-    records_.push_back(TraceRecord{world_.sim().Now(), os.str()});
-  }
+  Record(os.str());
 }
 
 void Tracer::Note(const std::string& text) {
   std::ostringstream os;
   os << "t=" << FormatDouble(ToSeconds(world_.sim().Now()), 6) << "  * "
      << text;
-  if (options_.live != nullptr) *options_.live << os.str() << "\n";
-  if (records_.size() < options_.max_records) {
-    records_.push_back(TraceRecord{world_.sim().Now(), os.str()});
-  }
+  Record(os.str());
 }
 
 std::size_t Tracer::CountOf(FrameType type) const {

@@ -7,6 +7,7 @@
 // mode of the scenario CLI.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <iosfwd>
 #include <string>
@@ -30,8 +31,12 @@ struct TracerOptions {
   std::vector<FrameType> only;
   /// Also stream each line to this stream as it happens (nullptr = none).
   std::ostream* live = nullptr;
-  /// Stop recording beyond this many records (live streaming continues).
+  /// Stop recording beyond this many records (live streaming continues,
+  /// and CountOf stays exact).
   std::size_t max_records = 100000;
+  /// When true, max_records acts as a ring buffer: the oldest records are
+  /// evicted so the trace always holds the most recent activity.
+  bool keep_last = false;
 };
 
 /// Medium-attached frame tracer.
@@ -45,9 +50,10 @@ class Tracer {
   void Note(const std::string& text);
 
   /// Records captured so far.
-  const std::vector<TraceRecord>& Records() const { return records_; }
+  const std::deque<TraceRecord>& Records() const { return records_; }
 
-  /// Number of frames seen per type (including ones beyond max_records).
+  /// Number of frames seen per type (exact: includes frames beyond
+  /// max_records and frames excluded by the `only` filter).
   std::size_t CountOf(FrameType type) const;
 
   /// Renders all records, one line each.
@@ -57,9 +63,11 @@ class Tracer {
   void OnFrame(const Channel& channel, const Frame& frame,
                const RadioPort& tx);
 
+  void Record(std::string line);
+
   World& world_;
   TracerOptions options_;
-  std::vector<TraceRecord> records_;
+  std::deque<TraceRecord> records_;
   std::vector<std::size_t> counts_;
 };
 

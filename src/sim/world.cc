@@ -2,12 +2,19 @@
 
 #include <algorithm>
 
+#include "util/log.h"
+
 namespace whitefi {
 
 World::World(const WorldConfig& config)
-    : config_(config), rng_(config.seed), medium_(sim_, config.medium) {}
+    : config_(config), rng_(config.seed), medium_(sim_, config.medium) {
+  medium_.SetObservability(config_.obs);
+  // Stamp log lines with this world's simulated time.  The owner token
+  // keeps a dying world from clearing a newer world's source.
+  SetLogTimeSource(this, [this] { return ToSeconds(sim_.Now()); });
+}
 
-World::~World() = default;
+World::~World() { ClearLogTimeSource(this); }
 
 Device* World::FindDevice(int id) {
   for (const auto& device : devices_) {
@@ -43,7 +50,30 @@ void World::AddMic(const MicActivation& mic, std::vector<int> audible_to) {
                 [this, entry] { ApplyMicTransition(entry, false); });
 }
 
+void World::TraceEventNow(TraceEvent event) {
+  if (config_.obs.trace == nullptr) return;
+  event.at_us = sim_.Now();
+  config_.obs.trace->Append(std::move(event));
+}
+
+std::optional<SimTime> World::MicOnSince(UhfIndex c) const {
+  const SimTime now = sim_.Now();
+  std::optional<SimTime> latest;
+  for (const WorldMic& m : mics_) {
+    if (m.mic.channel != c || !m.ActiveAtTick(now)) continue;
+    if (!latest.has_value() || m.on_ticks > *latest) latest = m.on_ticks;
+  }
+  if (!latest.has_value()) return std::nullopt;
+  return now - *latest;
+}
+
 void World::ApplyMicTransition(const WorldMic& mic, bool on) {
+  {
+    TraceEvent event;
+    event.kind = on ? TraceEventKind::kIncumbentOn : TraceEventKind::kIncumbentOff;
+    event.detail = "mic ch" + std::to_string(mic.mic.channel);
+    TraceEventNow(std::move(event));
+  }
   if (!on) return;
   // Fast sensing path: nodes whose operating channel covers the mic (and
   // who can hear it) detect it after the configured latency.  Audibility

@@ -7,8 +7,10 @@
 #include <array>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "obs/obs.h"
 #include "sim/events.h"
 #include "sim/medium.h"
 #include "sim/node.h"
@@ -24,6 +26,9 @@ struct WorldConfig {
   /// Latency between a mic switching on within a node's operating channel
   /// and the node's scanner flagging it (fast sensing path).
   SimTime incumbent_detect_latency = 100 * kTicksPerMs;
+  /// Optional metrics / event-trace / profiler sinks (non-owning; they
+  /// must outlive the World).  All null by default: instrumentation off.
+  Observability obs;
 };
 
 /// One simulation scenario.
@@ -38,6 +43,22 @@ class World {
   Simulator& sim() { return sim_; }
   Medium& medium() { return medium_; }
   const WorldConfig& config() const { return config_; }
+
+  /// Observability sinks shared by every component in this world.  The
+  /// pointers inside may be null.
+  const Observability& obs() const { return config_.obs; }
+  MetricsRegistry* metrics() const { return config_.obs.metrics; }
+  EventTrace* trace() const { return config_.obs.trace; }
+  PhaseProfiler* profiler() const { return config_.obs.profiler; }
+
+  /// Appends a structured trace event stamped with the current simulated
+  /// time; no-op when no trace is attached.
+  void TraceEventNow(TraceEvent event);
+
+  /// Ticks since the most recent active mic on channel `c` switched on;
+  /// nullopt when none is active.  Feeds the incumbent reaction-latency
+  /// histogram.
+  std::optional<SimTime> MicOnSince(UhfIndex c) const;
 
   /// Independent RNG stream for a component.
   Rng NewRng() { return rng_.Fork(); }

@@ -1,6 +1,8 @@
 #include "util/histogram.h"
 
 #include <algorithm>
+#include <cmath>
+#include <numeric>
 #include <sstream>
 #include <stdexcept>
 
@@ -76,6 +78,68 @@ void DoubleHistogram::Add(double value) {
 
 double DoubleHistogram::BinCenter(std::size_t i) const {
   return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+std::size_t ExpHistogram::BucketOf(double value) {
+  if (!(value >= 1.0)) return 0;  // Also catches NaN.
+  const int exponent = std::ilogb(value);
+  return std::min<std::size_t>(static_cast<std::size_t>(exponent) + 1,
+                               kBuckets - 1);
+}
+
+void ExpHistogram::Add(double value) {
+  const double v = std::isnan(value) ? 0.0 : std::max(value, 0.0);
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++bins_[BucketOf(v)];
+  ++count_;
+  sum_ += v;
+}
+
+double ExpHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const double target =
+      std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(count_);
+  std::size_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += bins_[static_cast<std::size_t>(i)];
+    if (static_cast<double>(seen) >= target) {
+      // Geometric midpoint of the bucket, clamped to the observed range.
+      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, i - 1);
+      const double hi = std::ldexp(1.0, i);
+      return std::clamp(std::midpoint(lo, hi), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void ExpHistogram::Merge(const ExpHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::string ExpHistogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count_;
+  if (count_ > 0) {
+    os << " mean=" << Mean() << " min=" << Min() << " p50=" << Percentile(50)
+       << " p90=" << Percentile(90) << " p99=" << Percentile(99)
+       << " max=" << Max();
+  }
+  return os.str();
 }
 
 }  // namespace whitefi

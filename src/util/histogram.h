@@ -2,6 +2,7 @@
 // general-purpose bucketed measurements.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -73,6 +74,52 @@ class DoubleHistogram {
   double width_;
   std::vector<std::size_t> bins_;
   std::size_t total_ = 0;
+};
+
+/// Geometric (power-of-two bucketed) histogram for measurements of unknown
+/// dynamic range — latencies, sizes, durations.  Bucket 0 covers [0, 1);
+/// bucket i >= 1 covers [2^(i-1), 2^i).  Adds are O(1) with no allocation,
+/// so the metrics layer can use it on hot paths; quantiles are estimated
+/// from bucket boundaries and clamped to the exact observed min/max.
+class ExpHistogram {
+ public:
+  /// Adds one observation (negatives clamp to 0).
+  void Add(double value);
+
+  /// Number of observations.
+  std::size_t Count() const { return count_; }
+
+  /// Sum of all observations.
+  double Sum() const { return sum_; }
+
+  /// Mean of all observations; 0 when empty.
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+  /// Smallest / largest observation; 0 when empty.
+  double Min() const { return count_ == 0 ? 0.0 : min_; }
+  double Max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Estimated value at percentile `p` in [0, 100]; 0 when empty.
+  double Percentile(double p) const;
+
+  /// Merges another histogram into this one.
+  void Merge(const ExpHistogram& other);
+
+  /// Resets to the empty state.
+  void Reset() { *this = ExpHistogram{}; }
+
+  /// One-line summary like "count=12 mean=3.4 p50=2.9 p99=8.1 max=9.0".
+  std::string ToString() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  static std::size_t BucketOf(double value);
+
+  std::array<std::size_t, kBuckets> bins_{};
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
 };
 
 }  // namespace whitefi

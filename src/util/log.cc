@@ -1,12 +1,10 @@
 #include "util/log.h"
 
-#include <atomic>
+#include <iomanip>
 #include <iostream>
 
 namespace whitefi {
 namespace {
-
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -19,15 +17,45 @@ const char* LevelName(LogLevel level) {
   return "?????";
 }
 
+// The installed simulated-time source and its owner token.  Single global:
+// scenario code runs worlds sequentially, and the owner check keeps a
+// dying world from clearing a newer world's source.
+const void* g_time_owner = nullptr;
+std::function<double()> g_time_source;
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(level); }
+void SetLogLevel(LogLevel level) {
+  internal::g_log_level.store(static_cast<int>(level),
+                              std::memory_order_relaxed);
+}
 
-LogLevel GetLogLevel() { return g_level.load(); }
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(
+      internal::g_log_level.load(std::memory_order_relaxed));
+}
 
-void LogLine(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::cerr << "[" << LevelName(level) << "] " << message << "\n";
+void SetLogTimeSource(const void* owner, std::function<double()> now_seconds) {
+  g_time_owner = owner;
+  g_time_source = std::move(now_seconds);
+}
+
+void ClearLogTimeSource(const void* owner) {
+  if (g_time_owner != owner) return;
+  g_time_owner = nullptr;
+  g_time_source = nullptr;
+}
+
+void LogLine(LogLevel level, const std::string& tag,
+             const std::string& message) {
+  if (!LogEnabled(level)) return;
+  std::cerr << "[" << LevelName(level);
+  if (g_time_source) {
+    std::cerr << " " << std::fixed << std::setprecision(6) << g_time_source()
+              << "s" << std::defaultfloat;
+  }
+  if (!tag.empty()) std::cerr << " " << tag;
+  std::cerr << "] " << message << "\n";
 }
 
 }  // namespace whitefi

@@ -75,6 +75,63 @@ TEST(Tracer, NotesAndCap) {
   EXPECT_NE(tracer.ToString().find("first milestone"), std::string::npos);
 }
 
+TEST(Tracer, CountOfStaysExactBeyondCap) {
+  World world;
+  const Channel ch{10, ChannelWidth::kW20};
+  Device& a = world.Create<Device>(At(0, ch));
+  Device& b = world.Create<Device>(At(50, ch));
+  TracerOptions options;
+  options.max_records = 3;
+  Tracer tracer(world, options);
+  Frame data;
+  data.type = FrameType::kData;
+  data.dst = b.NodeId();
+  data.bytes = 1028;
+  for (int i = 0; i < 8; ++i) a.mac().Enqueue(data);
+  world.RunFor(1.0);
+  // Recording stopped at the cap, but counts kept going: 8 data + 8 ACKs.
+  EXPECT_EQ(tracer.Records().size(), 3u);
+  EXPECT_EQ(tracer.CountOf(FrameType::kData), 8u);
+  EXPECT_EQ(tracer.CountOf(FrameType::kAck), 8u);
+}
+
+TEST(Tracer, KeepLastRingBufferHoldsNewestRecords) {
+  World world;
+  TracerOptions options;
+  options.max_records = 2;
+  options.keep_last = true;
+  Tracer tracer(world, options);
+  tracer.Note("one");
+  tracer.Note("two");
+  tracer.Note("three");
+  ASSERT_EQ(tracer.Records().size(), 2u);
+  EXPECT_NE(tracer.Records()[0].line.find("two"), std::string::npos);
+  EXPECT_NE(tracer.Records()[1].line.find("three"), std::string::npos);
+  EXPECT_EQ(tracer.ToString().find("one"), std::string::npos);
+}
+
+TEST(Tracer, KeepLastWithTypeFilter) {
+  World world;
+  const Channel ch{5, ChannelWidth::kW10};
+  Device& a = world.Create<Device>(At(0, ch));
+  Device& b = world.Create<Device>(At(50, ch));
+  TracerOptions options;
+  options.only = {FrameType::kData};
+  options.max_records = 2;
+  options.keep_last = true;
+  Tracer tracer(world, options);
+  Frame data;
+  data.type = FrameType::kData;
+  data.dst = b.NodeId();
+  data.bytes = 528;
+  for (int i = 0; i < 5; ++i) a.mac().Enqueue(data);
+  world.RunFor(1.0);
+  // Ring holds the two newest data frames; counts are exact for all types.
+  EXPECT_EQ(tracer.Records().size(), 2u);
+  EXPECT_EQ(tracer.CountOf(FrameType::kData), 5u);
+  EXPECT_EQ(tracer.CountOf(FrameType::kAck), 5u);
+}
+
 // ------------------------------------------------------------- fairness --
 
 TEST(Fairness, JainIndexBasics) {
