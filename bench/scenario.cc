@@ -45,6 +45,17 @@ RunResult RunScenario(const ScenarioConfig& config) {
   WorldConfig world_config;
   world_config.seed = config.seed;
   world_config.obs = config.obs;
+  // The injector (when any fault is configured) is declared before the
+  // World so it outlives every device, and is seeded from its own stream:
+  // enabling faults must not shift the World's RNG fork sequence.
+  std::unique_ptr<FaultInjector> injector;
+  if (!config.faults.Empty()) {
+    const std::uint64_t fault_seed =
+        config.fault_seed != 0 ? config.fault_seed
+                               : config.seed ^ 0xFA17FA17FA17FA17ULL;
+    injector = std::make_unique<FaultInjector>(config.faults, fault_seed);
+    world_config.faults = injector.get();
+  }
   World world(world_config);
   Rng rng = world.NewRng();
 
@@ -160,6 +171,18 @@ RunResult RunScenario(const ScenarioConfig& config) {
   }
 
   world.SetMicSchedule(config.mics);
+  // Churn storms from the fault plan become extra mic activations over the
+  // channels every node agrees are free (so a storm always threatens the
+  // channels the network actually wants to use).
+  if (injector != nullptr && !config.faults.storms.empty()) {
+    std::vector<UhfIndex> storm_channels;
+    for (UhfIndex c = 0; c < kNumUhfChannels; ++c) {
+      if (union_map.Free(c)) storm_channels.push_back(c);
+    }
+    for (const MicActivation& mic : injector->ExpandStorms(storm_channels)) {
+      world.AddMic(mic);
+    }
+  }
   world.StartAll();
   downlink.Start();
   for (auto& uplink : uplinks) uplink->Start();
@@ -181,9 +204,11 @@ RunResult RunScenario(const ScenarioConfig& config) {
   for (ClientNode* client : clients) {
     result.disconnects += client->disconnect_events();
     for (SimTime outage : client->outages()) {
+      result.outages_s.push_back(ToSeconds(outage));
       result.max_outage_s = std::max(result.max_outage_s, ToSeconds(outage));
     }
   }
+  if (injector != nullptr) result.faults_injected = injector->InjectedCount();
   return result;
 }
 

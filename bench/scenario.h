@@ -17,6 +17,7 @@
 
 #include "core/ap.h"
 #include "core/client.h"
+#include "fault/fault.h"
 #include "sim/traffic.h"
 #include "spectrum/spectrum_map.h"
 
@@ -55,6 +56,14 @@ struct ScenarioConfig {
   /// Optional observability sinks, copied into the WorldConfig (non-owning;
   /// must outlive the run).  Leave null for zero instrumentation cost.
   Observability obs;
+  /// Fault schedule (see src/fault).  An Empty() plan — the default —
+  /// creates no injector at all, so the run is byte-identical to one
+  /// predating the fault subsystem.
+  FaultPlan faults;
+  /// Seed for the injector's own random stream.  Deliberately separate
+  /// from `seed`: the injector must never perturb the simulation's fork
+  /// sequence.  0 = derive from `seed`.
+  std::uint64_t fault_seed = 0;
 };
 
 /// Result of one run.
@@ -64,6 +73,10 @@ struct RunResult {
   int switches = 0;
   int disconnects = 0;
   double max_outage_s = 0.0;
+  /// Every completed outage across all clients, in seconds.
+  std::vector<double> outages_s;
+  /// Faults injected during the run (0 without a fault plan).
+  std::uint64_t faults_injected = 0;
   Channel final_channel{0, ChannelWidth::kW5};
 };
 

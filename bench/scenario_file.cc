@@ -81,11 +81,41 @@ ScenarioConfig LoadScenario(const ConfigFile& config) {
     mic.off_time = config.GetDouble("mic.off_s", 600.0) * kSecond;
     scenario.mics.push_back(mic);
   }
+
+  // Client hardening knobs (defaults reproduce the baseline protocol).
+  scenario.client_params.chirp_jitter =
+      config.GetDouble("client.chirp_jitter",
+                       scenario.client_params.chirp_jitter);
+  scenario.client_params.chirp_backoff = config.GetBool(
+      "client.chirp_backoff", scenario.client_params.chirp_backoff);
+  scenario.client_params.chirp_backoff_factor =
+      config.GetDouble("client.chirp_backoff_factor",
+                       scenario.client_params.chirp_backoff_factor);
+  if (config.Has("client.chirp_interval_max_ms")) {
+    scenario.client_params.chirp_interval_max =
+        config.GetInt("client.chirp_interval_max_ms") * kTicksPerMs;
+  }
+  scenario.client_params.reconnect_escalation =
+      config.GetBool("client.reconnect_escalation",
+                     scenario.client_params.reconnect_escalation);
+  if (config.Has("client.reconnect_stage_timeout_ms")) {
+    scenario.client_params.reconnect_stage_timeout =
+        config.GetInt("client.reconnect_stage_timeout_ms") * kTicksPerMs;
+  }
+
+  // Fault schedule ([fault] section; absent = no injector).
+  scenario.faults = ParseFaultPlan(config);
+  scenario.fault_seed =
+      static_cast<std::uint64_t>(config.GetInt("fault.seed", 0));
   return scenario;
 }
 
 ScenarioConfig LoadScenarioFile(const std::string& path) {
   return LoadScenario(ConfigFile::Load(path));
+}
+
+std::vector<std::string> UnknownScenarioKeys(const ConfigFile& config) {
+  return config.UnconsumedKeys();
 }
 
 }  // namespace whitefi::bench

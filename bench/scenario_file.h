@@ -19,6 +19,15 @@
 //   tv_channel = 28          # omit section for no mic
 //   on_s = 5
 //   off_s = 600
+//   [client]                 # hardening knobs (defaults = baseline)
+//   chirp_jitter = 0.2
+//   chirp_backoff = true
+//   reconnect_escalation = true
+//   [fault]                  # fault injection (see src/fault/fault.h)
+//   scanner_outages = 3-8    # windows in seconds
+//   beacon_drop_p = 0.1
+//   storm_start_s = 5        # churn storm
+//   storm_mics = 3
 #pragma once
 
 #include "scenario.h"
@@ -32,5 +41,9 @@ ScenarioConfig LoadScenario(const ConfigFile& config);
 
 /// Convenience: parse a file then load.
 ScenarioConfig LoadScenarioFile(const std::string& path);
+
+/// Keys in `config` that LoadScenario did not consume — typos and stale
+/// options.  Call after LoadScenario on the same ConfigFile instance.
+std::vector<std::string> UnknownScenarioKeys(const ConfigFile& config);
 
 }  // namespace whitefi::bench

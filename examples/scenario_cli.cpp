@@ -49,6 +49,9 @@ struct Options {
   bool verbose = false;
   bool trace = false;  ///< Print every control frame as it airs.
   std::string config_file;  ///< Non-empty: config-file mode.
+  /// Config-file mode: unknown keys (typos) reject the file instead of
+  /// only printing a warning.
+  bool strict = false;
 
   // Observability outputs.
   bool metrics = false;
@@ -174,6 +177,7 @@ bool ParseOptions(int argc, char** argv, Options& options) {
     else if (flag == "--verbose") options.verbose = true;
     else if (flag == "--trace") options.trace = true;
     else if (flag == "--config") options.config_file = next();
+    else if (flag == "--strict") options.strict = true;
     else if (flag == "--metrics") options.metrics = true;
     else if (flag == "--metrics-csv") options.metrics_csv = next();
     else if (flag == "--metrics-json") options.metrics_json = next();
@@ -188,7 +192,22 @@ bool ParseOptions(int argc, char** argv, Options& options) {
 
 int RunFromConfigFile(const Options& options) {
   if (options.verbose) SetLogLevel(LogLevel::kInfo);
-  bench::ScenarioConfig scenario = bench::LoadScenarioFile(options.config_file);
+  const ConfigFile config = ConfigFile::Load(options.config_file);
+  bench::ScenarioConfig scenario = bench::LoadScenario(config);
+  // Surface keys no loader consumed: silently-ignored typos waste whole
+  // experiment runs.  A warning by default; fatal under --strict.
+  const std::vector<std::string> unknown = bench::UnknownScenarioKeys(config);
+  if (!unknown.empty()) {
+    if (options.strict) {
+      throw ConfigError("unknown key '" + unknown.front() + "'",
+                        config.source(), config.LineOf(unknown.front()));
+    }
+    for (const std::string& key : unknown) {
+      std::cerr << "warning: " << options.config_file << " line "
+                << config.LineOf(key) << ": unknown key '" << key
+                << "' (ignored)\n";
+    }
+  }
   std::cout << "scenario " << options.config_file << ": map "
             << scenario.base_map.ToString() << ", " << scenario.num_clients
             << " clients, " << scenario.background.size()
@@ -204,6 +223,9 @@ int RunFromConfigFile(const Options& options) {
     std::cout << ", worst outage " << FormatDouble(result.max_outage_s, 2)
               << " s";
   }
+  if (result.faults_injected > 0) {
+    std::cout << ", faults injected " << result.faults_injected;
+  }
   std::cout << "\nfinal channel: " << result.final_channel.ToString() << "\n";
   if (obs.Wanted()) {
     obs.WriteOutputs(scenario.warmup_s + scenario.measure_s);
@@ -212,6 +234,12 @@ int RunFromConfigFile(const Options& options) {
 }
 
 }  // namespace
+
+// Exit codes: 0 success, 1 runtime failure, 2 configuration error (bad
+// config file or bad flags) — so scripts can tell a broken scenario file
+// from a simulation that failed.
+constexpr int kExitRuntimeError = 1;
+constexpr int kExitConfigError = 2;
 
 int main(int argc, char** argv) {
   Options options;
@@ -222,13 +250,22 @@ int main(int argc, char** argv) {
                    "[--static 5|10|20] [--map NAME] [--seconds S] "
                    "[--verbose] [--metrics] [--metrics-csv FILE] "
                    "[--metrics-json FILE] [--trace-json FILE] "
-                   "[--trace-jsonl FILE] [--profile] [--config FILE]\n";
+                   "[--trace-jsonl FILE] [--profile] [--config FILE] "
+                   "[--strict]\n";
       return 0;
     }
     if (!options.config_file.empty()) return RunFromConfigFile(options);
+  } catch (const ConfigError& e) {
+    // Carries file and line, e.g. "scenario.conf line 12: unknown key".
+    std::cerr << "config error: " << e.what() << "\n";
+    return kExitConfigError;
+  } catch (const std::invalid_argument& e) {
+    // Flag-parsing problems are configuration errors too.
+    std::cerr << "config error: " << e.what() << "\n";
+    return kExitConfigError;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return kExitRuntimeError;
   }
   if (options.verbose) SetLogLevel(LogLevel::kInfo);
 

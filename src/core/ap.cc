@@ -27,6 +27,7 @@ void ApNode::Start() {
                            [this](const ChirpInfo& info, const Channel& on) {
                              OnChirpHeard(info, on);
                            });
+  UpdateSecondaryWatch();
   SendBeacon();
   if (params_.adaptive) {
     world_.sim().ScheduleAfter(params_.first_assignment_delay,
@@ -130,6 +131,7 @@ void ApNode::EvaluateAssignment() {
       if (const auto backup = assigner_.SelectBackup(inputs, main_)) {
         backup_ = *backup;
         scanner_.SetChirpChannel(backup_);
+        UpdateSecondaryWatch();
       }
     }
     return;
@@ -195,6 +197,7 @@ void ApNode::ApplyPendingSwitch() {
   MetricsRegistry::Count(world_.metrics(), "whitefi.ap.switches");
   state_ = State::kOperating;
   scanner_.SetChirpChannel(backup_);
+  UpdateSecondaryWatch();
   SwitchChannel(main_);
   WHITEFI_LOG_TAGGED(LogLevel::kInfo, "core/ap" + std::to_string(NodeId()))
       << "now on " << main_.ToString() << " backup " << backup_.ToString();
@@ -239,6 +242,7 @@ void ApNode::OnIncumbentDetected(UhfIndex channel) {
     if (backup.has_value()) {
       backup_ = *backup;
       scanner_.SetChirpChannel(backup_);
+      UpdateSecondaryWatch();
     }
   }
 }
@@ -302,6 +306,18 @@ void ApNode::OnChirpHeard(const ChirpInfo& info, const Channel& heard_on) {
     // stale backup or the chirper's secondary backup.
     RescueAnnounce(heard_on);
   }
+}
+
+void ApNode::UpdateSecondaryWatch() {
+  if (!params_.watch_secondary_backup) return;
+  // Same deterministic rule an escalated client applies to its own map
+  // (ClientNode stage 1); never watch a secondary that merely duplicates
+  // the primary.
+  auto secondary = LowestFreeChannel(ObservedMap());
+  if (secondary.has_value() && secondary->Overlaps(backup_)) {
+    secondary = std::nullopt;
+  }
+  scanner_.SetSecondaryChirpChannel(secondary);
 }
 
 void ApNode::RescueAnnounce(const Channel& where) {

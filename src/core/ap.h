@@ -43,6 +43,12 @@ struct ApParams {
   double revert_tolerance = 0.85;
   /// When false the AP never changes channels (static OPT baselines).
   bool adaptive = true;
+  /// Hardening: alternate the chirp watch between the backup channel and
+  /// the deterministic secondary backup (LowestFreeChannel of the AP's
+  /// map).  Escalated clients chirping on their secondary backup are then
+  /// heard by the watch instead of relying on the slow band sweep.  Off
+  /// by default: the plain watch is the paper's protocol.
+  bool watch_secondary_backup = false;
   /// Forget clients not heard from for this long.
   SimTime client_expiry = 20 * kTicksPerSec;
   AssignmentParams assignment;
@@ -96,6 +102,7 @@ class ApNode : public Device {
   void FinishCollect();
   void OnChirpHeard(const ChirpInfo& info, const Channel& heard_on);
   void RescueAnnounce(const Channel& where);
+  void UpdateSecondaryWatch();
   void ScheduleMicCheck(const Channel& channel);
   double RecentThroughputBps(SimTime window) const;
 

@@ -1,13 +1,47 @@
 #include "core/client.h"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "util/log.h"
 
 namespace whitefi {
+
+void ValidateClientParams(const ClientParams& params) {
+  if (params.contact_timeout <= 0 || params.contact_check_interval <= 0) {
+    throw std::invalid_argument(
+        "client contact timeout and check interval must be positive");
+  }
+  if (params.chirp_interval <= 0 || params.report_interval <= 0) {
+    throw std::invalid_argument(
+        "client chirp and report intervals must be positive");
+  }
+  if (params.chirp_bytes <= 0) {
+    throw std::invalid_argument("client chirp_bytes must be positive");
+  }
+  if (params.chirp_jitter < 0.0 || params.chirp_jitter >= 1.0) {
+    throw std::invalid_argument("client chirp_jitter must lie in [0, 1)");
+  }
+  if (params.chirp_backoff_factor <= 1.0) {
+    throw std::invalid_argument(
+        "client chirp_backoff_factor must exceed 1");
+  }
+  if (params.chirp_interval_max < params.chirp_interval) {
+    throw std::invalid_argument(
+        "client chirp_interval_max must be >= chirp_interval");
+  }
+  if (params.reconnect_stage_timeout <= 0) {
+    throw std::invalid_argument(
+        "client reconnect_stage_timeout must be positive");
+  }
+  ValidateScannerParams(params.scanner);
+}
 
 ClientNode::ClientNode(World& world, int id, const DeviceConfig& device_config,
                        const ClientParams& params, Channel initial_main,
                        Channel initial_backup, int ap_id)
     : Device(world, id, [&] {
+        ValidateClientParams(params);
         DeviceConfig c = device_config;
         c.is_ap = false;
         c.initial_channel = initial_main;
@@ -17,7 +51,8 @@ ClientNode::ClientNode(World& world, int id, const DeviceConfig& device_config,
       scanner_(*this, params.scanner),
       rng_(world.NewRng()),
       backup_(initial_backup),
-      ap_id_(ap_id) {}
+      ap_id_(ap_id),
+      chirp_period_(params.chirp_interval) {}
 
 void ClientNode::Start() {
   last_contact_ = world_.sim().Now();
@@ -75,15 +110,21 @@ void ClientNode::Disconnect() {
   if (!connected_) return;
   connected_ = false;
   ++disconnects_;
+  ++reconnect_epoch_;
+  reconnect_stage_ = 0;
+  chirp_period_ = params_.chirp_interval;
   MetricsRegistry::Count(world_.metrics(), "whitefi.client.disconnects");
   disconnected_at_ = world_.sim().Now();
   SwitchChannel(backup_);
   Chirp();
+  if (params_.reconnect_escalation) ScheduleEscalation();
 }
 
 void ClientNode::Reconnect() {
   if (connected_) return;
   connected_ = true;
+  ++reconnect_epoch_;
+  reconnect_stage_ = 0;
   outages_.push_back(world_.sim().Now() - disconnected_at_);
   MetricsRegistry::Observe(world_.metrics(), "whitefi.client.outage_s",
                            ToSeconds(outages_.back()));
@@ -124,8 +165,61 @@ void ClientNode::Chirp() {
   // lock against the AP scanner's dwell cycle and systematically miss the
   // rescue window (real radio clocks drift; the simulator's don't).
   const auto jittered = static_cast<SimTime>(
-      static_cast<double>(params_.chirp_interval) * rng_.Uniform(0.8, 1.2));
+      static_cast<double>(chirp_period_) *
+      rng_.Uniform(1.0 - params_.chirp_jitter, 1.0 + params_.chirp_jitter));
+  // Hardening: exponential backoff de-synchronizes clients disconnected by
+  // the same incumbent — at a fixed period their chirps contend with each
+  // other on the backup channel every cycle.
+  if (params_.chirp_backoff) {
+    chirp_period_ = std::min(
+        params_.chirp_interval_max,
+        static_cast<SimTime>(static_cast<double>(chirp_period_) *
+                             params_.chirp_backoff_factor));
+  }
   world_.sim().ScheduleAfter(jittered, [this] { Chirp(); });
+}
+
+void ClientNode::ScheduleEscalation() {
+  const std::uint64_t epoch = reconnect_epoch_;
+  world_.sim().ScheduleAfter(params_.reconnect_stage_timeout, [this, epoch] {
+    if (connected_ || epoch != reconnect_epoch_) return;
+    EscalateReconnect();
+  });
+}
+
+void ClientNode::EscalateReconnect() {
+  ++reconnect_stage_;
+  MetricsRegistry::Count(world_.metrics(),
+                         "whitefi.client.reconnect_escalations");
+  if (reconnect_stage_ == 1) {
+    // Stage 1: the backup channel is not producing a rescue — fall back to
+    // the deterministic secondary backup.
+    SelectSecondaryBackup();
+  } else {
+    // Stage >= 2: full sweep — hop to the next observed free channel and
+    // keep chirping; the AP's band sweep doubles as an all-channel rescue
+    // scan, so any free channel is a potential rendezvous.
+    const SpectrumMap map = ObservedMap();
+    const UhfIndex start = backup_.Low();
+    for (int i = 1; i <= kNumUhfChannels; ++i) {
+      const auto c = static_cast<UhfIndex>((start + i) % kNumUhfChannels);
+      if (map.Free(c)) {
+        backup_ = Channel{c, ChannelWidth::kW5};
+        SwitchChannel(backup_);
+        break;
+      }
+    }
+  }
+  {
+    TraceEvent event;
+    event.kind = TraceEventKind::kNote;
+    event.node = NodeId();
+    event.detail = "reconnect escalate stage " +
+                   std::to_string(reconnect_stage_) + " -> " +
+                   backup_.ToString();
+    world_.TraceEventNow(std::move(event));
+  }
+  ScheduleEscalation();
 }
 
 void ClientNode::SendReport() {
@@ -153,15 +247,12 @@ void ClientNode::OnIncumbentDetected(UhfIndex channel) {
 }
 
 void ClientNode::SelectSecondaryBackup() {
-  // Deterministic rule: lowest incumbent-free UHF channel (paper: "an
-  // arbitrary available channel is selected as a secondary backup").
-  const SpectrumMap map = ObservedMap();
-  for (UhfIndex c = 0; c < kNumUhfChannels; ++c) {
-    if (map.Free(c)) {
-      backup_ = Channel{c, ChannelWidth::kW5};
-      SwitchChannel(backup_);
-      return;
-    }
+  // The shared deterministic rule (LowestFreeChannel) — the AP's
+  // secondary chirp watch evaluates the same rule over its own map, so
+  // matching maps mean a rendezvous.
+  if (const auto secondary = LowestFreeChannel(ObservedMap())) {
+    backup_ = *secondary;
+    SwitchChannel(backup_);
   }
 }
 

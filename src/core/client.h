@@ -25,8 +25,29 @@ struct ClientParams {
   SimTime report_interval = 2 * kTicksPerSec;
   /// Chirp frame size; its air time carries the SSID length-code.
   int chirp_bytes = 60;
+  /// Chirp period jitter: the next chirp fires after
+  /// chirp_interval * Uniform(1 - j, 1 + j).  Must lie in [0, 1).
+  double chirp_jitter = 0.2;
+  /// Hardening: grow the chirp period by `chirp_backoff_factor` per chirp
+  /// up to `chirp_interval_max` (reset on every disconnect).  Off by
+  /// default; fixed-interval chirping from several clients disconnected by
+  /// the same incumbent contends in lockstep forever.
+  bool chirp_backoff = false;
+  double chirp_backoff_factor = 1.6;
+  SimTime chirp_interval_max = 2 * kTicksPerSec;
+  /// Hardening: when a disconnect outlives `reconnect_stage_timeout`,
+  /// escalate the rendezvous point — backup, then secondary backup, then a
+  /// full sweep cycling the observed free channels — instead of chirping
+  /// on a possibly-dead backup channel forever.  Off by default.
+  bool reconnect_escalation = false;
+  SimTime reconnect_stage_timeout = 4 * kTicksPerSec;
   ScannerParams scanner;
 };
+
+/// Throws std::invalid_argument when any ClientParams field is out of
+/// range (non-positive intervals/sizes, jitter outside [0, 1), backoff
+/// factor <= 1, chirp_interval_max below chirp_interval).
+void ValidateClientParams(const ClientParams& params);
 
 /// A WhiteFi client.
 class ClientNode : public Device {
@@ -53,6 +74,10 @@ class ClientNode : public Device {
   void OnFrameReceived(const Frame& frame, Dbm rx_power) override;
   void OnChannelSwitched(const Channel& channel) override;
 
+  /// Reconnect-escalation stage: 0 = backup, 1 = secondary backup,
+  /// >= 2 = full-sweep hops.  Only advances when reconnect_escalation on.
+  int reconnect_stage() const { return reconnect_stage_; }
+
  private:
   void CheckContact();
   void Chirp();
@@ -60,6 +85,8 @@ class ClientNode : public Device {
   void Disconnect();
   void Reconnect();
   void SelectSecondaryBackup();
+  void ScheduleEscalation();
+  void EscalateReconnect();
 
   ClientParams params_;
   Scanner scanner_;
@@ -71,6 +98,12 @@ class ClientNode : public Device {
   SimTime disconnected_at_ = 0;
   int disconnects_ = 0;
   std::vector<SimTime> outages_;
+  /// Current chirp period (== chirp_interval unless backoff grew it).
+  SimTime chirp_period_ = 0;
+  int reconnect_stage_ = 0;
+  /// Bumped on every connect/disconnect edge; stale escalation timers
+  /// compare their captured epoch and die silently.
+  std::uint64_t reconnect_epoch_ = 0;
 };
 
 }  // namespace whitefi

@@ -36,10 +36,12 @@ enum class TraceEventKind {
   kIncumbentOff,     ///< An incumbent switched off.
   kChirp,            ///< A disconnection chirp was sent or heard.
   kDiscoveryProbe,   ///< A discovery scan probe (SIFT dwell / beacon listen).
+  kFaultInjected,    ///< A fault-injection point fired (see src/fault).
+  kFaultCleared,     ///< A windowed fault ended / burst state recovered.
   kNote,             ///< Free-form milestone.
 };
 
-inline constexpr int kNumTraceEventKinds = 11;
+inline constexpr int kNumTraceEventKinds = 13;
 
 /// Stable wire name, e.g. "frame_tx".
 const char* TraceEventKindName(TraceEventKind kind);

@@ -1,10 +1,26 @@
 #include "sim/mac.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "util/log.h"
 
 namespace whitefi {
+
+void ValidateMacParams(const MacParams& params) {
+  if (params.cw_min < 1) {
+    throw std::invalid_argument("mac cw_min must be at least 1");
+  }
+  if (params.cw_max < params.cw_min) {
+    throw std::invalid_argument("mac cw_max must be >= cw_min");
+  }
+  if (params.retry_limit < 1) {
+    throw std::invalid_argument("mac retry_limit must be at least 1");
+  }
+  if (params.max_queue < 1) {
+    throw std::invalid_argument("mac max_queue must be at least 1");
+  }
+}
 
 Mac::Mac(Simulator& sim, Medium& medium, RadioPort& radio,
          MacCallbacks& callbacks, Dbm tx_power, const MacParams& params,
@@ -16,7 +32,9 @@ Mac::Mac(Simulator& sim, Medium& medium, RadioPort& radio,
       tx_power_(tx_power),
       params_(params),
       rng_(std::move(rng)),
-      cw_(params.cw_min) {}
+      cw_(params.cw_min) {
+  ValidateMacParams(params_);
+}
 
 void Mac::SetObservability(const Observability& obs) {
   trace_ = obs.trace;

@@ -31,6 +31,10 @@ struct MacParams {
   std::size_t max_queue = 64;
 };
 
+/// Throws std::invalid_argument when any MacParams field is out of range
+/// (cw_min < 1, cw_max < cw_min, retry_limit < 1, empty queue).
+void ValidateMacParams(const MacParams& params);
+
 /// Upcalls from the MAC to its owning device.
 class MacCallbacks {
  public:

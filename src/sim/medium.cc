@@ -222,6 +222,28 @@ void Medium::ResolveReceptions(const ActiveTx& tx) {
       }
       continue;
     }
+    // Fault injection: frames that survive physics can still be lost to
+    // burst channels or targeted control-plane faults (see src/fault).
+    if (faults_ != nullptr) {
+      const char* reason =
+          faults_->FrameFault(sim_.Now(), tx.frame.type, rx->NodeId());
+      if (reason != nullptr) {
+        WHITEFI_METRIC_COUNT(drop_counters_[type_index], 1);
+        if (obs_.trace != nullptr) {
+          TraceEvent event;
+          event.at_us = sim_.Now();
+          event.kind = TraceEventKind::kFrameDrop;
+          event.node = rx->NodeId();
+          event.src = tx.frame.src;
+          event.dst = tx.frame.dst;
+          event.bytes = tx.frame.bytes;
+          event.frame_type = FrameTypeName(tx.frame.type);
+          event.detail = reason;
+          obs_.trace->Append(std::move(event));
+        }
+        continue;
+      }
+    }
     WHITEFI_METRIC_COUNT(rx_counters_[type_index], 1);
     if (obs_.trace != nullptr) {
       TraceEvent event;

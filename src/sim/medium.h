@@ -22,6 +22,7 @@
 #include <map>
 #include <vector>
 
+#include "fault/fault.h"
 #include "obs/obs.h"
 #include "sim/events.h"
 #include "sim/frame.h"
@@ -149,6 +150,10 @@ class Medium {
   /// null check.  Called by World; must precede traffic.
   void SetObservability(const Observability& obs);
 
+  /// Attaches the fault injector (may be null = no faults).  Consulted
+  /// after the SINR decode check for every otherwise-deliverable frame.
+  void SetFaultInjector(FaultInjector* faults) { faults_ = faults; }
+
   const MediumParams& params() const { return params_; }
   const PropagationModel& propagation() const { return prop_; }
 
@@ -190,6 +195,7 @@ class Medium {
   // Observability (all optional).  Per-frame-type counter handles are
   // pre-resolved: whitefi.medium.{tx,rx,drop}.<Type>.
   Observability obs_;
+  FaultInjector* faults_ = nullptr;
   std::array<Counter*, kNumFrameTypes> tx_counters_{};
   std::array<Counter*, kNumFrameTypes> rx_counters_{};
   std::array<Counter*, kNumFrameTypes> drop_counters_{};

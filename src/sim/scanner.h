@@ -31,7 +31,18 @@ struct ScannerParams {
   SimTime chirp_scan_interval = 3 * kTicksPerSec;
   /// How long the chirp watch stays on the backup channel per visit.
   SimTime chirp_scan_dwell = 300 * kTicksPerMs;
+  /// Hardening: when a chirp-watch visit falls inside a scanner outage,
+  /// probe again every `outage_retry_interval` until the hardware is back
+  /// (then dwell immediately) instead of leaving chirpers unheard until
+  /// the next regular visit.  Only ever active when a fault injector is
+  /// attached, so the default costs nothing in clean runs.
+  bool outage_retry = true;
+  SimTime outage_retry_interval = 500 * kTicksPerMs;
 };
+
+/// Throws std::invalid_argument when any ScannerParams field is out of
+/// range (non-positive dwell/intervals, negative noise).
+void ValidateScannerParams(const ScannerParams& params);
 
 /// The secondary radio of one device.
 class Scanner {
@@ -68,6 +79,15 @@ class Scanner {
   /// Changes the watched backup channel.
   void SetChirpChannel(Channel backup) { chirp_channel_ = backup; }
 
+  /// Hardening: also watch a secondary rendezvous channel (the
+  /// deterministic secondary backup escalated chirpers fall back to).
+  /// When set, chirp-watch visits alternate between the primary backup
+  /// and this channel; nullopt (the default) restores the plain
+  /// single-channel watch.
+  void SetSecondaryChirpChannel(std::optional<Channel> secondary) {
+    secondary_chirp_channel_ = secondary;
+  }
+
   /// Stops the chirp watch.
   void StopChirpWatch();
 
@@ -80,6 +100,7 @@ class Scanner {
   void BeginDwell();
   void EndDwell();
   void ChirpVisit();
+  void ChirpRetryVisit();
 
   Device& device_;
   ScannerParams params_;
@@ -92,7 +113,15 @@ class Scanner {
 
   bool chirp_watch_ = false;
   bool chirp_dwelling_ = false;
+  bool retry_pending_ = false;
   Channel chirp_channel_{0, ChannelWidth::kW5};
+  std::optional<Channel> secondary_chirp_channel_;
+  /// True while the current dwell is on the secondary rendezvous channel
+  /// (snapshotted in secondary_watch_); primary dwells keep following
+  /// chirp_channel_ live, exactly as before the secondary watch existed.
+  bool secondary_dwell_ = false;
+  bool next_visit_secondary_ = false;
+  Channel secondary_watch_{0, ChannelWidth::kW5};
   int chirp_ssid_ = 0;
   ChirpCallback on_chirp_;
 };

@@ -9,6 +9,10 @@ namespace whitefi {
 World::World(const WorldConfig& config)
     : config_(config), rng_(config.seed), medium_(sim_, config.medium) {
   medium_.SetObservability(config_.obs);
+  medium_.SetFaultInjector(config_.faults);
+  if (config_.faults != nullptr) {
+    config_.faults->SetObservability(config_.obs);
+  }
   // Stamp log lines with this world's simulated time.  The owner token
   // keeps a dying world from clearing a newer world's source.
   SetLogTimeSource(this, [this] { return ToSeconds(sim_.Now()); });
@@ -33,6 +37,19 @@ std::vector<int> World::NodesInSsid(int ssid) const {
 
 void World::StartAll() {
   for (const auto& device : devices_) device->Start();
+  // Bracket every windowed fault with trace records so a JSONL export
+  // shows exactly when each degradation began and ended.
+  if (config_.faults != nullptr && config_.obs.trace != nullptr) {
+    for (const FaultInjector::WindowEvent& w : config_.faults->WindowEvents()) {
+      sim_.Schedule(w.at, [this, w] {
+        TraceEvent event;
+        event.kind = w.inject ? TraceEventKind::kFaultInjected
+                              : TraceEventKind::kFaultCleared;
+        event.detail = w.what;
+        TraceEventNow(std::move(event));
+      });
+    }
+  }
 }
 
 void World::SetMicSchedule(std::vector<MicActivation> mics) {

@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "fault/fault.h"
 #include "obs/obs.h"
 #include "sim/events.h"
 #include "sim/medium.h"
@@ -29,6 +30,10 @@ struct WorldConfig {
   /// Optional metrics / event-trace / profiler sinks (non-owning; they
   /// must outlive the World).  All null by default: instrumentation off.
   Observability obs;
+  /// Optional fault injector (non-owning; must outlive the World).  Null
+  /// by default: every injection point is a dead branch and the
+  /// simulation is bit-identical to a world without the fault subsystem.
+  FaultInjector* faults = nullptr;
 };
 
 /// One simulation scenario.
@@ -50,6 +55,9 @@ class World {
   MetricsRegistry* metrics() const { return config_.obs.metrics; }
   EventTrace* trace() const { return config_.obs.trace; }
   PhaseProfiler* profiler() const { return config_.obs.profiler; }
+
+  /// The fault injector, or null when no faults are configured.
+  FaultInjector* faults() const { return config_.faults; }
 
   /// Appends a structured trace event stamped with the current simulated
   /// time; no-op when no trace is attached.

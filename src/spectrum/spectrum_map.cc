@@ -149,4 +149,11 @@ std::string SpectrumMap::ToString() const {
   return s;
 }
 
+std::optional<Channel> LowestFreeChannel(const SpectrumMap& map) {
+  for (UhfIndex c = 0; c < kNumUhfChannels; ++c) {
+    if (map.Free(c)) return Channel{c, ChannelWidth::kW5};
+  }
+  return std::nullopt;
+}
+
 }  // namespace whitefi

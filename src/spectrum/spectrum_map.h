@@ -8,6 +8,7 @@
 
 #include <bitset>
 #include <initializer_list>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -101,5 +102,13 @@ class SpectrumMap {
  private:
   std::bitset<kNumUhfChannels> occupied_;
 };
+
+/// The deterministic secondary-backup rule (paper 4.3: "an arbitrary
+/// available channel is selected as a secondary backup"): the lowest
+/// free UHF channel, as a 5 MHz channel.  Both ends of a disconnected
+/// link evaluate this over their own maps, so when the maps agree the
+/// chirper and the AP's chirp watch rendezvous without coordination.
+/// nullopt when the whole band is occupied.
+std::optional<Channel> LowestFreeChannel(const SpectrumMap& map);
 
 }  // namespace whitefi

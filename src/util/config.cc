@@ -4,7 +4,6 @@
 #include <cctype>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 
 namespace whitefi {
 namespace {
@@ -24,8 +23,18 @@ std::string Lower(std::string s) {
 
 }  // namespace
 
-ConfigFile ConfigFile::Parse(std::istream& in) {
+std::string ConfigError::Format(const std::string& message,
+                                const std::string& path, int line) {
+  std::string where = path.empty() ? "config" : path;
+  if (line > 0) where += " line " + std::to_string(line);
+  return where + ": " + message;
+}
+
+ConfigFile ConfigFile::Parse(std::istream& in) { return Parse(in, ""); }
+
+ConfigFile ConfigFile::Parse(std::istream& in, const std::string& source) {
   ConfigFile config;
+  config.source_ = source;
   std::string line;
   std::string section;
   int line_number = 0;
@@ -38,24 +47,23 @@ ConfigFile ConfigFile::Parse(std::istream& in) {
     if (trimmed.empty()) continue;
     if (trimmed.front() == '[') {
       if (trimmed.back() != ']') {
-        throw std::runtime_error("config line " + std::to_string(line_number) +
-                                 ": unterminated section header");
+        throw ConfigError("unterminated section header", config.source_,
+                          line_number);
       }
       section = Trim(trimmed.substr(1, trimmed.size() - 2));
       continue;
     }
     const auto eq = trimmed.find('=');
     if (eq == std::string::npos) {
-      throw std::runtime_error("config line " + std::to_string(line_number) +
-                               ": expected key = value");
+      throw ConfigError("expected key = value", config.source_, line_number);
     }
     const std::string key = Trim(trimmed.substr(0, eq));
     const std::string value = Trim(trimmed.substr(eq + 1));
     if (key.empty()) {
-      throw std::runtime_error("config line " + std::to_string(line_number) +
-                               ": empty key");
+      throw ConfigError("empty key", config.source_, line_number);
     }
-    config.values_[section.empty() ? key : section + "." + key] = value;
+    config.values_[section.empty() ? key : section + "." + key] =
+        Entry{value, line_number};
   }
   return config;
 }
@@ -67,63 +75,76 @@ ConfigFile ConfigFile::ParseString(const std::string& text) {
 
 ConfigFile ConfigFile::Load(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open config file: " + path);
-  return Parse(in);
+  if (!in) throw ConfigError("cannot open config file", path, 0);
+  return Parse(in, path);
 }
 
 bool ConfigFile::Has(const std::string& key) const {
-  return values_.count(key) > 0;
+  const bool present = values_.count(key) > 0;
+  if (present) consumed_.insert(key);
+  return present;
 }
 
 std::string ConfigFile::Get(const std::string& key,
                             const std::string& fallback) const {
   const auto it = values_.find(key);
-  return it == values_.end() ? fallback : it->second;
+  if (it == values_.end()) return fallback;
+  consumed_.insert(key);
+  return it->second.value;
 }
 
 long long ConfigFile::GetInt(const std::string& key, long long fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
+  consumed_.insert(key);
   try {
     std::size_t used = 0;
-    const long long value = std::stoll(it->second, &used);
-    if (used != it->second.size()) throw std::invalid_argument(it->second);
+    const long long value = std::stoll(it->second.value, &used);
+    if (used != it->second.value.size()) {
+      throw std::invalid_argument(it->second.value);
+    }
     return value;
   } catch (const std::exception&) {
-    throw std::runtime_error("config key '" + key + "' is not an integer: " +
-                             it->second);
+    throw ConfigError(
+        "key '" + key + "' is not an integer: " + it->second.value, source_,
+        it->second.line);
   }
 }
 
 double ConfigFile::GetDouble(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
+  consumed_.insert(key);
   try {
     std::size_t used = 0;
-    const double value = std::stod(it->second, &used);
-    if (used != it->second.size()) throw std::invalid_argument(it->second);
+    const double value = std::stod(it->second.value, &used);
+    if (used != it->second.value.size()) {
+      throw std::invalid_argument(it->second.value);
+    }
     return value;
   } catch (const std::exception&) {
-    throw std::runtime_error("config key '" + key + "' is not a number: " +
-                             it->second);
+    throw ConfigError("key '" + key + "' is not a number: " + it->second.value,
+                      source_, it->second.line);
   }
 }
 
 bool ConfigFile::GetBool(const std::string& key, bool fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  const std::string v = Lower(it->second);
+  consumed_.insert(key);
+  const std::string v = Lower(it->second.value);
   if (v == "true" || v == "yes" || v == "1") return true;
   if (v == "false" || v == "no" || v == "0") return false;
-  throw std::runtime_error("config key '" + key + "' is not a boolean: " +
-                           it->second);
+  throw ConfigError("key '" + key + "' is not a boolean: " + it->second.value,
+                    source_, it->second.line);
 }
 
 std::vector<std::string> ConfigFile::GetList(const std::string& key) const {
   std::vector<std::string> items;
   const auto it = values_.find(key);
   if (it == values_.end()) return items;
-  std::istringstream in(it->second);
+  consumed_.insert(key);
+  std::istringstream in(it->second.value);
   std::string item;
   while (std::getline(in, item, ',')) {
     const std::string trimmed = Trim(item);
@@ -138,8 +159,8 @@ std::vector<long long> ConfigFile::GetIntList(const std::string& key) const {
     try {
       values.push_back(std::stoll(item));
     } catch (const std::exception&) {
-      throw std::runtime_error("config key '" + key +
-                               "' has a non-integer item: " + item);
+      throw ConfigError("key '" + key + "' has a non-integer item: " + item,
+                        source_, LineOf(key));
     }
   }
   return values;
@@ -147,8 +168,21 @@ std::vector<long long> ConfigFile::GetIntList(const std::string& key) const {
 
 std::vector<std::string> ConfigFile::Keys() const {
   std::vector<std::string> keys;
-  for (const auto& [key, value] : values_) keys.push_back(key);
+  for (const auto& [key, entry] : values_) keys.push_back(key);
   return keys;
+}
+
+std::vector<std::string> ConfigFile::UnconsumedKeys() const {
+  std::vector<std::string> keys;
+  for (const auto& [key, entry] : values_) {
+    if (consumed_.count(key) == 0) keys.push_back(key);
+  }
+  return keys;
+}
+
+int ConfigFile::LineOf(const std::string& key) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? 0 : it->second.line;
 }
 
 }  // namespace whitefi

@@ -62,6 +62,56 @@ TEST(ConfigFile, ListEdgeCases) {
                std::runtime_error);
 }
 
+TEST(ConfigFile, TracksConsumptionForUnknownKeyDetection) {
+  const auto config = ConfigFile::ParseString(R"(
+seed = 1
+sceonds = 10
+[network]
+clients = 2
+cilents = 3
+)");
+  // Nothing read yet: every key is unconsumed.
+  EXPECT_EQ(config.UnconsumedKeys().size(), 4u);
+  config.GetInt("seed");
+  config.Has("network.clients");  // Has() counts as a read too.
+  EXPECT_EQ(config.UnconsumedKeys(),
+            (std::vector<std::string>{"network.cilents", "sceonds"}));
+  // Probing an absent key must not mark anything.
+  config.Get("seconds");
+  EXPECT_EQ(config.UnconsumedKeys().size(), 2u);
+  EXPECT_EQ(config.LineOf("sceonds"), 3);
+  EXPECT_EQ(config.LineOf("network.cilents"), 6);
+  EXPECT_EQ(config.LineOf("absent"), 0);
+}
+
+TEST(ConfigFile, ErrorsCarrySourceAndLine) {
+  // Parse errors: line of the offending statement, empty path for strings.
+  try {
+    ConfigFile::ParseString("ok = 1\njust words\n");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_TRUE(e.path().empty());
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  // Conversion errors: line of the key whose value is malformed.
+  const auto config = ConfigFile::ParseString("a = 1\nbad = twelve\n");
+  try {
+    config.GetInt("bad");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+  // Unreadable files: the path, with no attributable line.
+  try {
+    ConfigFile::Load("/nonexistent/path.conf");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.path(), "/nonexistent/path.conf");
+    EXPECT_EQ(e.line(), 0);
+  }
+}
+
 // --------------------------------------------------------- scenario file --
 
 TEST(ScenarioFile, LoadsFullScenario) {
@@ -121,6 +171,25 @@ TEST(ScenarioFile, Validation) {
                    "[map]\nname = building5\nextra_occupied = "
                    "26,27,28,29,30\n[network]\nstatic_width = 20\n")),
                std::runtime_error);
+}
+
+TEST(ScenarioFile, UnknownKeysSurfaceTyposButNotConsumedSections) {
+  const auto config = ConfigFile::ParseString(R"(
+seed = 2
+[network]
+clients = 2
+[client]
+chirp_backoff = yes
+chrip_jitter = 0.2
+[fault]
+miss_chirp_p = 0.1
+scanner_outages = 2-4
+)");
+  bench::LoadScenario(config);
+  // The loader consumed every key it understands — including the [client]
+  // and [fault] sections — leaving exactly the typo.
+  EXPECT_EQ(bench::UnknownScenarioKeys(config),
+            (std::vector<std::string>{"client.chrip_jitter"}));
 }
 
 TEST(ScenarioFile, LoadedScenarioRuns) {

@@ -247,5 +247,74 @@ TEST(Edge, BeaconLoopNeverAccumulatesBacklog) {
   EXPECT_LE(ap.mac().CountQueued(FrameType::kBeacon), 1u);
 }
 
+TEST(Edge, ParamsAreValidatedAtConstruction) {
+  // A bad parameter must fail loudly when the node is built, not corrupt a
+  // simulation minutes in.
+  World world;
+  const SpectrumMap map = Building5Map();
+  const Channel main{IndexOfTvChannel(28), ChannelWidth::kW20};
+  const Channel backup{IndexOfTvChannel(39), ChannelWidth::kW5};
+
+  ClientParams bad_client;
+  bad_client.chirp_jitter = 1.0;  // Must lie in [0, 1).
+  EXPECT_THROW(world.Create<ClientNode>(NodeAt(0, 0, map), bad_client, main,
+                                        backup, 1),
+               std::invalid_argument);
+  bad_client = ClientParams{};
+  bad_client.chirp_interval_max = bad_client.chirp_interval - 1;
+  EXPECT_THROW(world.Create<ClientNode>(NodeAt(0, 0, map), bad_client, main,
+                                        backup, 1),
+               std::invalid_argument);
+
+  ClientParams bad_scanner;
+  bad_scanner.scanner.dwell = 0;
+  EXPECT_THROW(world.Create<ClientNode>(NodeAt(0, 0, map), bad_scanner, main,
+                                        backup, 1),
+               std::invalid_argument);
+  ScannerParams outage_retry;
+  outage_retry.outage_retry_interval = 0;
+  EXPECT_THROW(ValidateScannerParams(outage_retry), std::invalid_argument);
+
+  DeviceConfig bad_mac = NodeAt(0, 0, map);
+  bad_mac.mac.cw_max = bad_mac.mac.cw_min - 1;
+  EXPECT_THROW(world.Create<Device>(bad_mac), std::invalid_argument);
+  bad_mac = NodeAt(0, 0, map);
+  bad_mac.mac.retry_limit = 0;
+  EXPECT_THROW(world.Create<Device>(bad_mac), std::invalid_argument);
+
+  // The world stays usable after rejected constructions.
+  ApNode& ap =
+      world.Create<ApNode>(NodeAt(0, 0, map), ApParams{}, main, backup);
+  EXPECT_GT(ap.NodeId(), 0);
+}
+
+TEST(Edge, SecondaryBackupAlsoJammedFallsThroughToNextFree) {
+  // Both rendezvous points die at once: the advertised backup channel AND
+  // the deterministic secondary backup (the lowest observed free channel)
+  // host incumbents audible only to the client.  SelectSecondaryBackup
+  // must fall through to the next free channel rather than parking the
+  // client on jammed spectrum, and the AP's sweep must still find it.
+  World world;
+  const SpectrumMap map = Building5Map();  // Lowest free channel: TV 26.
+  const Channel main{IndexOfTvChannel(28), ChannelWidth::kW20};
+  const Channel backup{IndexOfTvChannel(39), ChannelWidth::kW5};
+  Net net = MakeNet(world, map, main, backup);
+  world.StartAll();
+  world.RunFor(2.0);
+  const std::vector<int> only_client{net.client->NodeId()};
+  for (int tv : {28, 39, 26}) {
+    world.AddMic({IndexOfTvChannel(tv), 3.0 * kSecond, 600.0 * kSecond},
+                 only_client);
+  }
+  world.RunFor(25.0);
+  EXPECT_TRUE(net.client->connected());
+  EXPECT_GE(net.client->disconnect_events(), 1);
+  EXPECT_EQ(net.client->TunedChannel(), net.ap->main_channel());
+  // The network settled clear of every jammed channel the client reported.
+  for (int tv : {28, 39, 26}) {
+    EXPECT_FALSE(net.ap->main_channel().Contains(IndexOfTvChannel(tv)));
+  }
+}
+
 }  // namespace
 }  // namespace whitefi

@@ -344,6 +344,28 @@ TEST(ChirpCodec, RejectsOutOfBand) {
   EXPECT_FALSE(codec.Decode(between).has_value());
 }
 
+TEST(ChirpCodec, ToleranceBoundaryIsInclusive) {
+  // Parameters whose tolerance band edge is an exact double (quantum a
+  // power of two, tolerance a dyadic fraction), so the test probes the
+  // decoder's comparison itself rather than floating-point rounding.
+  ChirpCodecParams p;
+  p.quantum = 128.0;
+  p.tolerance = 0.25;
+  const ChirpCodec codec(p);
+  const Us center = codec.Encode(5);
+  const Us edge = p.quantum * p.tolerance;  // 32 us off-center, exactly.
+  // A burst measured exactly on the band edge still decodes...
+  EXPECT_EQ(codec.Decode(center + edge).value_or(-1), 5);
+  EXPECT_EQ(codec.Decode(center - edge).value_or(-1), 5);
+  // ...and just beyond it (half a microsecond) is rejected, on both sides
+  // of both neighbors — the dead zone between symbols is real.
+  EXPECT_FALSE(codec.Decode(center + edge + 0.5).has_value());
+  EXPECT_FALSE(codec.Decode(center - edge - 0.5).has_value());
+  const Us next = codec.Encode(6);
+  EXPECT_FALSE(codec.Decode(next - edge - 0.5).has_value());
+  EXPECT_EQ(codec.Decode(next - edge).value_or(-1), 6);
+}
+
 TEST(ChirpCodec, EncodeValidation) {
   const ChirpCodec codec;
   EXPECT_THROW(codec.Encode(-1), std::out_of_range);
