@@ -21,20 +21,24 @@
 // fixed-interval chirping, reproducibly from the pinned default seed.
 //
 // Flags: --trials N (default 10), --seed S (default 1), --clients N
-// (default 4), --trace PREFIX (dump trial 0 of each arm as JSONL) — CI
+// (default 4), --trace PREFIX (dump trial 0 of each arm as JSONL),
+// --jobs N (parallel trials per arm; any N is byte-identical to 1) — CI
 // runs a reduced soak under sanitizers.  Exit status 0 iff the hardened
 // backoff arm's p95 beats fixed-interval chirping.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "flags.h"
 #include "obs/event_trace.h"
 #include "scenario.h"
 #include "spectrum/campus.h"
 #include "util/histogram.h"
+#include "util/parallel.h"
 #include "util/report.h"
 #include "util/rng.h"
 
@@ -142,39 +146,63 @@ ScenarioConfig MakeConfig(const Arm& arm, std::uint64_t seed, int clients,
   return config;
 }
 
+/// One trial's raw outcome, collected by index and folded serially.
+struct TrialOutcome {
+  RunResult run;
+  double storm_at_s = 0.0;
+  std::shared_ptr<EventTrace> trace;  ///< Trial 0 only, when tracing.
+};
+
 ArmResult RunArm(const Arm& arm, std::uint64_t seed0, int trials,
-                 int clients, const std::string& trace_prefix) {
+                 int clients, const std::string& trace_prefix, int jobs) {
   ArmResult out;
   // The storm's arrival phase relative to the chirp/scan cycles decides
   // whether a deterministic chirper is caught or stranded, so it must be
   // swept, not pinned: real incumbents key up at arbitrary phase.  Same
   // seed -> same per-trial onsets for every arm (paired comparison).
+  // Onsets are drawn serially BEFORE dispatch so the storm schedule never
+  // depends on the job count.
   Rng storm_rng(seed0 ^ 0x57A2B0ULL);
+  std::vector<double> storm_onsets;
+  storm_onsets.reserve(static_cast<std::size_t>(trials));
   for (int t = 0; t < trials; ++t) {
-    const double storm_at_s = storm_rng.Uniform(5.0, 6.0);
-    ScenarioConfig config = MakeConfig(arm, seed0 + static_cast<std::uint64_t>(t),
-                                       clients, storm_at_s);
-    // --trace: dump trial 0's protocol-level story (chirps, switches,
-    // faults) as JSONL for post-mortem of a pathological arm.
-    EventTraceOptions trace_options;
-    trace_options.only = {
-        TraceEventKind::kChirp,        TraceEventKind::kChannelSwitch,
-        TraceEventKind::kIncumbentOn,  TraceEventKind::kIncumbentOff,
-        TraceEventKind::kFaultInjected, TraceEventKind::kFaultCleared,
-        TraceEventKind::kNote};
-    std::optional<EventTrace> trace;
-    if (!trace_prefix.empty() && t == 0) {
-      trace.emplace(trace_options);
-      config.obs.trace = &*trace;
-    }
-    const RunResult run = RunScenario(config);
-    if (trace.has_value()) {
+    storm_onsets.push_back(storm_rng.Uniform(5.0, 6.0));
+  }
+
+  const std::vector<TrialOutcome> outcomes = ParallelMap(
+      jobs, static_cast<std::size_t>(trials), [&](std::size_t t) {
+        TrialOutcome outcome;
+        outcome.storm_at_s = storm_onsets[t];
+        ScenarioConfig config =
+            MakeConfig(arm, seed0 + static_cast<std::uint64_t>(t), clients,
+                       outcome.storm_at_s);
+        // --trace: dump trial 0's protocol-level story (chirps, switches,
+        // faults) as JSONL for post-mortem of a pathological arm.
+        if (!trace_prefix.empty() && t == 0) {
+          EventTraceOptions trace_options;
+          trace_options.only = {
+              TraceEventKind::kChirp,        TraceEventKind::kChannelSwitch,
+              TraceEventKind::kIncumbentOn,  TraceEventKind::kIncumbentOff,
+              TraceEventKind::kFaultInjected, TraceEventKind::kFaultCleared,
+              TraceEventKind::kNote};
+          outcome.trace = std::make_shared<EventTrace>(trace_options);
+          config.obs.trace = outcome.trace.get();
+        }
+        outcome.run = RunScenario(config);
+        return outcome;
+      });
+
+  // Serial fold in trial order: histogram insertion order is part of the
+  // byte-identity contract.
+  for (const TrialOutcome& outcome : outcomes) {
+    if (outcome.trace != nullptr) {
       const std::string path = trace_prefix + arm.label + ".jsonl";
       std::ofstream os(path);
-      trace->WriteJsonl(os);
-      std::cerr << "trace: " << path << " (" << trace->events().size()
-                << " events)\n";
+      outcome.trace->WriteJsonl(os);
+      std::cerr << "trace: " << path << " ("
+                << outcome.trace->events().size() << " events)\n";
     }
+    const RunResult& run = outcome.run;
     for (double outage_s : run.outages_s) out.outages.Add(outage_s);
     out.disconnects += run.disconnects;
     // Clients still disconnected at run end are censored, not invisible:
@@ -182,7 +210,9 @@ ArmResult RunArm(const Arm& arm, std::uint64_t seed0, int trials,
     // minus storm onset), otherwise an arm that strands clients would
     // show BETTER percentiles than one that rescues them slowly.
     const int stuck = run.disconnects - static_cast<int>(run.outages_s.size());
-    for (int s = 0; s < stuck; ++s) out.outages.Add(kRunEndS - storm_at_s);
+    for (int s = 0; s < stuck; ++s) {
+      out.outages.Add(kRunEndS - outcome.storm_at_s);
+    }
     out.unrecovered += stuck;
     out.faults += run.faults_injected;
   }
@@ -192,25 +222,32 @@ ArmResult RunArm(const Arm& arm, std::uint64_t seed0, int trials,
 int Main(int argc, char** argv) {
   int trials = 10;
   int clients = 4;
+  int jobs = 1;
   std::uint64_t seed = 1;
   std::string trace_prefix;
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        throw std::invalid_argument(flag + " needs a value");
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument(flag + " needs a value");
+        }
+        return argv[++i];
+      };
+      if (flag == "--trials") trials = std::stoi(next());
+      else if (flag == "--seed") seed = std::stoull(next());
+      else if (flag == "--clients") clients = std::stoi(next());
+      else if (flag == "--trace") trace_prefix = next();
+      else if (flag == "--jobs") jobs = ParseJobs(next());
+      else {
+        std::cerr << "usage: bench_chaos_recovery [--trials N] [--seed S] "
+                     "[--clients N] [--trace PREFIX] [--jobs N]\n";
+        return 2;
       }
-      return argv[++i];
-    };
-    if (flag == "--trials") trials = std::stoi(next());
-    else if (flag == "--seed") seed = std::stoull(next());
-    else if (flag == "--clients") clients = std::stoi(next());
-    else if (flag == "--trace") trace_prefix = next();
-    else {
-      std::cerr << "usage: bench_chaos_recovery [--trials N] [--seed S] "
-                   "[--clients N] [--trace PREFIX]\n";
-      return 2;
     }
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 2;
   }
 
   std::cout << "Chaos soak: reconnect time under a " << clients
@@ -232,7 +269,7 @@ int Main(int argc, char** argv) {
                "stuck", "faults"});
   std::vector<ArmResult> results;
   for (const Arm& arm : arms) {
-    results.push_back(RunArm(arm, seed, trials, clients, trace_prefix));
+    results.push_back(RunArm(arm, seed, trials, clients, trace_prefix, jobs));
     const ArmResult& r = results.back();
     table.AddRow({arm.label, std::to_string(r.outages.Count()),
                   FormatDouble(r.outages.Percentile(50), 2),

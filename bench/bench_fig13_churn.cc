@@ -12,6 +12,7 @@
 // choice, exactly as the paper observes.
 #include <iostream>
 
+#include "flags.h"
 #include "scenario.h"
 #include "spectrum/campus.h"
 #include "util/report.h"
@@ -71,7 +72,7 @@ ScenarioConfig MakeConfig(const ChurnPoint& point, std::uint64_t seed) {
   return config;
 }
 
-int Main() {
+int Main(int jobs) {
   std::cout << "Figure 13: per-client throughput vs. background churn\n"
             << "(34 Markov on/off pairs, 25 ms CBR when active; "
             << kReps << " reps per point)\n\n";
@@ -93,13 +94,18 @@ int Main() {
     for (int rep = 0; rep < kReps; ++rep) {
       ScenarioConfig config = MakeConfig(point, seed++);
       config.obs.metrics = &metrics;
+      // The adaptive run stays on this thread (it feeds the shared
+      // metrics registry); only the OPT candidate sweeps fan out.
       const RunResult run = RunScenario(config);
       config.obs = {};
       whitefi.Add(run.per_client_mbps);
       switches.Add(run.switches);
-      const double o5 = OptStaticThroughput(config, ChannelWidth::kW5, 6.0);
-      const double o10 = OptStaticThroughput(config, ChannelWidth::kW10, 6.0);
-      const double o20 = OptStaticThroughput(config, ChannelWidth::kW20, 6.0);
+      const double o5 =
+          OptStaticThroughput(config, ChannelWidth::kW5, 6.0, jobs);
+      const double o10 =
+          OptStaticThroughput(config, ChannelWidth::kW10, 6.0, jobs);
+      const double o20 =
+          OptStaticThroughput(config, ChannelWidth::kW20, 6.0, jobs);
       opt5.Add(o5);
       opt10.Add(o10);
       opt20.Add(o20);
@@ -121,4 +127,6 @@ int Main() {
 }  // namespace
 }  // namespace whitefi::bench
 
-int main() { return whitefi::bench::Main(); }
+int main(int argc, char** argv) {
+  return whitefi::bench::Main(whitefi::bench::JobsFromArgs(argc, argv));
+}

@@ -10,6 +10,8 @@
 #include <iostream>
 
 #include "core/discovery.h"
+#include "flags.h"
+#include "util/parallel.h"
 #include "util/report.h"
 #include "util/stats.h"
 
@@ -47,16 +49,24 @@ Point MeasureFragment(int width_channels, std::uint64_t seed) {
                base_time.Mean() / kSecond};
 }
 
-int Main() {
+int Main(int jobs) {
   std::cout << "Figure 8: L-SIFT / J-SIFT discovery time as a fraction of "
                "the non-SIFT baseline\n"
             << "(" << kPlacements
             << " random AP placements per fragment width; 100 ms per scan)\n\n";
   Table table({"fragment(ch)", "baseline(s)", "L-SIFT/base", "J-SIFT/base",
                "winner"});
-  std::uint64_t seed = 800;
+  // Each fragment width is a pure function of its own seed, so the sweep
+  // parallelizes trivially; rows are added serially in width order.
+  constexpr std::uint64_t kSeedBase = 800;
+  const std::vector<Point> points =
+      ParallelMap(jobs, static_cast<std::size_t>(kNumUhfChannels),
+                  [](std::size_t i) {
+                    return MeasureFragment(static_cast<int>(i) + 1,
+                                           kSeedBase + i);
+                  });
   for (int n = 1; n <= kNumUhfChannels; ++n) {
-    const Point p = MeasureFragment(n, seed++);
+    const Point& p = points[static_cast<std::size_t>(n - 1)];
     table.AddRow({std::to_string(n), FormatDouble(p.baseline_s, 2),
                   FormatDouble(p.l_fraction, 3), FormatDouble(p.j_fraction, 3),
                   p.l_fraction <= p.j_fraction ? "L-SIFT" : "J-SIFT"});
@@ -70,4 +80,6 @@ int Main() {
 }  // namespace
 }  // namespace whitefi::bench
 
-int main() { return whitefi::bench::Main(); }
+int main(int argc, char** argv) {
+  return whitefi::bench::Main(whitefi::bench::JobsFromArgs(argc, argv));
+}

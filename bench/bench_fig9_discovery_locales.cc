@@ -8,7 +8,9 @@
 #include <iostream>
 
 #include "core/discovery.h"
+#include "flags.h"
 #include "spectrum/locales.h"
+#include "util/parallel.h"
 #include "util/report.h"
 #include "util/stats.h"
 
@@ -18,32 +20,81 @@ namespace {
 constexpr int kLocalesPerClass = 10;
 constexpr int kRunsPerLocale = 10;
 
-int Main() {
+/// One locale realization, fully determined before any trial runs: the
+/// map and a private Rng forked from the master stream in locale order.
+/// Pre-forking serially is what makes `--jobs N` byte-identical to
+/// `--jobs 1` — the random stream of a locale never depends on which
+/// thread runs it or which locales finished first.
+struct LocaleInstance {
+  LocaleClass locale;
+  SpectrumMap map;
+  Rng rng;
+};
+
+/// Per-locale discovery-time samples, in run order.
+struct LocaleSamples {
+  std::vector<double> base_s;
+  std::vector<double> l_s;
+  std::vector<double> j_s;
+};
+
+LocaleSamples MeasureLocale(LocaleInstance& instance,
+                            const DiscoveryParams& params) {
+  LocaleSamples samples;
+  const auto candidates = instance.map.UsableChannels();
+  if (candidates.empty()) return samples;
+  for (int run = 0; run < kRunsPerLocale; ++run) {
+    const Channel ap = instance.rng.Pick(candidates);
+    AnalyticScanEnvironment env(ap);
+    samples.base_s.push_back(
+        BaselineDiscover(env, instance.map, params).elapsed / kSecond);
+    samples.l_s.push_back(
+        LSiftDiscover(env, instance.map, params).elapsed / kSecond);
+    samples.j_s.push_back(
+        JSiftDiscover(env, instance.map, params).elapsed / kSecond);
+  }
+  return samples;
+}
+
+int Main(int jobs) {
   std::cout << "Figure 9: time to discover one AP per locale class\n"
             << "(" << kLocalesPerClass << " locales x " << kRunsPerLocale
             << " random AP placements, 100 ms per scan)\n\n";
-  Rng rng(900);
   // Under spatial variation the client cannot prune candidates whose span
   // overlaps channels only *it* sees as occupied, so the realistic
   // non-SIFT baseline tries every width at each free center (the paper's
   // ~NC*NW/2 cost model).
   DiscoveryParams params;
   params.baseline_skips_blocked_spans = false;
+
+  // Serial prologue: realize every locale and fork its Rng in a fixed
+  // order from the master stream.
+  Rng rng(900);
+  std::vector<LocaleInstance> instances;
+  for (LocaleClass locale : kAllLocaleClasses) {
+    for (int loc = 0; loc < kLocalesPerClass; ++loc) {
+      instances.push_back(
+          LocaleInstance{locale, GenerateLocaleMap(locale, rng), rng.Fork()});
+    }
+  }
+
+  // Parallel trials; results land at their locale index.
+  const std::vector<LocaleSamples> results =
+      ParallelMap(jobs, instances.size(), [&](std::size_t i) {
+        return MeasureLocale(instances[i], params);
+      });
+
+  // Serial epilogue: aggregate per class in locale order and print.
   Table table({"locale", "baseline(s)", "L-SIFT(s)", "J-SIFT(s)",
                "J-SIFT saving"});
+  std::size_t next = 0;
   for (LocaleClass locale : kAllLocaleClasses) {
     RunningStats base_s, l_s, j_s;
-    for (int loc = 0; loc < kLocalesPerClass; ++loc) {
-      const SpectrumMap map = GenerateLocaleMap(locale, rng);
-      const auto candidates = map.UsableChannels();
-      if (candidates.empty()) continue;
-      for (int run = 0; run < kRunsPerLocale; ++run) {
-        const Channel ap = rng.Pick(candidates);
-        AnalyticScanEnvironment env(ap);
-        base_s.Add(BaselineDiscover(env, map, params).elapsed / kSecond);
-        l_s.Add(LSiftDiscover(env, map, params).elapsed / kSecond);
-        j_s.Add(JSiftDiscover(env, map, params).elapsed / kSecond);
-      }
+    for (int loc = 0; loc < kLocalesPerClass; ++loc, ++next) {
+      const LocaleSamples& samples = results[next];
+      for (double v : samples.base_s) base_s.Add(v);
+      for (double v : samples.l_s) l_s.Add(v);
+      for (double v : samples.j_s) j_s.Add(v);
     }
     table.AddRow({LocaleClassName(locale), FormatDouble(base_s.Mean(), 2),
                   FormatDouble(l_s.Mean(), 2), FormatDouble(j_s.Mean(), 2),
@@ -58,4 +109,6 @@ int Main() {
 }  // namespace
 }  // namespace whitefi::bench
 
-int main() { return whitefi::bench::Main(); }
+int main(int argc, char** argv) {
+  return whitefi::bench::Main(whitefi::bench::JobsFromArgs(argc, argv));
+}

@@ -47,6 +47,42 @@ void BM_SiftStreamingBlocks(benchmark::State& state) {
 }
 BENCHMARK(BM_SiftStreamingBlocks);
 
+/// The block path across chunk granularities — from USRP-recv-buffer-sized
+/// chunks down to the degenerate per-sample stream (the old Step loop).
+/// Detection results are byte-identical at every chunking; only the
+/// per-block warmup/tail overhead varies.
+void BM_SiftDetectorChunked(benchmark::State& state) {
+  const auto samples = MakeTrace(ChannelWidth::kW20, 50);
+  const auto chunk = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    SiftDetector detector{SiftParams{}};
+    for (std::size_t i = 0; i < samples.size(); i += chunk) {
+      const std::size_t n = std::min(chunk, samples.size() - i);
+      detector.ProcessBlock({samples.data() + i, n});
+    }
+    detector.Flush();
+    benchmark::DoNotOptimize(detector.TakeBursts());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(samples.size()));
+}
+BENCHMARK(BM_SiftDetectorChunked)->Arg(1)->Arg(64)->Arg(4096)->Arg(65536);
+
+/// Non-default window width: exercises the runtime-window kernel instead
+/// of the unrolled W=5 fast path.
+void BM_SiftDetectorGenericWindow(benchmark::State& state) {
+  const auto samples = MakeTrace(ChannelWidth::kW20, 50);
+  SiftParams params;
+  params.window = 8;
+  for (auto _ : state) {
+    SiftDetector detector{params};
+    benchmark::DoNotOptimize(detector.Detect(samples));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(samples.size()));
+}
+BENCHMARK(BM_SiftDetectorGenericWindow);
+
 void BM_PatternMatcher(benchmark::State& state) {
   const auto samples = MakeTrace(ChannelWidth::kW20, 100);
   SiftDetector detector{SiftParams{}};
@@ -71,6 +107,22 @@ void BM_SignalSynthesis(benchmark::State& state) {
 }
 BENCHMARK(BM_SignalSynthesis);
 
+/// The dwell-loop shape: one scratch buffer reused across syntheses, as
+/// the signal scanner and Table 1 grid now do.  The delta vs
+/// BM_SignalSynthesis is pure allocation traffic.
+void BM_SignalSynthesisInto(benchmark::State& state) {
+  const PhyTiming t = PhyTiming::ForWidth(ChannelWidth::kW20);
+  const auto bursts = MakeCbrSchedule(t, 20, 5000.0, 1000, 300.0);
+  Rng rng(2);
+  std::vector<double> scratch;
+  for (auto _ : state) {
+    SignalSynthesizer synth(SignalParams{}, rng.Fork());
+    synth.SynthesizeInto(bursts, 110000.0, scratch);
+    benchmark::DoNotOptimize(scratch.data());
+  }
+}
+BENCHMARK(BM_SignalSynthesisInto);
+
 void BM_ChirpCodecDecode(benchmark::State& state) {
   const ChirpCodec codec;
   Rng rng(3);
@@ -89,4 +141,16 @@ BENCHMARK(BM_ChirpCodecDecode);
 }  // namespace
 }  // namespace whitefi
 
-BENCHMARK_MAIN();
+// Custom main (vs BENCHMARK_MAIN) so JSON reports carry the pipeline
+// configuration; bench/compare_bench.py keys its regression gate on the
+// items_per_second counters in that report.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("whitefi_detector_path", "block");
+  benchmark::AddCustomContext("whitefi_sift_window",
+                              std::to_string(whitefi::SiftParams{}.window));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include "sim/traffic.h"
 #include "sim/world.h"
 #include "spectrum/campus.h"
+#include "util/parallel.h"
 
 namespace whitefi {
 namespace {
@@ -69,7 +70,39 @@ void BM_JSiftDiscovery(benchmark::State& state) {
 }
 BENCHMARK(BM_JSiftDiscovery);
 
+/// Dispatch cost of the deterministic trial runner: 64 discovery trials
+/// per batch, swept over job counts.  On a single-core host every job
+/// count degenerates to the serial loop; the jobs=1 row is the pure
+/// function-call overhead either way.
+void BM_ParallelDiscoveryTrials(benchmark::State& state) {
+  const SpectrumMap map = CampusSimulationMap();
+  const auto usable = map.UsableChannels();
+  const int jobs = static_cast<int>(state.range(0));
+  constexpr std::size_t kTrials = 64;
+  for (auto _ : state) {
+    const auto elapsed =
+        ParallelMap(jobs, kTrials, [&](std::size_t i) {
+          AnalyticScanEnvironment env(usable[i % usable.size()]);
+          return JSiftDiscover(env, map).elapsed;
+        });
+    benchmark::DoNotOptimize(elapsed.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTrials));
+}
+BENCHMARK(BM_ParallelDiscoveryTrials)->Arg(1)->Arg(2)->Arg(4);
+
 }  // namespace
 }  // namespace whitefi
 
-BENCHMARK_MAIN();
+// Custom main so JSON reports carry context for bench/compare_bench.py.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("whitefi_trial_runner", "parallel");
+  benchmark::AddCustomContext("whitefi_hardware_jobs",
+                              std::to_string(whitefi::HardwareJobs()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Tiny shared flag parsing for the bench drivers.
+//
+// Every trial-loop driver takes `--jobs N` (or `--jobs=N`): the size of
+// the deterministic thread pool used for its independent trials.  0 means
+// all hardware threads; the default of 1 is the serial reference path, so
+// a driver's default output is byte-identical to the pre-parallel code.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+#include <string_view>
+
+#include "util/parallel.h"
+
+namespace whitefi::bench {
+
+/// Extracts `--jobs N` / `--jobs=N` from argv (default 1).  Unknown
+/// arguments are ignored so drivers stay forgiving about extra flags; a
+/// malformed jobs value is a clean `error:` exit (2), not a terminate.
+inline int JobsFromArgs(int argc, char** argv) {
+  int jobs = 1;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--jobs" && i + 1 < argc) {
+        jobs = ParseJobs(argv[++i]);
+      } else if (arg.rfind("--jobs=", 0) == 0) {
+        jobs = ParseJobs(arg.data() + 7);
+      }
+    }
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    std::exit(2);
+  }
+  return jobs;
+}
+
+}  // namespace whitefi::bench

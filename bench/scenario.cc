@@ -4,6 +4,8 @@
 #include <cmath>
 #include <memory>
 
+#include "util/parallel.h"
+
 namespace whitefi::bench {
 namespace {
 
@@ -213,22 +215,30 @@ RunResult RunScenario(const ScenarioConfig& config) {
 }
 
 double OptStaticThroughput(const ScenarioConfig& config, ChannelWidth w,
-                           double reduced_measure_s) {
+                           double reduced_measure_s, int jobs) {
+  const std::vector<Channel> candidates = StaticCandidates(config, w);
+  // Every candidate run derives all of its randomness from the trial
+  // config (the world is seeded from config.seed), so the sweep is a pure
+  // index -> throughput map; results are reduced serially in index order.
+  const std::vector<double> throughputs =
+      ParallelMap(jobs, candidates.size(), [&](std::size_t i) {
+        ScenarioConfig trial = config;
+        trial.static_channel = candidates[i];
+        trial.obs = {};  // Baseline sweeps must not pollute caller metrics.
+        if (reduced_measure_s > 0.0) trial.measure_s = reduced_measure_s;
+        return RunScenario(trial).per_client_mbps;
+      });
   double best = 0.0;
-  for (const Channel& candidate : StaticCandidates(config, w)) {
-    ScenarioConfig trial = config;
-    trial.static_channel = candidate;
-    trial.obs = {};  // Baseline sweeps must not pollute the caller's metrics.
-    if (reduced_measure_s > 0.0) trial.measure_s = reduced_measure_s;
-    best = std::max(best, RunScenario(trial).per_client_mbps);
-  }
+  for (double mbps : throughputs) best = std::max(best, mbps);
   return best;
 }
 
-double OptThroughput(const ScenarioConfig& config, double reduced_measure_s) {
+double OptThroughput(const ScenarioConfig& config, double reduced_measure_s,
+                     int jobs) {
   double best = 0.0;
   for (ChannelWidth w : kAllWidths) {
-    best = std::max(best, OptStaticThroughput(config, w, reduced_measure_s));
+    best = std::max(best, OptStaticThroughput(config, w, reduced_measure_s,
+                                              jobs));
   }
   return best;
 }

@@ -86,12 +86,15 @@ RunResult RunScenario(const ScenarioConfig& config);
 /// Best static channel of width `w` (exhaustive over channels usable under
 /// the base map), as per-client throughput.  Returns 0 when no candidate
 /// exists.  `reduced_measure_s` trims the per-candidate simulation time.
+/// `jobs` spreads the independent per-candidate simulations over a thread
+/// pool; every candidate run is self-seeded from the config, so the result
+/// is byte-identical at any job count (jobs <= 1 = the serial loop).
 double OptStaticThroughput(const ScenarioConfig& config, ChannelWidth w,
-                           double reduced_measure_s = 0.0);
+                           double reduced_measure_s = 0.0, int jobs = 1);
 
 /// Convenience: OPT over all three widths.
 double OptThroughput(const ScenarioConfig& config,
-                     double reduced_measure_s = 0.0);
+                     double reduced_measure_s = 0.0, int jobs = 1);
 
 /// Channels usable under the map AND free at every client map realization
 /// implied by the config (used to restrict OPT candidates under spatial

@@ -7,9 +7,19 @@ namespace whitefi::bench {
 SignalRun MakeIperfRun(ChannelWidth width, int count, Us interval_us,
                        int payload_bytes, const SignalParams& params,
                        Rng rng) {
-  const PhyTiming timing = PhyTiming::ForWidth(width);
   SignalRun run;
+  MakeIperfRunInto(width, count, interval_us, payload_bytes, params,
+                   std::move(rng), run);
+  return run;
+}
+
+void MakeIperfRunInto(ChannelWidth width, int count, Us interval_us,
+                      int payload_bytes, const SignalParams& params, Rng rng,
+                      SignalRun& run) {
+  const PhyTiming timing = PhyTiming::ForWidth(width);
+  run.packets.clear();
   std::vector<Burst> bursts;
+  bursts.reserve(static_cast<std::size_t>(count) * 2);
   for (int i = 0; i < count; ++i) {
     const Us start = 500.0 + static_cast<double>(i) * interval_us;
     const auto exchange = MakeDataAckExchange(timing, start, payload_bytes);
@@ -18,8 +28,7 @@ SignalRun MakeIperfRun(ChannelWidth width, int count, Us interval_us,
   }
   run.total_duration = bursts.back().start + bursts.back().duration + 1000.0;
   SignalSynthesizer synth(params, std::move(rng));
-  run.samples = synth.Synthesize(bursts, run.total_duration);
-  return run;
+  synth.SynthesizeInto(bursts, run.total_duration, run.samples);
 }
 
 int CountDetected(const std::vector<SentPacket>& packets,

@@ -30,6 +30,15 @@ SignalRun MakeIperfRun(ChannelWidth width, int count, Us interval_us,
                        int payload_bytes, const SignalParams& params,
                        Rng rng);
 
+/// Scratch-reusing variant: rebuilds `run` in place, reusing its existing
+/// packet/sample capacity.  Trial loops that synthesize many multi-
+/// megasample traces (Table 1's grid, the micro benches) call this to
+/// avoid reallocating the trace every run.  Draw-for-draw identical to
+/// MakeIperfRun with the same Rng.
+void MakeIperfRunInto(ChannelWidth width, int count, Us interval_us,
+                      int payload_bytes, const SignalParams& params, Rng rng,
+                      SignalRun& run);
+
 /// Counts how many sent packets SIFT detected.  A packet counts as
 /// detected when a burst overlaps its air interval; when
 /// `require_duration_match` is set the burst's measured length must also

@@ -15,11 +15,21 @@ double SignalSynthesizer::AttenuatedSignalSigma() const {
 
 std::vector<double> SignalSynthesizer::Synthesize(std::span<const Burst> bursts,
                                                   Us total_duration) {
+  std::vector<double> samples;
+  SynthesizeInto(bursts, total_duration, samples);
+  return samples;
+}
+
+void SignalSynthesizer::SynthesizeInto(std::span<const Burst> bursts,
+                                       Us total_duration,
+                                       std::vector<double>& samples) {
+  ScopedPhaseTimer timer(profiler_, "phy.synthesize");
   const auto num_samples = static_cast<std::size_t>(
       std::ceil(total_duration / params_.sample_period));
-  // Start from the noise floor everywhere.
-  std::vector<double> samples(num_samples);
-  for (double& s : samples) s = rng_.Rayleigh(params_.noise_sigma);
+  // Start from the noise floor everywhere (one batched pass; the reused
+  // buffer keeps its capacity across calls).
+  samples.resize(num_samples);
+  rng_.FillRayleigh(params_.noise_sigma, samples);
 
   const double sigma = AttenuatedSignalSigma();
   for (const Burst& burst : bursts) {
@@ -38,15 +48,27 @@ std::vector<double> SignalSynthesizer::Synthesize(std::span<const Burst> bursts,
     const auto last = static_cast<std::size_t>(std::min<double>(
         static_cast<double>(num_samples),
         std::ceil((burst.start + burst.duration) / params_.sample_period)));
-    for (std::size_t i = first; i < last; ++i) {
-      const Us t = static_cast<double>(i) * params_.sample_period - burst.start;
-      const double factor = t < ramp_duration ? ramp_factor : 1.0;
-      const double amp =
-          rng_.Rayleigh(sigma * burst.amplitude_scale * factor);
+    // The in-burst Rayleigh scale is loop-invariant on each side of the
+    // ramp boundary, so hoist it and split the loop there: the ramp prefix
+    // keeps the per-sample time comparison (bit-equal to evaluating it
+    // every sample), the body skips it entirely.
+    const double burst_sigma = sigma * burst.amplitude_scale;
+    std::size_t i = first;
+    if (burst.ramp_artifact) {
+      const double ramp_sigma = burst_sigma * ramp_factor;
+      for (; i < last; ++i) {
+        const Us t =
+            static_cast<double>(i) * params_.sample_period - burst.start;
+        if (!(t < ramp_duration)) break;
+        const double amp = rng_.Rayleigh(ramp_sigma);
+        samples[i] = std::max(samples[i], amp);
+      }
+    }
+    for (; i < last; ++i) {
+      const double amp = rng_.Rayleigh(burst_sigma);
       samples[i] = std::max(samples[i], amp);
     }
   }
-  return samples;
 }
 
 std::vector<Burst> MakeDataAckExchange(const PhyTiming& timing, Us start,
@@ -71,12 +93,19 @@ std::vector<Burst> MakeBeaconCtsExchange(const PhyTiming& timing, Us start) {
 std::vector<Burst> MakeCbrSchedule(const PhyTiming& timing, int count,
                                    Us interval, int frame_bytes,
                                    Us first_start) {
+  // Appends the data/ACK pair directly: no temporary two-element vector
+  // per exchange, and the per-exchange timing constants are hoisted.
+  const bool ramp = timing.width() == ChannelWidth::kW5;
+  const Us data_duration = timing.FrameDuration(frame_bytes);
+  const Us sifs = timing.Sifs();
+  const Us ack_duration = timing.AckDuration();
   std::vector<Burst> bursts;
   bursts.reserve(static_cast<std::size_t>(count) * 2);
   for (int i = 0; i < count; ++i) {
     const Us start = first_start + static_cast<double>(i) * interval;
-    auto exchange = MakeDataAckExchange(timing, start, frame_bytes);
-    bursts.insert(bursts.end(), exchange.begin(), exchange.end());
+    bursts.push_back(Burst{start, data_duration, ramp, 1.0});
+    bursts.push_back(
+        Burst{start + data_duration + sifs, ack_duration, ramp, 1.0});
   }
   return bursts;
 }

@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/phase_timer.h"
 #include "phy/timing.h"
 #include "util/rng.h"
 #include "util/units.h"
@@ -78,15 +79,28 @@ class SignalSynthesizer {
   std::vector<double> Synthesize(std::span<const Burst> bursts,
                                  Us total_duration);
 
+  /// Like Synthesize, but writes into `samples` (resized to fit) so dwell
+  /// and trial loops can reuse one scratch buffer instead of reallocating a
+  /// multi-megasample trace per call.  Draw-for-draw identical to
+  /// Synthesize: the same synthesizer state produces the same trace
+  /// through either entry point.
+  void SynthesizeInto(std::span<const Burst> bursts, Us total_duration,
+                      std::vector<double>& samples);
+
   /// The configured parameters.
   const SignalParams& params() const { return params_; }
 
   /// Effective in-burst Rayleigh scale after attenuation.
   double AttenuatedSignalSigma() const;
 
+  /// Attaches a profiler (may be null): synthesis runs under the
+  /// "phy.synthesize" phase so dwell-loop cost shows up in --profile.
+  void SetProfiler(PhaseProfiler* profiler) { profiler_ = profiler; }
+
  private:
   SignalParams params_;
   Rng rng_;
+  PhaseProfiler* profiler_ = nullptr;
 };
 
 /// Builds the data-burst + SIFS-gap + ACK-burst pair for one unicast

@@ -10,7 +10,10 @@ SiftDetector::SiftDetector(const SiftParams& params) : params_(params) {
   if (params_.threshold <= 0.0) {
     throw std::invalid_argument("threshold must be > 0");
   }
-  window_.assign(static_cast<std::size_t>(params_.window), 0.0);
+  const auto window = static_cast<std::size_t>(params_.window);
+  tail_.assign(window, 0.0);
+  inv_window_ = 1.0 / static_cast<double>(window);
+  sum_threshold_ = params_.threshold * static_cast<double>(window);
 }
 
 void SiftDetector::SetObservability(const Observability& obs) {
@@ -24,44 +27,7 @@ void SiftDetector::SetObservability(const Observability& obs) {
   burst_us_ = &obs.metrics->GetHistogram("whitefi.sift.burst_us");
 }
 
-void SiftDetector::Step(double sample) {
-  // Slide the window.
-  window_sum_ -= window_[window_pos_];
-  window_[window_pos_] = sample;
-  window_sum_ += sample;
-  window_pos_ = (window_pos_ + 1) % window_.size();
-  ++samples_seen_;
-  if (sample > params_.threshold) last_above_sample_ = samples_seen_ - 1;
-
-  const double average = window_sum_ / static_cast<double>(window_.size());
-  if (!in_burst_) {
-    if (average > params_.threshold) {
-      in_burst_ = true;
-      burst_peak_ = average;
-      // Date the start at the oldest in-window sample that exceeds the
-      // threshold: a strong burst trips the average from its very first
-      // sample, so the naive "window start" would bias starts early (and
-      // SIFS gaps short) by several samples.
-      const std::size_t window_first =
-          samples_seen_ >= window_.size() ? samples_seen_ - window_.size() : 0;
-      burst_start_sample_ = window_first;
-      for (std::size_t k = 0; k < window_.size() && k < samples_seen_; ++k) {
-        const std::size_t idx =
-            (window_pos_ + k) % window_.size();  // oldest-first traversal
-        if (window_[idx] > params_.threshold) {
-          burst_start_sample_ = window_first + k;
-          break;
-        }
-      }
-    }
-  } else {
-    burst_peak_ = std::max(burst_peak_, average);
-    if (average <= params_.threshold) {
-      in_burst_ = false;
-      EmitBurst(/*end_sample=*/last_above_sample_ + 1);
-    }
-  }
-}
+void SiftDetector::Step(double sample) { ProcessBlock({&sample, 1}); }
 
 void SiftDetector::EmitBurst(std::size_t end_sample) {
   DetectedBurst burst;
@@ -77,9 +43,144 @@ void SiftDetector::EmitBurst(std::size_t end_sample) {
   }
 }
 
+// The kernel processes one block against the detector's streaming state.
+//
+// Every per-sample quantity is defined chunking-independently so any split
+// of a trace into blocks is byte-identical to any other:
+//   * the window sum at global sample g is the left-associated sum, oldest
+//     first, of the W chronological samples ending at g (virtual zeros
+//     before the stream start);
+//   * a burst opens at g when some sample in that window exceeds the
+//     threshold AND sum > threshold * W, and dates its start at the oldest
+//     above-threshold sample still in the window (a strong burst trips the
+//     average from its very first sample, so the naive "window start"
+//     would bias starts early, and SIFS gaps short, by several samples);
+//   * a burst closes at the first g with sum <= threshold * W and ends at
+//     the sample after the last above-threshold one.
+//
+// The "some sample above threshold" gate is what makes the noise floor
+// cheap: out of a burst, a sample more than one window length past the
+// last above-threshold sample cannot trip the average (every window sample
+// is at or below the threshold), so the kernel skips the sum entirely —
+// one compare per quiet sample.
+template <int KW>
+void SiftDetector::RunBlock(const double* x, std::size_t n) {
+  const std::size_t window =
+      KW > 0 ? static_cast<std::size_t>(KW) : tail_.size();
+  const auto wdiff = static_cast<std::ptrdiff_t>(window);
+  const double thr = params_.threshold;
+  const double sum_thr = sum_threshold_;
+  const double inv = inv_window_;
+  const std::size_t base = samples_seen_;
+  std::ptrdiff_t last_above = last_above_sample_;
+  bool in_burst = in_burst_;
+  double peak = burst_peak_;
+
+  // Warmup: the first window-1 samples straddle the previous block (or the
+  // pre-stream zeros), so their windows read from tail_ ++ block.
+  const std::size_t warm = std::min(n, window - 1);
+  if (warm > 0) {
+    merged_.resize(window + warm);
+    std::copy(tail_.begin(), tail_.end(), merged_.begin());
+    std::copy(x, x + warm, merged_.begin() + static_cast<std::ptrdiff_t>(window));
+    const double* m = merged_.data();  // m[j] is global sample base - W + j.
+    for (std::size_t i = 0; i < warm; ++i) {
+      const double s = x[i];
+      const auto g = static_cast<std::ptrdiff_t>(base + i);
+      if (s > thr) last_above = g;
+      const bool gated = g - last_above < wdiff;
+      if (!in_burst && !gated) continue;
+      const double* w = m + i + 1;  // Oldest in-window sample.
+      double sum = w[0];
+      for (std::size_t k = 1; k < window; ++k) sum += w[k];
+      if (!in_burst) {
+        if (sum > sum_thr) {
+          in_burst = true;
+          peak = sum * inv;
+          const std::size_t first =
+              base + i + 1 >= window ? base + i + 1 - window : 0;
+          burst_start_sample_ = first;
+          for (std::size_t k = 0; k < window; ++k) {
+            if (w[k] > thr) {
+              burst_start_sample_ = base + i + 1 - window + k;
+              break;
+            }
+          }
+        }
+      } else {
+        const double average = sum * inv;
+        if (average > peak) peak = average;
+        if (!(sum > sum_thr)) {
+          in_burst = false;
+          burst_peak_ = peak;
+          EmitBurst(static_cast<std::size_t>(last_above + 1));
+        }
+      }
+    }
+  }
+
+  // Main region: the window lies entirely inside the block.
+  for (std::size_t i = warm; i < n; ++i) {
+    const double s = x[i];
+    const auto g = static_cast<std::ptrdiff_t>(base + i);
+    if (s > thr) last_above = g;
+    if (!in_burst && g - last_above >= wdiff) continue;  // Quiet noise floor.
+    const double* w = x + i + 1 - window;
+    double sum;
+    if constexpr (KW > 0) {
+      sum = w[0];
+      for (int k = 1; k < KW; ++k) sum += w[k];  // Fully unrolled.
+    } else {
+      sum = w[0];
+      for (std::size_t k = 1; k < window; ++k) sum += w[k];
+    }
+    if (!in_burst) {
+      if (sum > sum_thr) {
+        in_burst = true;
+        peak = sum * inv;
+        burst_start_sample_ = base + i + 1 - window;
+        for (std::size_t k = 0; k < window; ++k) {
+          if (w[k] > thr) {
+            burst_start_sample_ = base + i + 1 - window + k;
+            break;
+          }
+        }
+      }
+    } else {
+      const double average = sum * inv;
+      if (average > peak) peak = average;
+      if (!(sum > sum_thr)) {
+        in_burst = false;
+        burst_peak_ = peak;
+        EmitBurst(static_cast<std::size_t>(last_above + 1));
+      }
+    }
+  }
+
+  // Persist the streaming state and the chronological tail for the next
+  // block's warmup windows.
+  last_above_sample_ = last_above;
+  in_burst_ = in_burst;
+  burst_peak_ = peak;
+  if (n >= window) {
+    std::copy(x + n - window, x + n, tail_.begin());
+  } else {
+    std::copy(tail_.begin() + static_cast<std::ptrdiff_t>(n), tail_.end(),
+              tail_.begin());
+    std::copy(x, x + n, tail_.end() - static_cast<std::ptrdiff_t>(n));
+  }
+  samples_seen_ = base + n;
+}
+
 void SiftDetector::ProcessBlock(std::span<const double> samples) {
   ScopedPhaseTimer timer(profiler_, "sift.detect");
-  for (double s : samples) Step(s);
+  if (samples.empty()) return;
+  // The paper's 5-sample window gets the unrolled kernel.
+  if (tail_.size() == 5) {
+    RunBlock<5>(samples.data(), samples.size());
+  } else {
+    RunBlock<0>(samples.data(), samples.size());
+  }
 }
 
 void SiftDetector::Flush() {

@@ -10,8 +10,24 @@
 // for 20 MHz transmissions — so the paper (and this implementation) uses a
 // 5-sample window.  The moving average, rather than instantaneous values,
 // rides over the deep mid-packet amplitude dips of an OFDM envelope.
+//
+// Performance: the detector is the real-time core of the scanner — the
+// USRP delivers a continuous ~1 MS/s stream — so ProcessBlock runs a block
+// kernel rather than a per-sample state machine.  The window average is
+// compared in pre-scaled form (sum > threshold * window, no per-sample
+// division), the window sum is formed directly from the raw block (no ring
+// buffer, no modulo indexing), and while the detector is out of a burst
+// whole noise-floor stretches are rejected with a single comparison per
+// sample: the average of a window whose every sample is at or below the
+// threshold cannot exceed it, so the sum is only evaluated within one
+// window length of an above-threshold sample.  The default 5-sample window
+// dispatches to a fully unrolled kernel.  Step() remains as the
+// single-sample compatibility shim and routes through the same kernel, so
+// any chunking of a trace — per-sample, USRP 2048-sample blocks, or one
+// shot — produces byte-identical bursts.
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
@@ -57,6 +73,10 @@ class SiftDetector {
   /// Processes one block of amplitude samples.
   void ProcessBlock(std::span<const double> samples);
 
+  /// Single-sample compatibility shim: routes through the block kernel so
+  /// sample-at-a-time feeding stays byte-identical to any block chunking.
+  void Step(double sample);
+
   /// Flushes any in-progress burst (treats the stream as ended).
   void Flush();
 
@@ -75,17 +95,25 @@ class SiftDetector {
   void SetObservability(const Observability& obs);
 
  private:
-  void Step(double sample);
+  /// Block kernel.  KW is the compile-time window length for the unrolled
+  /// fast path (KW == 0 selects the runtime-window generic path).
+  template <int KW>
+  void RunBlock(const double* x, std::size_t n);
+
   void EmitBurst(std::size_t end_sample);
 
   SiftParams params_;
-  std::vector<double> window_;  ///< Circular buffer of the last N samples.
-  std::size_t window_pos_ = 0;
+  /// The last `window` samples in chronological order (zero-filled before
+  /// the stream starts), so a block can seed its first window sums.
+  std::vector<double> tail_;
+  std::vector<double> merged_;  ///< Warmup scratch: tail_ ++ block head.
   std::size_t samples_seen_ = 0;
-  double window_sum_ = 0.0;
+  double inv_window_ = 0.0;      ///< 1 / window, hoisted out of the kernel.
+  double sum_threshold_ = 0.0;   ///< threshold * window (pre-scaled compare).
   bool in_burst_ = false;
   std::size_t burst_start_sample_ = 0;
-  std::size_t last_above_sample_ = 0;  ///< Last sample index above threshold.
+  /// Index of the last above-threshold sample (-1 = none yet).
+  std::ptrdiff_t last_above_sample_ = -1;
   double burst_peak_ = 0.0;
   std::vector<DetectedBurst> completed_;
 

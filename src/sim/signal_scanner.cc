@@ -83,7 +83,8 @@ void SignalLevelScanner::EndDwell() {
   // Reconstruct the amplitude trace of the foreign transmissions that
   // crossed this channel during the dwell (SIFT filters our own network's
   // transmissions by their known pattern).
-  std::vector<Burst> bursts;
+  std::vector<Burst>& bursts = burst_scratch_;
+  bursts.clear();
   for (const Heard& heard : heard_) {
     if (heard.own_ssid) continue;
     Burst burst;
@@ -95,9 +96,15 @@ void SignalLevelScanner::EndDwell() {
   std::sort(bursts.begin(), bursts.end(),
             [](const Burst& a, const Burst& b) { return a.start < b.start; });
 
+  // The synthesizer is still forked per dwell (the observation stream must
+  // not depend on how many dwells preceded it), but the dwell-length trace
+  // lands in a reused scratch buffer instead of a fresh allocation.
   SignalSynthesizer synth(params_.signal, rng_.Fork());
+  synth.SetProfiler(world.obs().profiler);
   SiftDetector detector(params_.sift);
-  const auto detected = detector.Detect(synth.Synthesize(bursts, window));
+  detector.SetObservability(world.obs());
+  synth.SynthesizeInto(bursts, window, trace_scratch_);
+  const auto detected = detector.Detect(trace_scratch_);
 
   observation_[idx].airtime = BusyAirtimeFraction(detected, 0.0, window);
 

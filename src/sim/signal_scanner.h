@@ -73,6 +73,11 @@ class SignalLevelScanner {
   bool dwelling_ = false;
   SimTime dwell_started_ = 0;
   std::vector<Heard> heard_;
+  /// Dwell-loop scratch, reused every EndDwell: the synthesized trace is
+  /// dwell-length (hundreds of kilosamples at the USRP rate), so
+  /// reallocating it per dwell would dominate the sweep's heap traffic.
+  std::vector<double> trace_scratch_;
+  std::vector<Burst> burst_scratch_;
 };
 
 }  // namespace whitefi

@@ -1,0 +1,127 @@
+#include "util/parallel.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace whitefi {
+
+ThreadPool::ThreadPool(int jobs) : jobs_(jobs < 1 ? 1 : jobs) {
+  workers_.reserve(static_cast<std::size_t>(jobs_ - 1));
+  for (int i = 1; i < jobs_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  batch_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (jobs_ <= 1) {
+    // Serial reference path: inline, index order, no synchronization.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &fn;
+    batch_size_ = n;
+    next_index_ = 0;
+    in_flight_ = 0;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  batch_ready_.notify_all();
+  // The caller works too, then waits for stragglers.
+  DrainBatch();
+  std::unique_lock<std::mutex> lock(mutex_);
+  batch_done_.wait(lock, [this] {
+    return next_index_ >= batch_size_ && in_flight_ == 0;
+  });
+  task_ = nullptr;
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::DrainBatch() {
+  for (;;) {
+    std::size_t index;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (task_ == nullptr || next_index_ >= batch_size_) return;
+      index = next_index_++;
+      ++in_flight_;
+    }
+    try {
+      (*task_)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+    }
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      last = next_index_ >= batch_size_ && in_flight_ == 0;
+    }
+    if (last) batch_done_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      batch_ready_.wait(lock, [&] {
+        return stopping_ || (task_ != nullptr && generation_ != seen_generation);
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+    }
+    DrainBatch();
+  }
+}
+
+void ParallelFor(int jobs, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  if (jobs <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(jobs);
+  pool.Run(n, fn);
+}
+
+int HardwareJobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ParseJobs(const char* value) {
+  std::size_t consumed = 0;
+  int jobs = 0;
+  try {
+    jobs = std::stoi(std::string(value), &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("--jobs: not a number: ") + value);
+  }
+  if (consumed != std::string(value).size() || jobs < 0) {
+    throw std::invalid_argument(std::string("--jobs: expected a positive "
+                                            "integer or 0 (= all cores), "
+                                            "got: ") +
+                                value);
+  }
+  return jobs == 0 ? HardwareJobs() : jobs;
+}
+
+}  // namespace whitefi

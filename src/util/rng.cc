@@ -52,6 +52,17 @@ double Rng::Rayleigh(double sigma) {
   return sigma * std::sqrt(-2.0 * std::log(1.0 - u));
 }
 
+void Rng::FillRayleigh(double sigma, std::span<double> out) {
+  // One distribution object for the whole span; the draw itself is the
+  // same inverse-CDF computation as Rayleigh(), value for value.
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  for (double& v : out) {
+    double u = uniform(engine_);
+    if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+    v = sigma * std::sqrt(-2.0 * std::log(1.0 - u));
+  }
+}
+
 double Rng::Exponential(double mean) {
   return std::exponential_distribution<double>(1.0 / mean)(engine_);
 }

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <random>
+#include <span>
 #include <vector>
 
 namespace whitefi {
@@ -47,6 +48,11 @@ class Rng {
   /// The magnitude of a complex Gaussian (I,Q) sample — the model for an
   /// OFDM signal envelope — is Rayleigh distributed.
   double Rayleigh(double sigma);
+
+  /// Fills `out` with Rayleigh draws of scale `sigma`: byte-identical to
+  /// calling Rayleigh(sigma) once per element, but in one pass over the
+  /// engine (the bulk-noise fast path for trace synthesis).
+  void FillRayleigh(double sigma, std::span<double> out);
 
   /// Exponential with the given mean (mean = 1/lambda).
   double Exponential(double mean);

@@ -1,0 +1,122 @@
+// Tests for the deterministic parallel trial runner (util/parallel) and
+// its byte-identity contract: any --jobs N produces the same results as
+// the serial loop, because Rngs are forked before dispatch and results
+// are collected in index order.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "scenario.h"
+#include "spectrum/campus.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace whitefi {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (int jobs : {1, 2, 4, 8}) {
+    std::vector<std::atomic<int>> hits(257);
+    ParallelFor(jobs, hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " jobs " << jobs;
+    }
+  }
+}
+
+TEST(ParallelFor, ZeroTasksIsANoop) {
+  int calls = 0;
+  ParallelFor(4, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelMap, ResultsArriveInIndexOrder) {
+  for (int jobs : {1, 3, 7}) {
+    const auto out = ParallelMap(jobs, std::size_t{100},
+                                 [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ParallelMap, PreForkedRngsMatchSerialAtAnyJobCount) {
+  // The canonical trial-loop shape: fork one Rng per trial serially, then
+  // let each trial consume its own stream.  The draws must not depend on
+  // the job count.
+  auto run = [](int jobs) {
+    Rng master(42);
+    std::vector<Rng> rngs;
+    for (int t = 0; t < 37; ++t) rngs.push_back(master.Fork());
+    return ParallelMap(jobs, rngs.size(), [&](std::size_t i) {
+      double acc = 0.0;
+      for (int d = 0; d < 100; ++d) acc += rngs[i].Uniform(0.0, 1.0);
+      return acc;
+    });
+  };
+  const auto serial = run(1);
+  for (int jobs : {2, 4, 8}) {
+    const auto parallel = run(jobs);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i], parallel[i]) << "trial " << i << " jobs " << jobs;
+    }
+  }
+}
+
+TEST(ParallelFor, PropagatesTheFirstException) {
+  for (int jobs : {1, 4}) {
+    EXPECT_THROW(
+        ParallelFor(jobs, 16,
+                    [](std::size_t i) {
+                      if (i == 7) throw std::runtime_error("trial 7 failed");
+                    }),
+        std::runtime_error)
+        << "jobs " << jobs;
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.jobs(), 4);
+  for (int batch = 0; batch < 3; ++batch) {
+    std::vector<std::atomic<int>> hits(64);
+    pool.Run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    const int total = std::accumulate(
+        hits.begin(), hits.end(), 0,
+        [](int acc, const std::atomic<int>& h) { return acc + h.load(); });
+    EXPECT_EQ(total, 64);
+  }
+}
+
+TEST(ParseJobs, ParsesCountsAndRejectsGarbage) {
+  EXPECT_EQ(ParseJobs("1"), 1);
+  EXPECT_EQ(ParseJobs("12"), 12);
+  EXPECT_EQ(ParseJobs("0"), HardwareJobs());
+  EXPECT_GE(HardwareJobs(), 1);
+  EXPECT_THROW(ParseJobs("abc"), std::invalid_argument);
+  EXPECT_THROW(ParseJobs("-3"), std::invalid_argument);
+}
+
+// The end-to-end contract at the scenario layer: an OPT candidate sweep —
+// the hot loop the bench drivers parallelize — returns bit-equal
+// throughput at jobs=4 and jobs=1.
+TEST(ScenarioParallel, OptSweepIsJobCountInvariant) {
+  bench::ScenarioConfig config;
+  config.seed = 7;
+  config.base_map = CampusSimulationMap();
+  config.num_clients = 2;
+  config.warmup_s = 0.5;
+  config.measure_s = 1.0;
+  const double serial =
+      bench::OptStaticThroughput(config, ChannelWidth::kW10, 0.0, 1);
+  const double parallel =
+      bench::OptStaticThroughput(config, ChannelWidth::kW10, 0.0, 4);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_GT(serial, 0.0);
+}
+
+}  // namespace
+}  // namespace whitefi

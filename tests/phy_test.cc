@@ -180,6 +180,47 @@ TEST(Signal, CbrScheduleSpacing) {
   for (int i = 0; i < 5; ++i) {
     EXPECT_DOUBLE_EQ(bursts[2 * i].start, 100.0 + i * 8000.0);
   }
+  // Each ACK follows its data frame by exactly one SIFS (the append-direct
+  // schedule builder must keep the two-burst exchange geometry).
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(
+        bursts[2 * i + 1].start - (bursts[2 * i].start + bursts[2 * i].duration),
+        t.Sifs());
+    EXPECT_DOUBLE_EQ(bursts[2 * i + 1].duration, t.AckDuration());
+  }
+}
+
+TEST(Signal, SynthesizeIntoMatchesSynthesizeExactly) {
+  // Same seed, same bursts: the scratch-buffer path must be draw-for-draw
+  // identical (bit-equal samples), or the signal scanner's observations
+  // would depend on which API the caller used.
+  const PhyTiming t = PhyTiming::ForWidth(ChannelWidth::kW10);
+  const auto bursts = MakeCbrSchedule(t, 8, 6000.0, 700, 250.0);
+  SignalSynthesizer a(SignalParams{}, Rng(77));
+  const auto reference = a.Synthesize(bursts, 60000.0);
+
+  SignalSynthesizer b(SignalParams{}, Rng(77));
+  std::vector<double> scratch(123, -1.0);  // Stale contents must not leak.
+  b.SynthesizeInto(bursts, 60000.0, scratch);
+  ASSERT_EQ(reference.size(), scratch.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_EQ(reference[i], scratch[i]) << "sample " << i;
+  }
+}
+
+TEST(Signal, SynthesizeIntoReusesAndResizesTheBuffer) {
+  SignalSynthesizer synth(QuietParams(), Rng(5));
+  std::vector<double> scratch;
+  synth.SynthesizeInto({}, 10000.0, scratch);
+  const std::size_t big = scratch.size();
+  EXPECT_GT(big, 0u);
+  // A shorter trace shrinks the size but keeps the capacity (no realloc).
+  const double* data = scratch.data();
+  const std::size_t capacity = scratch.capacity();
+  synth.SynthesizeInto({}, 5000.0, scratch);
+  EXPECT_LT(scratch.size(), big);
+  EXPECT_EQ(scratch.capacity(), capacity);
+  EXPECT_EQ(scratch.data(), data);
 }
 
 // ----------------------------------------------------------- attenuation --
