@@ -24,11 +24,13 @@ double SpectrumAssigner::EvaluateChannel(const Channel& channel,
 std::optional<Channel> SpectrumAssigner::BestCandidate(
     const AssignmentInputs& inputs, double* best_metric) const {
   const SpectrumMap combined = inputs.CombinedMap();
+  // One scan per observation serves all candidates; bit-equal to calling
+  // ApDecisionMetric per candidate (tests/core_mcham_test.cc).
+  const ApDecisionScan scan(inputs.ap_observation, inputs.client_observations);
   std::optional<Channel> best;
   double best_value = 0.0;
   for (const Channel& candidate : combined.UsableChannels(params_.enumeration)) {
-    const double value = ApDecisionMetric(candidate, inputs.ap_observation,
-                                          inputs.client_observations);
+    const double value = scan.Evaluate(candidate);
     if (!best.has_value() || value > best_value) {
       best = candidate;
       best_value = value;
@@ -82,6 +84,7 @@ AssignmentDecision SpectrumAssigner::Reevaluate(const AssignmentInputs& inputs,
 std::optional<Channel> SpectrumAssigner::SelectBackup(
     const AssignmentInputs& inputs, const Channel& main) const {
   const SpectrumMap combined = inputs.CombinedMap();
+  const ApDecisionScan scan(inputs.ap_observation, inputs.client_observations);
   std::optional<Channel> best;
   double best_value = -1.0;
   std::optional<Channel> fallback;
@@ -92,8 +95,7 @@ std::optional<Channel> SpectrumAssigner::SelectBackup(
                          params_.enumeration.respect_channel37_gap)) {
       continue;
     }
-    const double value = ApDecisionMetric(candidate, inputs.ap_observation,
-                                          inputs.client_observations);
+    const double value = scan.Evaluate(candidate);
     if (candidate.Overlaps(main)) {
       if (value > fallback_value) {
         fallback = candidate;

@@ -34,4 +34,58 @@ double ApDecisionMetric(const Channel& channel,
 
 double IdleMCham(ChannelWidth width) { return WidthMHz(width) / 5.0; }
 
+MChamScan::MChamScan(const BandObservation& observation) {
+  // One pass: Rho and the incumbent prefix for every channel.  Channels
+  // beyond the observation's extent are treated as incumbent-occupied so
+  // lookups spanning them return 0 instead of reading out of bounds.
+  std::array<double, kNumUhfChannels> rho;
+  for (std::size_t c = 0; c < kNumUhfChannels; ++c) {
+    const bool present = c < observation.size();
+    rho[c] = present ? Rho(observation[c]) : 1.0;
+    const bool incumbent = !present || observation[c].incumbent;
+    incumbent_prefix_[c + 1] = incumbent_prefix_[c] + (incumbent ? 1 : 0);
+  }
+  // Window products, widened incrementally and left-associated exactly as
+  // MCham's `product *= Rho(...)` loop (IEEE: 1.0 * x == x), so every
+  // entry is bit-equal to the naive walk over the same span.
+  auto& p1 = prod_[static_cast<std::size_t>(ChannelWidth::kW5)];
+  auto& p3 = prod_[static_cast<std::size_t>(ChannelWidth::kW10)];
+  auto& p5 = prod_[static_cast<std::size_t>(ChannelWidth::kW20)];
+  p1 = rho;
+  for (std::size_t low = 0; low + 3 <= kNumUhfChannels; ++low) {
+    p3[low] = rho[low] * rho[low + 1] * rho[low + 2];
+  }
+  for (std::size_t low = 0; low + 5 <= kNumUhfChannels; ++low) {
+    p5[low] = p3[low] * rho[low + 3] * rho[low + 4];
+  }
+}
+
+double MChamScan::Evaluate(const Channel& channel) const {
+  if (!channel.IsValid()) return 0.0;
+  const auto low = static_cast<std::size_t>(channel.Low());
+  const auto high = static_cast<std::size_t>(channel.High());
+  if (incumbent_prefix_[high + 1] - incumbent_prefix_[low] > 0) return 0.0;
+  return (WidthMHz(channel.width) / 5.0) *
+         prod_[static_cast<std::size_t>(channel.width)][low];
+}
+
+ApDecisionScan::ApDecisionScan(
+    const BandObservation& ap_observation,
+    std::span<const BandObservation> client_observations)
+    : weight_(std::max(static_cast<double>(client_observations.size()), 1.0)),
+      ap_(ap_observation) {
+  clients_.reserve(client_observations.size());
+  for (const BandObservation& obs : client_observations) {
+    clients_.emplace_back(obs);
+  }
+}
+
+double ApDecisionScan::Evaluate(const Channel& channel) const {
+  // Same accumulation order as ApDecisionMetric: weighted AP view first,
+  // then the clients in order.
+  double metric = weight_ * ap_.Evaluate(channel);
+  for (const MChamScan& client : clients_) metric += client.Evaluate(channel);
+  return metric;
+}
+
 }  // namespace whitefi

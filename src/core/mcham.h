@@ -17,7 +17,9 @@
 // weighting its own (downlink-heavy) view by the client count N.
 #pragma once
 
+#include <array>
 #include <span>
+#include <vector>
 
 #include "sift/airtime.h"
 #include "spectrum/channel.h"
@@ -45,5 +47,53 @@ double ApDecisionMetric(const Channel& channel,
 /// MCham of an entirely idle channel: W / 5 MHz (1, 2 or 4) — the optimal
 /// capacity reference used throughout the paper's examples.
 double IdleMCham(ChannelWidth width);
+
+/// Single-scan MCham evaluator for one BandObservation.
+///
+/// The assigner evaluates all 84 candidate (F, W) channels against every
+/// observation; the naive loop re-walks each candidate's [Low, High] span,
+/// recomputing Rho per spanned channel per candidate.  This precomputes,
+/// in ONE pass over the band, (a) Rho for every UHF channel, (b) an
+/// incumbent prefix count (O(1) "any incumbent in [lo, hi]?"), and (c)
+/// left-associated window products of Rho for every width's span, so each
+/// candidate is served in O(1).
+///
+/// Bit-equality contract (pinned in tests/core_mcham_test.cc): the window
+/// products are built in the exact association order of MCham's running
+/// `product *= Rho(...)` loop, so `MChamScan(obs).Evaluate(ch)` returns a
+/// double bit-identical to `MCham(ch, obs)` for every valid channel.
+class MChamScan {
+ public:
+  explicit MChamScan(const BandObservation& observation);
+
+  /// MCham of `channel` under the scanned observation (Eq. 2); bit-equal
+  /// to MCham(channel, observation).
+  double Evaluate(const Channel& channel) const;
+
+ private:
+  /// Incumbents among UHF channels [0, c) — "incumbent in [lo, hi]" is a
+  /// prefix difference.
+  std::array<int, kNumUhfChannels + 1> incumbent_prefix_{};
+  /// prod_[w][low]: left-associated product of Rho over the
+  /// SpanChannels(w) channels starting at `low`.
+  std::array<std::array<double, kNumUhfChannels>, kNumWidths> prod_{};
+};
+
+/// The AP decision metric over one fixed set of observations, served from
+/// per-observation MChamScans: build once, evaluate all 84 candidates.
+/// Bit-equal to ApDecisionMetric per candidate (same accumulation order).
+class ApDecisionScan {
+ public:
+  ApDecisionScan(const BandObservation& ap_observation,
+                 std::span<const BandObservation> client_observations);
+
+  /// Bit-equal to ApDecisionMetric(channel, ap, clients).
+  double Evaluate(const Channel& channel) const;
+
+ private:
+  double weight_;  ///< max(#clients, 1), the AP-view weighting.
+  MChamScan ap_;
+  std::vector<MChamScan> clients_;
+};
 
 }  // namespace whitefi

@@ -1,6 +1,7 @@
 #include "sim/medium.h"
 
 #include <algorithm>
+#include <cassert>
 #include <sstream>
 
 namespace whitefi {
@@ -40,22 +41,19 @@ void Medium::Unregister(RadioPort* radio) {
                 radios_.end());
 }
 
-void Medium::AccrueBooks() {
+void Medium::AccrueChannel(std::size_t c) {
   const SimTime now = sim_.Now();
-  if (now == books_accrued_at_) return;
-  const Us elapsed = ToUs(now - books_accrued_at_);
-  for (UhfIndex c = 0; c < kNumUhfChannels; ++c) {
-    if (active_count_[static_cast<std::size_t>(c)] > 0) {
-      books_[static_cast<std::size_t>(c)].busy += elapsed;
-    }
-  }
-  books_accrued_at_ = now;
+  if (now == channel_accrued_at_[c]) return;
+  // `ToUs` is an exact int64 -> double conversion and busy is a sum of
+  // integer-valued doubles, so accruing per channel in fewer, larger steps
+  // is bit-equal to the eager all-channel walk it replaces.
+  if (active_count_[c] > 0) books_[c].busy += ToUs(now - channel_accrued_at_[c]);
+  channel_accrued_at_[c] = now;
 }
 
 void Medium::Transmit(RadioPort* tx, const Channel& channel,
                       const Frame& frame, Dbm tx_power, SimTime duration,
                       std::function<void()> on_end) {
-  AccrueBooks();
   const std::uint64_t id = next_tx_id_++;
   const auto type_index = static_cast<std::size_t>(frame.type);
   WHITEFI_METRIC_COUNT(tx_counters_[type_index], 1);
@@ -75,18 +73,30 @@ void Medium::Transmit(RadioPort* tx, const Channel& channel,
                   tx_power, sim_.Now(), sim_.Now() + duration,
                   {}};
   // Record mutual interference with every time-overlapping transmission on
-  // overlapping spectrum.
-  for (auto& [other_id, other] : active_) {
-    if (other.channel.Overlaps(channel)) {
-      other.interferers.push_back(id);
-      record.interferers.push_back(other_id);
+  // overlapping spectrum: only transmissions indexed on the channels this
+  // frame spans can overlap it.  Each is visited once (at the first spanned
+  // channel inside our range); the collected ids are sorted so the
+  // interference sums accumulate in the same ascending-id order as the
+  // full-scan implementation this replaces.
+  const auto lo = static_cast<std::size_t>(channel.Low());
+  const auto hi = static_cast<std::size_t>(channel.High());
+  for (std::size_t c = lo; c <= hi; ++c) {
+    for (ActiveTx* other : channel_txs_[c]) {
+      const auto other_lo = static_cast<std::size_t>(other->channel.Low());
+      if (std::max(other_lo, lo) != c) continue;  // Seen at an earlier c.
+      other->interferers.push_back(id);
+      record.interferers.push_back(other->id);
     }
   }
-  for (UhfIndex c = channel.Low(); c <= channel.High(); ++c) {
-    ++active_count_[static_cast<std::size_t>(c)];
-    books_[static_cast<std::size_t>(c)].per_node[tx->NodeId()] += ToUs(duration);
+  std::sort(record.interferers.begin(), record.interferers.end());
+  for (std::size_t c = lo; c <= hi; ++c) {
+    AccrueChannel(c);
+    ++active_count_[c];
+    books_[c].per_node[tx->NodeId()] += ToUs(duration);
   }
-  active_.emplace(id, std::move(record));
+  ActiveTx& stored = active_.emplace(id, std::move(record)).first->second;
+  for (std::size_t c = lo; c <= hi; ++c) channel_txs_[c].push_back(&stored);
+  ++radio_tx_count_[tx];
   sim_.Schedule(sim_.Now() + duration,
                 [this, id, cb = std::move(on_end)]() mutable {
                   EndTransmission(id, std::move(cb));
@@ -98,26 +108,47 @@ void Medium::EndTransmission(std::uint64_t tx_id,
                              std::function<void()> on_end) {
   auto it = active_.find(tx_id);
   if (it == active_.end()) return;
-  AccrueBooks();
+  ActiveTx* const stored = &it->second;
+  for (auto c = static_cast<std::size_t>(stored->channel.Low());
+       c <= static_cast<std::size_t>(stored->channel.High()); ++c) {
+    AccrueChannel(c);
+    --active_count_[c];
+    auto& list = channel_txs_[c];
+    auto pos = std::find(list.begin(), list.end(), stored);
+    assert(pos != list.end());
+    *pos = list.back();
+    list.pop_back();
+  }
+  if (auto rt = radio_tx_count_.find(stored->tx); --rt->second == 0) {
+    radio_tx_count_.erase(rt);
+  }
   ActiveTx tx = std::move(it->second);
   active_.erase(it);
-  for (UhfIndex c = tx.channel.Low(); c <= tx.channel.High(); ++c) {
-    --active_count_[static_cast<std::size_t>(c)];
-  }
   const Channel channel = tx.channel;
   const Frame frame = tx.frame;
   RadioPort* const tx_radio = tx.tx;
   recently_ended_.emplace(tx_id, std::move(tx));
+  ended_order_.push_back(tx_id);
   ResolveReceptions(recently_ended_.at(tx_id));
   if (active_.empty()) {
     recently_ended_.clear();
+    ended_order_.clear();
   } else {
     // Bounded GC for continuously-busy workloads: an entry can only be
     // referenced by an active transmission that overlapped it in time, and
     // no frame lasts anywhere near a second, so older entries are dead.
+    // ended_order_ is end-time-ordered, so only the expired prefix is
+    // examined — one comparison when nothing is old enough.
     const SimTime horizon = sim_.Now() - kTicksPerSec;
-    for (auto it = recently_ended_.begin(); it != recently_ended_.end();) {
-      it = it->second.end < horizon ? recently_ended_.erase(it) : std::next(it);
+    while (!ended_order_.empty()) {
+      const auto it = recently_ended_.find(ended_order_.front());
+      if (it == recently_ended_.end()) {  // Dropped by a bulk clear.
+        ended_order_.pop_front();
+        continue;
+      }
+      if (it->second.end >= horizon) break;
+      recently_ended_.erase(it);
+      ended_order_.pop_front();
     }
   }
   if (on_end) on_end();
@@ -144,17 +175,19 @@ void Medium::SetObservability(const Observability& obs) {
   }
 }
 
+const Medium::ActiveTx* Medium::FindTx(std::uint64_t id) const {
+  if (auto it = active_.find(id); it != active_.end()) return &it->second;
+  if (auto jt = recently_ended_.find(id); jt != recently_ended_.end()) {
+    return &jt->second;
+  }
+  return nullptr;
+}
+
 double Medium::InterferencePowerMw(const ActiveTx& tx,
                                    const RadioPort& rx) const {
   double total_mw = 0.0;
   for (std::uint64_t interferer_id : tx.interferers) {
-    const ActiveTx* interferer = nullptr;
-    if (auto it = active_.find(interferer_id); it != active_.end()) {
-      interferer = &it->second;
-    } else if (auto jt = recently_ended_.find(interferer_id);
-               jt != recently_ended_.end()) {
-      interferer = &jt->second;
-    }
+    const ActiveTx* interferer = FindTx(interferer_id);
     if (interferer == nullptr) continue;
     const Dbm p = prop_.ReceivedPower(interferer->power,
                                       interferer->tx->Location(),
@@ -172,20 +205,20 @@ void Medium::ResolveReceptions(const ActiveTx& tx) {
   ScopedPhaseTimer timer(obs_.profiler, "medium.deliver");
   // Half-duplex: a radio that transmitted during this frame cannot have
   // received it.  Any such transmission on the same channel is recorded in
-  // the interferer list, so collect those node ids.
+  // the interferer list, so collect those node ids — lazily, on the first
+  // radio that is actually tuned to receive this frame, so dense storms
+  // with no matching listener skip the interferer walk entirely.
   std::vector<int> talked_during;
-  for (std::uint64_t interferer_id : tx.interferers) {
-    const ActiveTx* interferer = nullptr;
-    if (auto it = active_.find(interferer_id); it != active_.end()) {
-      interferer = &it->second;
-    } else if (auto jt = recently_ended_.find(interferer_id);
-               jt != recently_ended_.end()) {
-      interferer = &jt->second;
+  bool talked_during_built = false;
+  const auto BuildTalkedDuring = [&] {
+    if (talked_during_built) return;
+    talked_during_built = true;
+    for (std::uint64_t interferer_id : tx.interferers) {
+      if (const ActiveTx* interferer = FindTx(interferer_id)) {
+        talked_during.push_back(interferer->tx->NodeId());
+      }
     }
-    if (interferer != nullptr) {
-      talked_during.push_back(interferer->tx->NodeId());
-    }
-  }
+  };
 
   const double noise_mw =
       DbmToMilliwatt(NoiseFloorDbm(WidthMHz(tx.channel.width)));
@@ -197,6 +230,7 @@ void Medium::ResolveReceptions(const ActiveTx& tx) {
     // Exact (F, W) match required: packets at other widths or centers are
     // dropped (paper Section 5.4).
     if (!(rx->TunedChannel() == tx.channel)) continue;
+    BuildTalkedDuring();
     if (std::find(talked_during.begin(), talked_during.end(), rx->NodeId()) !=
         talked_during.end()) {
       continue;
@@ -277,31 +311,38 @@ double InBandPowerFraction(const Channel& tx, const Channel& listener) {
 
 bool Medium::CarrierSensed(const RadioPort& radio,
                            const Channel& channel) const {
-  for (const auto& [id, tx] : active_) {
-    if (tx.tx == &radio) continue;
-    if (!tx.channel.Overlaps(channel)) continue;
-    const Dbm p =
-        prop_.ReceivedPower(tx.power, tx.tx->Location(), radio.Location());
-    if (tx.channel == channel) {
-      if (p >= params_.same_channel_cs_dbm) return true;
-    } else {
-      const Dbm in_band =
-          p + LinearToDb(InBandPowerFraction(tx.channel, channel));
-      if (in_band >= params_.energy_detect_cs_dbm) return true;
+  // Only transmissions indexed on a spanned channel can overlap `channel`;
+  // each is examined once (at the first spanned channel in range).
+  const auto lo = static_cast<std::size_t>(channel.Low());
+  const auto hi = static_cast<std::size_t>(channel.High());
+  for (std::size_t c = lo; c <= hi; ++c) {
+    for (const ActiveTx* tx : channel_txs_[c]) {
+      if (std::max(static_cast<std::size_t>(tx->channel.Low()), lo) != c) {
+        continue;  // Seen at an earlier c.
+      }
+      if (tx->tx == &radio) continue;
+      const Dbm p =
+          prop_.ReceivedPower(tx->power, tx->tx->Location(), radio.Location());
+      if (tx->channel == channel) {
+        if (p >= params_.same_channel_cs_dbm) return true;
+      } else {
+        const Dbm in_band =
+            p + LinearToDb(InBandPowerFraction(tx->channel, channel));
+        if (in_band >= params_.energy_detect_cs_dbm) return true;
+      }
     }
   }
   return false;
 }
 
 bool Medium::Transmitting(const RadioPort& radio) const {
-  for (const auto& [id, tx] : active_) {
-    if (tx.tx == &radio) return true;
-  }
-  return false;
+  return radio_tx_count_.count(&radio) > 0;
 }
 
 AirtimeBooks Medium::SnapshotBooks() {
-  AccrueBooks();
+  for (std::size_t c = 0; c < static_cast<std::size_t>(kNumUhfChannels); ++c) {
+    AccrueChannel(c);
+  }
   return books_;
 }
 

@@ -14,12 +14,22 @@
 // The medium also keeps per-UHF-channel airtime books (union busy time and
 // cumulative per-transmitter air time) that the scanner model reads to
 // produce the A_c / B_c observations feeding the MCham metric.
+//
+// Fast path (DESIGN.md §10): active transmissions are indexed per UHF
+// channel, so Transmit/CarrierSensed only examine transmissions whose
+// spectrum actually overlaps the frame at hand instead of scanning every
+// transmission on the air, and the airtime books accrue lazily per channel
+// (one timestamp each) instead of walking all 30 channels on every
+// transmit/end.  Sim time is integer microseconds and `ToUs` is exact, so
+// the lazily-partitioned busy sums are bit-equal to the eager walk.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "fault/fault.h"
@@ -173,24 +183,44 @@ class Medium {
   void EndTransmission(std::uint64_t tx_id, std::function<void()> on_end);
   void ResolveReceptions(const ActiveTx& tx);
   void NotifyOverlapping(const Channel& channel);
-  void AccrueBooks();
+  /// Brings one UHF channel's busy book current (lazy accrual).
+  void AccrueChannel(std::size_t c);
   double InterferencePowerMw(const ActiveTx& tx, const RadioPort& rx) const;
+  const ActiveTx* FindTx(std::uint64_t id) const;
 
   Simulator& sim_;
   MediumParams params_;
   PropagationModel prop_;
   std::vector<RadioPort*> radios_;
   std::vector<FrameTap> taps_;
-  std::map<std::uint64_t, ActiveTx> active_;
+  std::unordered_map<std::uint64_t, ActiveTx> active_;
   /// Finished transmissions kept until no active transmission references
   /// them as interferers.
   std::map<std::uint64_t, ActiveTx> recently_ended_;
+  /// Ids of recently_ended_ entries in insertion order.  Insertion happens
+  /// at each transmission's end time, so this is end-time order and GC only
+  /// ever has to examine the expired prefix instead of the whole map.
+  std::deque<std::uint64_t> ended_order_;
   std::uint64_t next_tx_id_ = 1;
+
+  /// Per-UHF-channel index of active transmissions: a transmission spanning
+  /// [Low, High] appears in every spanned channel's list.  Queries over a
+  /// channel span visit each transmission exactly once by only processing
+  /// it at the first spanned channel inside the query range.  Pointees are
+  /// unordered_map nodes, so they are stable until erased.
+  std::array<std::vector<ActiveTx*>, static_cast<std::size_t>(kNumUhfChannels)>
+      channel_txs_;
+  /// Number of active transmissions per transmitting radio (O(1)
+  /// Transmitting checks; erased when the count returns to zero).
+  std::unordered_map<const RadioPort*, int> radio_tx_count_;
 
   // Airtime accounting.
   AirtimeBooks books_;
   std::array<int, static_cast<std::size_t>(kNumUhfChannels)> active_count_{};
-  SimTime books_accrued_at_ = 0;
+  /// Per-channel lazy-accrual timestamp: books_[c].busy is current up to
+  /// channel_accrued_at_[c].
+  std::array<SimTime, static_cast<std::size_t>(kNumUhfChannels)>
+      channel_accrued_at_{};
 
   // Observability (all optional).  Per-frame-type counter handles are
   // pre-resolved: whitefi.medium.{tx,rx,drop}.<Type>.

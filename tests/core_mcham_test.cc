@@ -2,6 +2,10 @@
 // including the paper's two worked examples from Section 4.1.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+#include <random>
+
 #include "core/assignment.h"
 #include "core/mcham.h"
 
@@ -263,6 +267,70 @@ TEST(Assignment, BackupFallsBackToOverlapWhenNothingElseFree) {
   ASSERT_TRUE(backup.has_value());
   EXPECT_EQ(backup->width, ChannelWidth::kW5);
   EXPECT_TRUE(backup->Overlaps(main));  // Only overlapping space exists.
+}
+
+// ------------------------------------------------------------ mcham scan ---
+
+BandObservation RandomObservation(std::mt19937& rng) {
+  std::uniform_real_distribution<double> airtime(-0.1, 1.2);  // Pathological
+  std::uniform_int_distribution<int> aps(-1, 5);              // inputs too.
+  std::bernoulli_distribution incumbent(0.15);
+  BandObservation obs = EmptyBandObservation();
+  for (auto& o : obs) {
+    o.airtime = airtime(rng);
+    o.ap_count = aps(rng);
+    o.incumbent = incumbent(rng);
+  }
+  return obs;
+}
+
+std::uint64_t Bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+TEST(MChamScan, BitEqualToNaiveAcrossRandomObservations) {
+  // MChamScan's precomputed window products must reproduce the naive
+  // per-candidate walk EXACTLY (same association order), not just within
+  // tolerance: the assigner's argmax ties and the hysteresis comparison
+  // both hinge on exact values, so any ULP drift would change decisions.
+  std::mt19937 rng(20090817);
+  for (int trial = 0; trial < 50; ++trial) {
+    const BandObservation obs = RandomObservation(rng);
+    const MChamScan scan(obs);
+    for (int w = 0; w < kNumWidths; ++w) {
+      const auto width = static_cast<ChannelWidth>(w);
+      for (UhfIndex c = 0; c < kNumUhfChannels; ++c) {
+        const Channel channel{c, width};
+        if (!channel.IsValid()) continue;
+        EXPECT_EQ(Bits(scan.Evaluate(channel)), Bits(MCham(channel, obs)))
+            << "width " << w << " center " << c << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(MChamScan, InvalidChannelIsZero) {
+  const MChamScan scan(EmptyBandObservation());
+  EXPECT_EQ(scan.Evaluate(Channel{-1, ChannelWidth::kW5}), 0.0);
+  EXPECT_EQ(scan.Evaluate(Channel{0, ChannelWidth::kW20}), 0.0);
+}
+
+TEST(ApDecisionScan, BitEqualToApDecisionMetric) {
+  std::mt19937 rng(5309);
+  for (int clients = 0; clients <= 4; ++clients) {
+    const BandObservation ap_obs = RandomObservation(rng);
+    std::vector<BandObservation> client_obs;
+    for (int i = 0; i < clients; ++i) client_obs.push_back(RandomObservation(rng));
+    const ApDecisionScan scan(ap_obs, client_obs);
+    for (int w = 0; w < kNumWidths; ++w) {
+      const auto width = static_cast<ChannelWidth>(w);
+      for (UhfIndex c = 0; c < kNumUhfChannels; ++c) {
+        const Channel channel{c, width};
+        if (!channel.IsValid()) continue;
+        EXPECT_EQ(Bits(scan.Evaluate(channel)),
+                  Bits(ApDecisionMetric(channel, ap_obs, client_obs)))
+            << "clients " << clients << " width " << w << " center " << c;
+      }
+    }
+  }
 }
 
 TEST(Assignment, CombinedMapIsUnion) {

@@ -1,6 +1,11 @@
 // Unit tests for the discrete-event core and propagation model.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <vector>
+
 #include "sim/events.h"
 #include "sim/propagation.h"
 #include "sim/time.h"
@@ -122,6 +127,167 @@ TEST(Simulator, CancelledTombstonesDoNotCountAsProcessed) {
   sim.Cancel(a);
   sim.Run(10);
   EXPECT_EQ(sim.NumProcessed(), 1u);
+}
+
+TEST(Simulator, SimultaneousEventsAreFifoInRunUntilIdle) {
+  // The (time, seq) FIFO contract must hold in BOTH drain loops — scenario
+  // determinism rests on it.
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(50, [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, SimultaneousFifoSurvivesInterleavedCancels) {
+  // Cancelling some of a tick's events must not perturb the schedule order
+  // of the survivors (in-place cancellation must not reorder the bucket).
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 16; ++i) {
+    ids.push_back(sim.Schedule(50, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 1; i < 16; i += 2) {
+    EXPECT_TRUE(sim.Cancel(ids[static_cast<std::size_t>(i)]));
+  }
+  sim.RunUntilIdle();
+  std::vector<int> expected;
+  for (int i = 0; i < 16; i += 2) expected.push_back(i);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Simulator, FiresInTimeOrderAcrossWideHorizons) {
+  // Times straddling many wheel levels (same tick, adjacent ticks, 256-
+  // and 65536-tick window boundaries, and far-future timers), scheduled in
+  // shuffled order, must still fire in (time, seq) order.
+  const std::vector<SimTime> times = {
+      0,     1,       2,         255,       256,        257,      511,
+      512,   65535,   65536,     65537,     100000,     1 << 24,  (1 << 24) + 1,
+      1 << 30, SimTime{1} << 40, (SimTime{1} << 40) + 255};
+  std::vector<std::size_t> perm(times.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  std::mt19937 rng(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::shuffle(perm.begin(), perm.end(), rng);
+    Simulator sim;
+    std::vector<SimTime> fired;
+    for (const std::size_t i : perm) {
+      sim.Schedule(times[i], [&fired, &sim] { fired.push_back(sim.Now()); });
+    }
+    sim.RunUntilIdle();
+    std::vector<SimTime> expected = times;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(fired, expected);
+  }
+}
+
+TEST(Simulator, CancellingFiredIdsLeavesStateBounded) {
+  // Regression for the seed engine's unbounded tombstone set: cancelling
+  // ids that already fired must be a stateless miss, and repeated
+  // schedule/fire/cancel churn must not grow the arena beyond the peak
+  // number of simultaneously pending events.
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int round = 0; round < 200; ++round) {
+    ids.clear();
+    for (int i = 0; i < 64; ++i) {
+      ids.push_back(sim.ScheduleAfter(i % 7 + 1, [] {}));
+    }
+    sim.RunUntilIdle();
+    for (const EventId id : ids) EXPECT_FALSE(sim.Cancel(id));
+    EXPECT_EQ(sim.NumPending(), 0u);
+  }
+  // 64 concurrent events fit one 256-slot chunk; 12800 schedules and as
+  // many stale cancels must not have grown it.
+  EXPECT_EQ(sim.ArenaSlots(), 256u);
+}
+
+TEST(Simulator, RearmChurnReusesSlots) {
+  Simulator sim;
+  EventId timer = kInvalidEventId;
+  for (int i = 0; i < 5000; ++i) {
+    sim.Cancel(timer);
+    timer = sim.ScheduleAfter(10, [] {});
+  }
+  EXPECT_EQ(sim.NumPending(), 1u);
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.NumPending(), 0u);
+  EXPECT_EQ(sim.ArenaSlots(), 256u);  // One live timer, one chunk, forever.
+}
+
+TEST(Simulator, CallbackResourcesReleasedOnFireAndCancel) {
+  // Callbacks owning real resources (shared_ptr here; ASan watches the
+  // rest) must be destroyed exactly once whether they fire, are cancelled,
+  // or are cancelled mid-drain by an earlier same-tick event.
+  Simulator sim;
+  auto token = std::make_shared<int>(7);
+  // Larger than the inline buffer: exercises the heap fallback too.
+  struct Big {
+    std::shared_ptr<int> p;
+    char pad[160];
+  };
+
+  sim.Schedule(10, [t = token] { EXPECT_EQ(*t, 7); });
+  const EventId cancelled = sim.Schedule(20, [t = token] {});
+  sim.Schedule(30, [b = Big{token, {}}] { EXPECT_EQ(*b.p, 7); });
+  const EventId big_cancelled =
+      sim.Schedule(40, [b = Big{token, {}}] { ADD_FAILURE(); });
+  EXPECT_TRUE(sim.Cancel(cancelled));
+  EXPECT_TRUE(sim.Cancel(big_cancelled));
+  sim.RunUntilIdle();
+  EXPECT_EQ(token.use_count(), 1);  // Every capture destroyed.
+}
+
+TEST(Simulator, SameTickCancelDuringDrainIsSafe) {
+  // An event cancelling a later event of the SAME tick: the victim's
+  // callback (and its resources) must be destroyed during the drain, and
+  // must not fire.
+  Simulator sim;
+  auto token = std::make_shared<int>(1);
+  std::vector<int> order;
+  EventId victim = kInvalidEventId;
+  sim.Schedule(50, [&] {
+    order.push_back(0);
+    EXPECT_TRUE(sim.Cancel(victim));
+    EXPECT_EQ(token.use_count(), 1);  // Victim's capture already gone.
+  });
+  sim.Schedule(50, [&order] { order.push_back(1); });
+  victim = sim.Schedule(50, [&order, t = token] { order.push_back(2); });
+  sim.Schedule(50, [&order] { order.push_back(3); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(sim.NumPending(), 0u);
+}
+
+TEST(Simulator, FiredSlotReuseDoesNotAliasOldId) {
+  // A callback rescheduling into the slot it just vacated must get a fresh
+  // generation: cancelling the fired id must miss, not kill the new event.
+  Simulator sim;
+  int fired = 0;
+  EventId first = kInvalidEventId;
+  first = sim.Schedule(10, [&] { sim.ScheduleAfter(10, [&fired] { ++fired; }); });
+  sim.Run(15);
+  EXPECT_FALSE(sim.Cancel(first));  // Already fired; must not hit the new event.
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, NumPendingIsExactUnderCancellation) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) ids.push_back(sim.ScheduleAfter(i + 1, [] {}));
+  EXPECT_EQ(sim.NumPending(), 100u);
+  for (int i = 0; i < 100; i += 2) {
+    EXPECT_TRUE(sim.Cancel(ids[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_EQ(sim.NumPending(), 50u);  // Immediately, not lazily at pop.
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.NumPending(), 0u);
+  EXPECT_EQ(sim.NumProcessed(), 50u);
 }
 
 // ------------------------------------------------------------ propagation -

@@ -3,7 +3,14 @@
 // and half-duplex behavior.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <random>
+#include <utility>
+#include <vector>
+
 #include "sim/medium.h"
+#include "util/units.h"
 
 namespace whitefi {
 namespace {
@@ -270,6 +277,154 @@ TEST_F(MediumTest, FarAwayReceiverBelowSnrGetsNothing) {
   medium.Transmit(&tx, ch, DataFrame(1, 2), 16.0, 100, nullptr);
   sim_.Run(1000);
   EXPECT_TRUE(rx.delivered.empty());
+}
+
+// ------------------------------------------------- per-channel fast path ---
+
+/// One transmission of a randomized storm, as the test's ground truth.
+struct StormRecord {
+  SimTime start;
+  SimTime end;
+  Channel channel;
+  int node;
+  Dbm power;
+};
+
+/// Exhaustive-reference carrier sense: walk EVERY storm transmission
+/// active at `now`, applying the same physics as Medium::CarrierSensed.
+/// Pins the per-channel index against the full scan it replaced.
+bool ReferenceCarrierSense(const std::vector<StormRecord>& records,
+                           const std::vector<FakeRadio>& radios, SimTime now,
+                           const FakeRadio& listener, const Channel& channel,
+                           const MediumParams& params,
+                           const PropagationModel& prop) {
+  for (const StormRecord& r : records) {
+    if (!(r.start <= now && now < r.end)) continue;
+    if (!r.channel.Overlaps(channel)) continue;
+    if (r.node == listener.NodeId()) continue;
+    const Dbm p =
+        prop.ReceivedPower(r.power, radios[static_cast<std::size_t>(r.node)]
+                                        .Location(),
+                           listener.Location());
+    if (r.channel == channel) {
+      if (p >= params.same_channel_cs_dbm) return true;
+    } else {
+      const Dbm in_band = p + LinearToDb(InBandPowerFraction(r.channel, channel));
+      if (in_band >= params.energy_detect_cs_dbm) return true;
+    }
+  }
+  return false;
+}
+
+TEST_F(MediumTest, RandomStormBooksMatchIntervalUnion) {
+  // Randomized dense-overlap storm: the per-channel transmission index and
+  // lazy per-channel accrual must produce airtime books EXACTLY equal (the
+  // sums involve only integer-valued doubles) to the interval unions the
+  // test computes from first principles.
+  std::vector<FakeRadio> radios;
+  radios.reserve(static_cast<std::size_t>(kNumUhfChannels));
+  for (UhfIndex c = 0; c < kNumUhfChannels; ++c) {
+    radios.emplace_back(c, Position{40.0 * c, 0.0},
+                        Channel{c, ChannelWidth::kW5});
+  }
+  for (FakeRadio& r : radios) medium_.Register(&r);
+
+  std::mt19937 rng(98107);
+  std::vector<StormRecord> records;
+  for (int i = 0; i < 300; ++i) {
+    StormRecord rec;
+    // Even starts and durations keep probe times (odd) strictly between
+    // transition events.
+    rec.start = static_cast<SimTime>(rng() % 10000) * 2;
+    rec.end = rec.start + 2 * (1 + static_cast<SimTime>(rng() % 200));
+    const auto width = static_cast<ChannelWidth>(rng() % 3);
+    const int half = SpanChannels(width) / 2;
+    rec.node = half + static_cast<int>(rng() % (kNumUhfChannels - 2 * half));
+    rec.channel = Channel{rec.node, width};
+    ASSERT_TRUE(rec.channel.IsValid());
+    rec.power = 16.0;
+    records.push_back(rec);
+  }
+  for (const StormRecord& rec : records) {
+    sim_.Schedule(rec.start, [this, &radios, rec] {
+      medium_.Transmit(&radios[static_cast<std::size_t>(rec.node)], rec.channel,
+                       DataFrame(rec.node, -1), rec.power, rec.end - rec.start,
+                       nullptr);
+    });
+  }
+
+  // Probes at odd times: carrier sense and Transmitting() must match the
+  // exhaustive reference scan, mid-flight.
+  int probes_sensed = 0;
+  for (SimTime t = 1001; t < 20000; t += 2000) {
+    sim_.Schedule(t, [this, &radios, &records, t, &probes_sensed] {
+      for (UhfIndex c = 0; c < kNumUhfChannels; c += 5) {
+        const FakeRadio& listener = radios[static_cast<std::size_t>(c)];
+        for (const Channel probe :
+             {Channel{c, ChannelWidth::kW5},
+              Channel{std::clamp(c, 2, kNumUhfChannels - 3),
+                      ChannelWidth::kW20}}) {
+          const bool sensed = medium_.CarrierSensed(listener, probe);
+          EXPECT_EQ(sensed,
+                    ReferenceCarrierSense(records, radios, t, listener, probe,
+                                          medium_.params(),
+                                          medium_.propagation()))
+              << "t=" << t << " listener=" << c;
+          probes_sensed += sensed ? 1 : 0;
+        }
+        bool ref_transmitting = false;
+        for (const StormRecord& r : records) {
+          ref_transmitting |=
+              r.node == c && r.start <= t && t < r.end;
+        }
+        EXPECT_EQ(medium_.Transmitting(listener), ref_transmitting);
+      }
+    });
+  }
+
+  // Mid-stream snapshot (forces lazy accrual at an arbitrary boundary).
+  AirtimeBooks mid{};
+  sim_.Schedule(10001, [this, &mid] { mid = medium_.SnapshotBooks(); });
+  sim_.RunUntilIdle();
+  const AirtimeBooks books = medium_.SnapshotBooks();
+
+  EXPECT_GT(probes_sensed, 0);  // The storm is dense; probes must hit.
+  for (UhfIndex c = 0; c < kNumUhfChannels; ++c) {
+    // Interval union over transmissions spanning channel c.
+    std::vector<std::pair<SimTime, SimTime>> spans;
+    double per_node_total = 0.0;
+    std::map<int, double> per_node;
+    for (const StormRecord& r : records) {
+      if (r.channel.Low() <= c && c <= r.channel.High()) {
+        spans.emplace_back(r.start, r.end);
+        per_node[r.node] += ToUs(r.end - r.start);
+        per_node_total += ToUs(r.end - r.start);
+      }
+    }
+    std::sort(spans.begin(), spans.end());
+    SimTime busy = 0;
+    SimTime mid_busy = 0;
+    SimTime covered_until = 0;
+    for (const auto& [start, end] : spans) {
+      const SimTime from = std::max(start, covered_until);
+      if (end > from) {
+        busy += end - from;
+        mid_busy += std::max<SimTime>(0, std::min<SimTime>(end, 10001) - from);
+        covered_until = end;
+      }
+    }
+    const auto ci = static_cast<std::size_t>(c);
+    EXPECT_EQ(books[ci].busy, ToUs(busy)) << "channel " << c;
+    EXPECT_EQ(mid[ci].busy, ToUs(mid_busy)) << "channel " << c;
+    double node_sum = 0.0;
+    for (const auto& [node, total] : per_node) {
+      const auto it = books[ci].per_node.find(node);
+      ASSERT_NE(it, books[ci].per_node.end());
+      EXPECT_EQ(it->second, total) << "channel " << c << " node " << node;
+      node_sum += total;
+    }
+    EXPECT_EQ(node_sum, per_node_total);
+  }
 }
 
 }  // namespace
