@@ -34,7 +34,7 @@ ScenarioConfig MakeConfig(int pairs, std::uint64_t seed) {
   ap.first_assignment_delay = 1 * kTicksPerSec;
   ap.scanner.dwell = 100 * kTicksPerMs;
   config.ap_params = ap;
-  Rng rng(seed * 77 + 5);
+  Rng rng(DeriveSeed(seed, "fig11.background"));
   const auto free = config.base_map.FreeIndices();
   for (int i = 0; i < pairs; ++i) {
     BackgroundSpec spec;

@@ -35,7 +35,7 @@ ScenarioConfig MakeConfig(double flip_p, std::uint64_t seed) {
   ap.first_assignment_delay = 1 * kTicksPerSec;
   ap.scanner.dwell = 100 * kTicksPerMs;
   config.ap_params = ap;
-  Rng rng(seed * 131 + 7);
+  Rng rng(DeriveSeed(seed, "fig12.background"));
   for (UhfIndex c : config.base_map.FreeIndices()) {
     BackgroundSpec spec;
     spec.channel = c;

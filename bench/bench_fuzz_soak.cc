@@ -1,0 +1,154 @@
+// Seed-fuzz soak: randomized scenarios under the invariant auditor.
+//
+// Each trial generates a scenario (maps, clients, background pairs, mic
+// schedules, protocol hardenings, fault plans) from a named substream of
+// the root seed and runs it with every cross-layer invariant armed:
+// incumbent safety, chirp liveness, view convergence, medium book
+// conservation, clock monotonicity, MAC timing.  A clean soak exits 0.
+//
+// On a violation the soak fails CLOSED with an artifact, not a log line:
+// the lowest-index violating trial's scenario text plus its first
+// violation become a repro bundle (minimized by default), written to
+// --out, and `scenario_cli --replay <bundle>` reproduces the identical
+// violation byte-for-byte.
+//
+// Flags:
+//   --seeds N              trials to run (default 20)
+//   --jobs N               parallel trials; byte-identical to --jobs 1
+//   --root-seed S          substream root (default 1)
+//   --safety-budget-ms M   override the incumbent-safety budget — a
+//                          deliberately weakened budget (e.g. 1) is the
+//                          self-test that the pipeline detects, bundles,
+//                          and replays a violation
+//   --out PATH             bundle path (default fuzz_repro.bundle)
+//   --no-minimize          write the raw failing bundle unminimized
+//
+// Exit status: 0 all trials clean, 1 violation found (bundle written),
+// 2 bad flags.
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fuzz.h"
+#include "util/parallel.h"
+
+namespace whitefi::bench {
+namespace {
+
+struct TrialOutcome {
+  std::string scenario;       ///< Generated text (kept only on failure).
+  std::uint64_t violations = 0;
+  Violation first;            ///< Valid iff violations > 0.
+  double mbps = 0.0;
+  std::uint64_t faults = 0;
+};
+
+int Main(int argc, char** argv) {
+  int seeds = 20;
+  int jobs = 1;
+  std::uint64_t root_seed = 1;
+  long long safety_budget_ms = 0;
+  std::string out_path = "fuzz_repro.bundle";
+  bool minimize = true;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument(flag + " needs a value");
+        }
+        return argv[++i];
+      };
+      if (flag == "--seeds") seeds = std::stoi(next());
+      else if (flag == "--jobs") jobs = ParseJobs(next());
+      else if (flag == "--root-seed") root_seed = std::stoull(next());
+      else if (flag == "--safety-budget-ms") {
+        safety_budget_ms = std::stoll(next());
+      } else if (flag == "--out") out_path = next();
+      else if (flag == "--no-minimize") minimize = false;
+      else {
+        std::cerr << "usage: bench_fuzz_soak [--seeds N] [--jobs N] "
+                     "[--root-seed S] [--safety-budget-ms M] [--out PATH] "
+                     "[--no-minimize]\n";
+        return 2;
+      }
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 2;
+  }
+
+  FuzzOptions options;
+  options.root_seed = root_seed;
+  options.safety_budget_ms = safety_budget_ms;
+
+  std::cout << "Fuzz soak: " << seeds << " randomized scenarios under the "
+            << "invariant auditor (root seed " << root_seed;
+  if (safety_budget_ms > 0) {
+    std::cout << ", safety budget " << safety_budget_ms << " ms";
+  }
+  std::cout << ")\n";
+
+  // Scenario text is generated inside each trial but depends only on
+  // (root seed, index) — never on scheduling — so any --jobs N collects
+  // the same outcomes in the same index order.
+  const std::vector<TrialOutcome> outcomes = ParallelMap(
+      jobs, static_cast<std::size_t>(seeds), [&](std::size_t t) {
+        TrialOutcome outcome;
+        const std::string scenario =
+            GenerateFuzzScenario(options, static_cast<std::uint64_t>(t));
+        const AuditedRun run = RunAuditedScenarioText(scenario);
+        outcome.violations = run.violation_count;
+        if (!run.violations.empty()) {
+          outcome.first = run.violations.front();
+          outcome.scenario = scenario;
+        }
+        outcome.mbps = run.result.aggregate_mbps;
+        outcome.faults = run.result.faults_injected;
+        return outcome;
+      });
+
+  std::uint64_t total_faults = 0;
+  double total_mbps = 0.0;
+  int failing = -1;
+  for (int t = 0; t < seeds; ++t) {
+    const TrialOutcome& outcome = outcomes[static_cast<std::size_t>(t)];
+    total_faults += outcome.faults;
+    total_mbps += outcome.mbps;
+    if (outcome.violations > 0 && failing < 0) failing = t;
+  }
+  std::cout << "ran " << seeds << " trials, " << total_faults
+            << " faults injected, mean "
+            << (seeds > 0 ? total_mbps / seeds : 0.0)
+            << " Mbps aggregate\n";
+
+  if (failing < 0) {
+    std::cout << "all invariants held\n";
+    return 0;
+  }
+
+  const TrialOutcome& bad = outcomes[static_cast<std::size_t>(failing)];
+  std::cout << "VIOLATION in trial " << failing << " (" << bad.violations
+            << " total): " << bad.first.ToString() << "\n";
+  std::string bundle = MakeReproBundle(bad.scenario, bad.first);
+  if (minimize) {
+    int steps = 0;
+    bundle = MinimizeBundle(bundle, &steps);
+    std::cout << "minimizer accepted " << steps << " reductions\n";
+  }
+  std::ofstream os(out_path);
+  os << bundle;
+  os.close();
+  std::cout << "repro bundle: " << out_path << "\n"
+            << "replay with: scenario_cli --replay " << out_path << "\n";
+  return 1;
+}
+
+}  // namespace
+}  // namespace whitefi::bench
+
+int main(int argc, char** argv) {
+  return whitefi::bench::Main(argc, argv);
+}

@@ -8,6 +8,7 @@
 #include <array>
 #include <vector>
 
+#include "audit/audit.h"
 #include "core/assignment.h"
 #include "core/discovery.h"
 #include "sim/traffic.h"
@@ -167,6 +168,33 @@ void BM_SaturatedCellSimSecond(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SaturatedCellSimSecond);
+
+/// The same saturated second with the invariant auditor attached: every
+/// transmit feeds the interval-union reference and the periodic sweep
+/// cross-checks the medium books.  The acceptance bar is <10% overhead
+/// over BM_SaturatedCellSimSecond — the auditor must stay cheap enough to
+/// leave on in every soak.
+void BM_SaturatedCellSimSecondAudited(benchmark::State& state) {
+  for (auto _ : state) {
+    InvariantAuditor auditor;
+    WorldConfig world_config;
+    world_config.obs.auditor = &auditor;
+    World world(world_config);
+    auditor.Attach(world);
+    DeviceConfig config;
+    config.initial_channel = Channel{10, ChannelWidth::kW20};
+    config.position = {0, 0};
+    Device& a = world.Create<Device>(config);
+    config.position = {50, 0};
+    Device& b = world.Create<Device>(config);
+    SaturatedSource source(a, b.NodeId(), 1000);
+    source.Start();
+    world.RunFor(1.0);
+    benchmark::DoNotOptimize(world.AppBytes(b.NodeId()));
+    benchmark::DoNotOptimize(auditor.violation_count());
+  }
+}
+BENCHMARK(BM_SaturatedCellSimSecondAudited);
 
 /// Fig13-style mixed load: one saturated 20 MHz cell plus Markov on/off
 /// CBR background pairs spread over the band — the event/medium mix

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "util/parallel.h"
+#include "util/rng.h"
 
 namespace whitefi::bench {
 namespace {
@@ -15,7 +16,7 @@ constexpr int kWhiteFiSsid = 1;
 /// StaticCandidates: index 0 is the AP, 1..N the clients.
 std::vector<SpectrumMap> NodeMaps(const ScenarioConfig& config) {
   std::vector<SpectrumMap> maps;
-  Rng rng(config.seed ^ 0x9E3779B97F4A7C15ULL);
+  Rng rng(DeriveSeed(config.seed, "scenario.maps"));
   for (int i = 0; i <= config.num_clients; ++i) {
     maps.push_back(config.client_map_flip_p > 0.0
                        ? config.base_map.RandomlyFlipped(
@@ -33,6 +34,11 @@ SpectrumMap UnionOfMaps(const std::vector<SpectrumMap>& maps) {
 
 }  // namespace
 
+std::uint64_t ScenarioFaultSeed(const ScenarioConfig& config) {
+  return config.fault_seed != 0 ? config.fault_seed
+                                : DeriveSeed(config.seed, "scenario.faults");
+}
+
 std::vector<Channel> StaticCandidates(const ScenarioConfig& config,
                                       ChannelWidth w) {
   const SpectrumMap everywhere_free = UnionOfMaps(NodeMaps(config));
@@ -47,18 +53,21 @@ RunResult RunScenario(const ScenarioConfig& config) {
   WorldConfig world_config;
   world_config.seed = config.seed;
   world_config.obs = config.obs;
+  // The auditor rides the Observability bundle and must be in place
+  // before the World exists: the medium captures the bundle in the World
+  // constructor.
+  world_config.obs.auditor = config.auditor;
   // The injector (when any fault is configured) is declared before the
   // World so it outlives every device, and is seeded from its own stream:
   // enabling faults must not shift the World's RNG fork sequence.
   std::unique_ptr<FaultInjector> injector;
   if (!config.faults.Empty()) {
-    const std::uint64_t fault_seed =
-        config.fault_seed != 0 ? config.fault_seed
-                               : config.seed ^ 0xFA17FA17FA17FA17ULL;
-    injector = std::make_unique<FaultInjector>(config.faults, fault_seed);
+    injector =
+        std::make_unique<FaultInjector>(config.faults, ScenarioFaultSeed(config));
     world_config.faults = injector.get();
   }
   World world(world_config);
+  if (config.auditor != nullptr) config.auditor->Attach(world);
   Rng rng = world.NewRng();
 
   const std::vector<SpectrumMap> maps = NodeMaps(config);
@@ -93,6 +102,7 @@ RunResult RunScenario(const ScenarioConfig& config) {
   ap_device.ssid = kWhiteFiSsid;
   ap_device.tv_map = maps[0];
   ApNode& ap = world.Create<ApNode>(ap_device, ap_params, initial, backup);
+  if (config.auditor != nullptr) config.auditor->RegisterAp(ap.NodeId());
 
   std::vector<ClientNode*> clients;
   std::vector<int> client_ids;
@@ -110,6 +120,9 @@ RunResult RunScenario(const ScenarioConfig& config) {
     clients.push_back(&world.Create<ClientNode>(device, params, initial,
                                                 backup, ap.NodeId()));
     client_ids.push_back(clients.back()->NodeId());
+    if (config.auditor != nullptr) {
+      config.auditor->RegisterClient(clients.back()->NodeId(), params);
+    }
   }
 
   // Backlogged flows both ways.

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/audit.h"
 #include "core/ap.h"
 #include "core/client.h"
 #include "fault/fault.h"
@@ -62,9 +63,20 @@ struct ScenarioConfig {
   FaultPlan faults;
   /// Seed for the injector's own random stream.  Deliberately separate
   /// from `seed`: the injector must never perturb the simulation's fork
-  /// sequence.  0 = derive from `seed`.
+  /// sequence.  0 = derive from `seed` via the named "scenario.faults"
+  /// substream (see DeriveSeed in util/rng.h).
   std::uint64_t fault_seed = 0;
+  /// Optional runtime invariant auditor (non-owning; must outlive the
+  /// run).  RunScenario threads it through the Observability bundle,
+  /// attaches it to the world, and registers the AP and every client.
+  /// Null — the default — costs nothing and keeps the run byte-identical.
+  InvariantAuditor* auditor = nullptr;
 };
+
+/// The seed the fault injector will actually run with: `fault_seed` when
+/// pinned, otherwise the named substream derived from `seed`.  Exposed so
+/// tests can assert the substream discipline (never the raw root seed).
+std::uint64_t ScenarioFaultSeed(const ScenarioConfig& config);
 
 /// Result of one run.
 struct RunResult {

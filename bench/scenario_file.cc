@@ -15,7 +15,7 @@ ScenarioConfig LoadScenario(const ConfigFile& config) {
 
   // Map.
   const std::string map_name = config.Get("map.name", "campus");
-  Rng map_rng(scenario.seed * 131 + 17);
+  Rng map_rng(DeriveSeed(scenario.seed, "scenario_file.map"));
   if (map_name == "campus") {
     scenario.base_map = CampusSimulationMap();
   } else if (map_name == "building5") {
@@ -59,7 +59,7 @@ ScenarioConfig LoadScenario(const ConfigFile& config) {
       config.GetInt("background.ipd_ms", 30) * kTicksPerMs;
   const int payload =
       static_cast<int>(config.GetInt("background.payload", 1000));
-  Rng bg_rng(scenario.seed * 977 + 3);
+  Rng bg_rng(DeriveSeed(scenario.seed, "scenario_file.background"));
   const auto free = scenario.base_map.FreeIndices();
   if (pairs > 0 && free.empty()) {
     throw std::runtime_error("background pairs requested but no free channels");

@@ -10,6 +10,19 @@
 //                [--trace-json FILE] [--trace-jsonl FILE] [--profile]
 //   scenario_cli --config FILE.conf   (QualNet-style scenario file; see
 //                                      examples/configs/)
+//   scenario_cli --config FILE.conf --audit [--audit-budget-ms M]
+//                                     (run under the invariant auditor)
+//   scenario_cli --replay BUNDLE      (re-run a fuzz repro bundle and check
+//                                      the violation reproduces exactly)
+//   scenario_cli --replay BUNDLE --minimize OUT
+//                                     (shrink the bundle first, write the
+//                                      minimized bundle to OUT, replay that)
+//
+// Exit codes: 0 success (for --replay: the violation reproduced exactly;
+// for --audit: no invariant violated), 1 runtime failure / violation found
+// / replay divergence, 2 configuration error (bad flags, malformed or
+// unknown-key scenario file under --strict).  Scripts rely on the 1-vs-2
+// distinction to tell a broken scenario file from a simulation that failed.
 //
 // Observability flags (work in both modes):
 //   --metrics           print the metrics snapshot (counters + histograms)
@@ -27,9 +40,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <string>
 
 #include "core/whitefi.h"
+#include "fuzz.h"
 #include "scenario_file.h"
 
 using namespace whitefi;
@@ -52,6 +67,12 @@ struct Options {
   /// Config-file mode: unknown keys (typos) reject the file instead of
   /// only printing a warning.
   bool strict = false;
+  /// Config-file mode: run under the invariant auditor.
+  bool audit = false;
+  /// Incumbent-safety budget override in ms (0 = auditor default).
+  long long audit_budget_ms = 0;
+  std::string replay_bundle;  ///< Non-empty: replay mode.
+  std::string minimize_out;   ///< Replay mode: minimize first, write here.
 
   // Observability outputs.
   bool metrics = false;
@@ -165,19 +186,58 @@ bool ParseOptions(int argc, char** argv, Options& options) {
       if (i + 1 >= argc) throw std::invalid_argument(flag + " needs a value");
       return argv[++i];
     };
-    if (flag == "--seed") options.seed = std::stoull(next());
-    else if (flag == "--clients") options.clients = std::stoi(next());
-    else if (flag == "--background") options.background = std::stoi(next());
-    else if (flag == "--ipd") options.ipd_ms = std::stoi(next());
-    else if (flag == "--mic") options.mic_tv = std::stoi(next());
-    else if (flag == "--mic-at") options.mic_at = std::stod(next());
-    else if (flag == "--static") options.static_width = std::stoi(next());
+    // stoll/stod raise bare "stoll"-style messages, and out-of-range
+    // values raise std::out_of_range, which the top-level handler would
+    // misfile as a runtime error (exit 1).  Rewrap both so every bad flag
+    // value is a configuration error naming the flag, and reject trailing
+    // garbage ("3x") that the bare conversions silently accept.
+    auto as_ll = [&]() -> long long {
+      const std::string value = next();
+      try {
+        std::size_t used = 0;
+        const long long parsed = std::stoll(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        return parsed;
+      } catch (const std::exception&) {
+        throw std::invalid_argument(flag + ": expected a number, got '" +
+                                    value + "'");
+      }
+    };
+    auto as_d = [&]() -> double {
+      const std::string value = next();
+      try {
+        std::size_t used = 0;
+        const double parsed = std::stod(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        return parsed;
+      } catch (const std::exception&) {
+        throw std::invalid_argument(flag + ": expected a number, got '" +
+                                    value + "'");
+      }
+    };
+    if (flag == "--seed") {
+      options.seed = static_cast<std::uint64_t>(as_ll());
+    }
+    else if (flag == "--clients") options.clients = static_cast<int>(as_ll());
+    else if (flag == "--background") {
+      options.background = static_cast<int>(as_ll());
+    }
+    else if (flag == "--ipd") options.ipd_ms = static_cast<int>(as_ll());
+    else if (flag == "--mic") options.mic_tv = static_cast<int>(as_ll());
+    else if (flag == "--mic-at") options.mic_at = as_d();
+    else if (flag == "--static") {
+      options.static_width = static_cast<int>(as_ll());
+    }
     else if (flag == "--map") options.map_name = next();
-    else if (flag == "--seconds") options.seconds = std::stod(next());
+    else if (flag == "--seconds") options.seconds = as_d();
     else if (flag == "--verbose") options.verbose = true;
     else if (flag == "--trace") options.trace = true;
     else if (flag == "--config") options.config_file = next();
     else if (flag == "--strict") options.strict = true;
+    else if (flag == "--audit") options.audit = true;
+    else if (flag == "--audit-budget-ms") options.audit_budget_ms = as_ll();
+    else if (flag == "--replay") options.replay_bundle = next();
+    else if (flag == "--minimize") options.minimize_out = next();
     else if (flag == "--metrics") options.metrics = true;
     else if (flag == "--metrics-csv") options.metrics_csv = next();
     else if (flag == "--metrics-json") options.metrics_json = next();
@@ -194,6 +254,14 @@ int RunFromConfigFile(const Options& options) {
   if (options.verbose) SetLogLevel(LogLevel::kInfo);
   const ConfigFile config = ConfigFile::Load(options.config_file);
   bench::ScenarioConfig scenario = bench::LoadScenario(config);
+  // The auditor knobs are part of the scenario vocabulary whether or not
+  // --audit is on (a repro bundle run under plain --config must not warn
+  // about its own audit.* keys).
+  AuditConfig audit_config = bench::LoadAuditConfig(config);
+  if (options.audit_budget_ms > 0) {
+    audit_config.safety_budget = options.audit_budget_ms * kTicksPerMs;
+  }
+  (void)bench::BundleExpectation(config);  // expect.* is vocabulary too.
   // Surface keys no loader consumed: silently-ignored typos waste whole
   // experiment runs.  A warning by default; fatal under --strict.
   const std::vector<std::string> unknown = bench::UnknownScenarioKeys(config);
@@ -214,6 +282,8 @@ int RunFromConfigFile(const Options& options) {
             << " background pairs, " << scenario.mics.size() << " mic(s)\n";
   ObsSession obs(options);
   if (obs.Wanted()) scenario.obs = obs.Sinks();
+  InvariantAuditor auditor(audit_config);
+  if (options.audit) scenario.auditor = &auditor;
   const bench::RunResult result = bench::RunScenario(scenario);
   std::cout << "per-client throughput: "
             << FormatDouble(result.per_client_mbps, 2) << " Mbps\n"
@@ -230,7 +300,43 @@ int RunFromConfigFile(const Options& options) {
   if (obs.Wanted()) {
     obs.WriteOutputs(scenario.warmup_s + scenario.measure_s);
   }
+  if (options.audit) {
+    if (auditor.ok()) {
+      std::cout << "audit: all invariants held (safety budget "
+                << auditor.safety_budget() / kTicksPerMs << " ms)\n";
+    } else {
+      std::cout << "audit: " << auditor.violation_count()
+                << " violation(s); first: "
+                << auditor.first_violation()->ToString() << "\n";
+      return 1;
+    }
+  }
   return 0;
+}
+
+/// --replay: re-run a repro bundle and verify the recorded violation
+/// reproduces field-for-field.  With --minimize, shrink the bundle first
+/// and replay the minimized version.
+int RunReplay(const Options& options) {
+  if (options.verbose) SetLogLevel(LogLevel::kInfo);
+  std::ifstream in(options.replay_bundle);
+  if (!in.good()) {
+    throw ConfigError("cannot read bundle", options.replay_bundle, 0);
+  }
+  std::string bundle((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  if (!options.minimize_out.empty()) {
+    int steps = 0;
+    bundle = bench::MinimizeBundle(bundle, &steps);
+    std::ofstream out(options.minimize_out);
+    out << bundle;
+    std::cout << "minimized bundle (" << steps << " reductions accepted) -> "
+              << options.minimize_out << "\n";
+  }
+  const bench::ReplayOutcome outcome = bench::ReplayBundleText(bundle);
+  std::cout << "replay " << options.replay_bundle << ": " << outcome.message
+            << "\n";
+  return outcome.reproduced ? 0 : 1;
 }
 
 }  // namespace
@@ -251,9 +357,14 @@ int main(int argc, char** argv) {
                    "[--verbose] [--metrics] [--metrics-csv FILE] "
                    "[--metrics-json FILE] [--trace-json FILE] "
                    "[--trace-jsonl FILE] [--profile] [--config FILE] "
-                   "[--strict]\n";
+                   "[--strict] [--audit] [--audit-budget-ms M] "
+                   "[--replay BUNDLE [--minimize OUT]]\n"
+                   "exit codes: 0 success / reproduced / invariants held, "
+                   "1 runtime failure / violation / divergence, "
+                   "2 configuration error\n";
       return 0;
     }
+    if (!options.replay_bundle.empty()) return RunReplay(options);
     if (!options.config_file.empty()) return RunFromConfigFile(options);
   } catch (const ConfigError& e) {
     // Carries file and line, e.g. "scenario.conf line 12: unknown key".
@@ -269,7 +380,7 @@ int main(int argc, char** argv) {
   }
   if (options.verbose) SetLogLevel(LogLevel::kInfo);
 
-  Rng map_rng(options.seed * 31 + 7);
+  Rng map_rng(DeriveSeed(options.seed, "cli.map"));
   const SpectrumMap map = ResolveMap(options.map_name, map_rng);
   std::cout << "map " << options.map_name << ": " << map.ToString() << " ("
             << map.NumFree() << " free)\n";

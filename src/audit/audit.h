@@ -1,0 +1,181 @@
+// InvariantAuditor — runtime cross-layer invariant checking.
+//
+// WhiteFi's promise is *safe* Wi-Fi-like operation: never transmit over an
+// active incumbent beyond the detection+vacation budget, and always chirp
+// back to a connected state after a vacation (paper §4.3, §5.3).  The
+// auditor enforces that promise — plus engine-level sanity — while a
+// scenario runs, by listening on the AuditHooks seams (sim/audit_hooks.h)
+// threaded through the Observability bundle:
+//
+//   incumbent-safety   No audited node's transmission overlaps an active
+//                      audible mic for longer than the safety budget
+//                      (detect latency + vacation slack), measured from
+//                      the later of mic-on and the node's arrival on the
+//                      channel.  Exactly AT the budget passes; one tick
+//                      past it trips.
+//   chirp-liveness     A disconnected audited client keeps chirping: the
+//                      gap since its last chirp (or the disconnect) never
+//                      exceeds the chirp/backoff bound derived from its
+//                      ClientParams.
+//   convergence        A *connected* audited client's tuned channel
+//                      matches its AP's within the convergence budget
+//                      after every switch.
+//   book-conservation  The medium's per-channel union busy books equal an
+//                      independently maintained interval-union reference
+//                      (exact, in integer microsecond ticks).
+//   monotonicity       Hook timestamps and the simulator clock never run
+//                      backwards.
+//   mac-timing         Every MAC timing update is internally consistent
+//                      (DIFS = SIFS + 2 slots) and matches the width the
+//                      radio is actually tuned to.
+//
+// The auditor is OFF by default (a null Observability::auditor pointer);
+// attaching one adds only its own sweep events, which read but never
+// mutate simulation state, so an auditor-free run is byte-identical to a
+// run predating the subsystem.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/client.h"
+#include "sim/audit_hooks.h"
+#include "sim/world.h"
+
+namespace whitefi {
+
+/// Auditor tuning.  Durations are simulated-time ticks (microseconds).
+struct AuditConfig {
+  /// Incumbent-safety budget: how long an audited node may keep
+  /// transmitting over an audible active mic.  0 = derive at Attach() as
+  /// the world's incumbent_detect_latency + safety_vacate_slack.
+  SimTime safety_budget = 0;
+  /// Vacation slack added to the detect latency when deriving the budget:
+  /// time for the detecting node to abort its MAC and retune.  The default
+  /// covers the AP's legitimate worst case — detection while an announce
+  /// is pending defers the vacate by a 200 ms re-check (core/ap.cc), which
+  /// can chain once more under churn — with margin; a vacation that never
+  /// happens still blows through it within a second.
+  SimTime safety_vacate_slack = 500 * kTicksPerMs;
+  /// Chirp-liveness slack added to the per-client chirp/backoff bound.
+  SimTime liveness_slack = 100 * kTicksPerMs;
+  /// AP/client channel-view convergence budget.  0 = derive per client as
+  /// contact_timeout + 2 * contact_check_interval + 1 s.
+  SimTime convergence_budget = 0;
+  /// Periodic sweep interval (liveness / convergence / books checks).
+  SimTime sweep_interval = 250 * kTicksPerMs;
+  /// Verify medium book conservation during sweeps.
+  bool check_books = true;
+  /// Halt the simulator on the first violation (the repro itself is
+  /// post-run either way; stopping just shortens doomed runs).
+  bool stop_on_violation = false;
+  /// Violations retained verbatim (the count is always exact).
+  std::size_t max_recorded = 64;
+};
+
+/// One invariant violation.
+struct Violation {
+  SimTime at = 0;          ///< Simulated time the check tripped.
+  std::string invariant;   ///< "incumbent-safety", "chirp-liveness", ...
+  int node = -1;           ///< Offending node id (-1: the world/engine).
+  int channel = -1;        ///< UHF channel index involved (-1: none).
+  std::string detail;      ///< Human-readable context.
+
+  std::string ToString() const;
+};
+
+/// The runtime auditor.  Attach to a World through the Observability
+/// bundle BEFORE constructing the World (the medium captures the bundle in
+/// the World constructor), then call Attach() and register the WhiteFi
+/// nodes to audit.  Unregistered nodes (background traffic) are exempt
+/// from the protocol invariants but still feed the engine-sanity checks.
+class InvariantAuditor : public AuditHooks {
+ public:
+  explicit InvariantAuditor(const AuditConfig& config = {});
+
+  /// Binds the auditor to a world: resolves the safety budget and starts
+  /// the periodic sweep.  Call once, after World construction and before
+  /// the run.  The auditor must outlive the world's run.
+  void Attach(World& world);
+
+  /// Marks `node` as the audited WhiteFi AP (convergence reference).
+  void RegisterAp(int node);
+
+  /// Marks `node` as an audited WhiteFi client; the chirp-liveness and
+  /// convergence bounds derive from its params.
+  void RegisterClient(int node, const ClientParams& params);
+
+  /// Resolved incumbent-safety budget (valid after Attach).
+  SimTime safety_budget() const { return safety_budget_; }
+
+  /// All retained violations, in detection order (capped at
+  /// config.max_recorded; `violation_count()` is exact regardless).
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::uint64_t violation_count() const { return violation_count_; }
+  bool ok() const { return violation_count_ == 0; }
+
+  /// The first violation, or nullptr when clean.
+  const Violation* first_violation() const {
+    return violations_.empty() ? nullptr : &violations_.front();
+  }
+
+  // -- AuditHooks ---------------------------------------------------------
+  void OnTransmitStart(SimTime now, const RadioPort& tx,
+                       const Channel& channel, SimTime duration) override;
+  void OnMacTiming(const RadioPort& radio, const PhyTiming& timing) override;
+  void OnNodeTuned(SimTime now, int node, const Channel& channel) override;
+  void OnClientDisconnected(SimTime now, int node) override;
+  void OnClientReconnected(SimTime now, int node) override;
+  void OnChirp(SimTime now, int node) override;
+
+ private:
+  /// Running interval union of transmissions per UHF channel.  Starts
+  /// arrive in nondecreasing time order (sim time is monotone), so the
+  /// union is a closed prefix plus one open segment — O(1) per transmit.
+  struct ChannelUnion {
+    SimTime closed = 0;     ///< Ticks of busy time before the open segment.
+    SimTime seg_start = 0;
+    SimTime seg_end = 0;
+    bool open = false;
+
+    void Add(SimTime start, SimTime end);
+    SimTime BusyAt(SimTime now) const;
+  };
+
+  struct ClientState {
+    bool connected = true;
+    SimTime disconnected_at = 0;
+    SimTime last_chirp = 0;
+    SimTime chirp_bound = 0;        ///< Max legal gap between chirps.
+    SimTime convergence_budget = 0;
+    SimTime mismatch_since = -1;    ///< -1: views currently agree.
+  };
+
+  void Report(SimTime at, const char* invariant, int node, int channel,
+              std::string detail);
+  void CheckMonotonic(SimTime now, const char* where);
+  void Sweep();
+  void CheckLiveness(SimTime now);
+  void CheckConvergence(SimTime now);
+  void CheckBooks(SimTime now);
+
+  AuditConfig config_;
+  World* world_ = nullptr;
+  SimTime safety_budget_ = 0;
+  SimTime last_hook_time_ = 0;
+
+  int ap_node_ = -1;
+  std::map<int, ClientState> clients_;
+  std::map<int, Channel> tuned_;       ///< Last OnNodeTuned per node.
+  std::map<int, SimTime> tuned_at_;    ///< When that tune happened.
+
+  std::array<ChannelUnion, static_cast<std::size_t>(kNumUhfChannels)> unions_;
+
+  std::vector<Violation> violations_;
+  std::uint64_t violation_count_ = 0;
+};
+
+}  // namespace whitefi

@@ -221,6 +221,26 @@ void ApNode::ApplyPendingSwitch() {
 void ApNode::OnIncumbentDetected(UhfIndex channel) {
   Device::OnIncumbentDetected(channel);
   if (!params_.adaptive) return;
+  if (state_ == State::kCollecting && TunedChannel().Contains(channel)) {
+    // Vacated INTO an active incumbent: a churn storm can cover the backup
+    // as well as the channel we just fled.  Hop the collect to a fresh
+    // channel immediately — waiting for FinishCollect would keep beaconing
+    // over the mic for the rest of the collect window.  The observation
+    // already marks the hot channel (Device::OnIncumbentDetected above),
+    // so the assigner avoids it.
+    const auto fresh = assigner_.SelectBackup(BuildInputs(), main_);
+    if (fresh.has_value() && !fresh->Contains(channel) && *fresh != backup_) {
+      backup_ = *fresh;
+      scanner_.SetChirpChannel(backup_);
+      UpdateSecondaryWatch();
+      SwitchChannel(backup_);
+      WHITEFI_LOG_TAGGED(LogLevel::kInfo,
+                         "core/ap" + std::to_string(NodeId()))
+          << "collect channel hot (mic ch" << TvChannelNumber(channel)
+          << "), hopping collect to " << backup_.ToString();
+    }
+    return;
+  }
   if (main_.Contains(channel)) {
     if (state_ == State::kOperating && !announce_pending_) {
       BeginCollect();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/audit_hooks.h"
 #include "util/log.h"
 
 namespace whitefi {
@@ -115,6 +116,9 @@ void ClientNode::Disconnect() {
   chirp_period_ = params_.chirp_interval;
   MetricsRegistry::Count(world_.metrics(), "whitefi.client.disconnects");
   disconnected_at_ = world_.sim().Now();
+  if (AuditHooks* auditor = world_.obs().auditor; auditor != nullptr) {
+    auditor->OnClientDisconnected(disconnected_at_, NodeId());
+  }
   SwitchChannel(backup_);
   Chirp();
   if (params_.reconnect_escalation) ScheduleEscalation();
@@ -128,6 +132,9 @@ void ClientNode::Reconnect() {
   outages_.push_back(world_.sim().Now() - disconnected_at_);
   MetricsRegistry::Observe(world_.metrics(), "whitefi.client.outage_s",
                            ToSeconds(outages_.back()));
+  if (AuditHooks* auditor = world_.obs().auditor; auditor != nullptr) {
+    auditor->OnClientReconnected(world_.sim().Now(), NodeId());
+  }
   WHITEFI_LOG_TAGGED(LogLevel::kInfo, "core/client" + std::to_string(NodeId()))
       << "reconnected after " << ToSeconds(outages_.back()) << " s";
   // Give the AP a fresh view promptly — but not before the AP has applied
@@ -161,6 +168,9 @@ void ClientNode::Chirp() {
   // Jump the queue: application traffic (e.g. a still-running backlogged
   // uplink) must not starve the distress signal.
   mac().EnqueueFront(chirp);
+  if (AuditHooks* auditor = world_.obs().auditor; auditor != nullptr) {
+    auditor->OnChirp(world_.sim().Now(), NodeId());
+  }
   // Jitter the period: without it, a deterministic chirp cycle can phase-
   // lock against the AP scanner's dwell cycle and systematically miss the
   // rescue window (real radio clocks drift; the simulator's don't).

@@ -14,7 +14,7 @@ constexpr const char* kKindNames[kNumTraceEventKinds] = {
     "frame_tx",     "frame_rx",     "frame_drop",  "mac_backoff",
     "mac_retry",    "channel_switch", "incumbent_on", "incumbent_off",
     "chirp",        "discovery_probe", "fault_injected", "fault_cleared",
-    "note",
+    "invariant_violation", "note",
 };
 
 std::string JsonEscape(const std::string& s) {

@@ -38,10 +38,11 @@ enum class TraceEventKind {
   kDiscoveryProbe,   ///< A discovery scan probe (SIFT dwell / beacon listen).
   kFaultInjected,    ///< A fault-injection point fired (see src/fault).
   kFaultCleared,     ///< A windowed fault ended / burst state recovered.
+  kInvariantViolation,  ///< The InvariantAuditor flagged a violation.
   kNote,             ///< Free-form milestone.
 };
 
-inline constexpr int kNumTraceEventKinds = 13;
+inline constexpr int kNumTraceEventKinds = 14;
 
 /// Stable wire name, e.g. "frame_tx".
 const char* TraceEventKindName(TraceEventKind kind);

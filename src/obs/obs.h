@@ -12,10 +12,15 @@
 
 namespace whitefi {
 
+class AuditHooks;  // sim/audit_hooks.h — runtime invariant checking seams.
+
 struct Observability {
   MetricsRegistry* metrics = nullptr;
   EventTrace* trace = nullptr;
   PhaseProfiler* profiler = nullptr;
+  /// Runtime invariant auditor (see src/audit).  Like the sinks above it
+  /// is non-owning and null by default; hook sites cost one branch.
+  AuditHooks* auditor = nullptr;
 };
 
 }  // namespace whitefi

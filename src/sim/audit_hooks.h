@@ -1,0 +1,51 @@
+// AuditHooks — the seams the runtime invariant auditor listens on.
+//
+// The concrete auditor (src/audit) sits ABOVE the simulation layers in the
+// link order, so the medium/MAC/device/client hook sites cannot name it
+// directly.  They instead call through this abstract interface, carried as
+// a null-by-default pointer in the Observability bundle (obs/obs.h): with
+// no auditor attached every hook site is a dead branch, and a run is
+// byte-identical to one predating the audit subsystem.
+//
+// Hooks fire synchronously at the seam, in simulated-time order, and must
+// not mutate simulation state (no Transmit, no Schedule of protocol
+// events) — an auditor observes and records.
+#pragma once
+
+#include "phy/timing.h"
+#include "spectrum/channel.h"
+#include "util/units.h"
+
+namespace whitefi {
+
+class RadioPort;
+
+/// Runtime invariant-checking seams (see src/audit for the implementation).
+class AuditHooks {
+ public:
+  virtual ~AuditHooks() = default;
+
+  /// A transmission is being committed to the medium: `tx` starts radiating
+  /// on `channel` at `now` for `duration` ticks.
+  virtual void OnTransmitStart(SimTime now, const RadioPort& tx,
+                               const Channel& channel, SimTime duration) = 0;
+
+  /// A MAC's interframe timings were (re)configured — at device
+  /// construction and on every retune.
+  virtual void OnMacTiming(const RadioPort& radio, const PhyTiming& timing) = 0;
+
+  /// A device's main radio is now tuned to `channel` (initial tune and
+  /// every SwitchChannel).
+  virtual void OnNodeTuned(SimTime now, int node, const Channel& channel) = 0;
+
+  /// A WhiteFi client declared disconnection and is vacating.
+  virtual void OnClientDisconnected(SimTime now, int node) = 0;
+
+  /// A WhiteFi client re-established contact with its AP.
+  virtual void OnClientReconnected(SimTime now, int node) = 0;
+
+  /// A disconnected client sent (queued) a chirp.
+  virtual void OnChirp(SimTime now, int node) = 0;
+};
+
+}  // namespace whitefi

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/audit_hooks.h"
 #include "util/log.h"
 
 namespace whitefi {
@@ -36,8 +37,16 @@ Mac::Mac(Simulator& sim, Medium& medium, RadioPort& radio,
   ValidateMacParams(params_);
 }
 
+void Mac::SetTiming(const PhyTiming& timing) {
+  timing_ = timing;
+  // Audit seam: every timing reprogram is checked against the width the
+  // radio is tuned to (the device retunes, then reprograms us).
+  if (auditor_ != nullptr) auditor_->OnMacTiming(radio_, timing);
+}
+
 void Mac::SetObservability(const Observability& obs) {
   trace_ = obs.trace;
+  auditor_ = obs.auditor;
   if (obs.metrics == nullptr) {
     retries_counter_ = nullptr;
     drop_counters_.fill(nullptr);

@@ -55,7 +55,7 @@ class Mac {
       MacCallbacks& callbacks, Dbm tx_power, const MacParams& params, Rng rng);
 
   /// Updates interframe timings (call when the radio's width changes).
-  void SetTiming(const PhyTiming& timing) { timing_ = timing; }
+  void SetTiming(const PhyTiming& timing);
 
   /// Attaches metrics/trace sinks (pointers may be null).  Counter handles
   /// are resolved once here; the per-event cost is a null check.
@@ -141,6 +141,7 @@ class Mac {
 
   // Observability (optional): whitefi.mac.retries, whitefi.mac.drop.<Type>.
   EventTrace* trace_ = nullptr;
+  AuditHooks* auditor_ = nullptr;
   Counter* retries_counter_ = nullptr;
   std::array<Counter*, kNumFrameTypes> drop_counters_{};
 };

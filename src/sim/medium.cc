@@ -4,6 +4,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "sim/audit_hooks.h"
+
 namespace whitefi {
 
 const char* FrameTypeName(FrameType type) {
@@ -97,6 +99,11 @@ void Medium::Transmit(RadioPort* tx, const Channel& channel,
   ActiveTx& stored = active_.emplace(id, std::move(record)).first->second;
   for (std::size_t c = lo; c <= hi; ++c) channel_txs_[c].push_back(&stored);
   ++radio_tx_count_[tx];
+  // Audit seam: the transmission is committed (indexed + booked) from this
+  // instant; the auditor sees exactly what the airtime books will accrue.
+  if (obs_.auditor != nullptr) {
+    obs_.auditor->OnTransmitStart(sim_.Now(), *tx, channel, duration);
+  }
   sim_.Schedule(sim_.Now() + duration,
                 [this, id, cb = std::move(on_end)]() mutable {
                   EndTransmission(id, std::move(cb));

@@ -1,5 +1,6 @@
 #include "sim/node.h"
 
+#include "sim/audit_hooks.h"
 #include "sim/world.h"
 
 namespace whitefi {
@@ -11,9 +12,14 @@ Device::Device(World& world, int id, const DeviceConfig& config)
       channel_(config.initial_channel),
       mac_(world.sim(), world.medium(), *this, *this, config.tx_power,
            config.mac, world.NewRng()) {
-  mac_.SetTiming(PhyTiming::ForWidth(channel_.width));
+  // Observability first: the initial SetTiming below must already be
+  // visible to an attached auditor.
   mac_.SetObservability(world.obs());
+  mac_.SetTiming(PhyTiming::ForWidth(channel_.width));
   world_.medium().Register(this);
+  if (AuditHooks* auditor = world.obs().auditor; auditor != nullptr) {
+    auditor->OnNodeTuned(world.sim().Now(), id_, channel_);
+  }
 }
 
 Device::~Device() { world_.medium().Unregister(this); }
@@ -54,6 +60,9 @@ void Device::SwitchChannel(const Channel& channel) {
   mac_.Reset();
   channel_ = channel;
   mac_.SetTiming(PhyTiming::ForWidth(channel.width));
+  if (AuditHooks* auditor = world_.obs().auditor; auditor != nullptr) {
+    auditor->OnNodeTuned(world_.sim().Now(), id_, channel_);
+  }
   rx_enabled_at_ = world_.sim().Now() + config_.tune_delay;
   const SimTime generation = rx_enabled_at_;
   world_.sim().Schedule(rx_enabled_at_, [this, generation, channel] {

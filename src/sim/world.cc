@@ -135,6 +135,23 @@ bool World::MicAudible(UhfIndex c, int node_id) const {
   return false;
 }
 
+std::optional<SimTime> World::MicAudibleOnSince(UhfIndex c,
+                                                int node_id) const {
+  const SimTime now = sim_.Now();
+  std::optional<SimTime> latest;
+  for (const WorldMic& m : mics_) {
+    if (m.mic.channel != c || !m.ActiveAtTick(now)) continue;
+    if (!m.audible_to.empty() &&
+        std::find(m.audible_to.begin(), m.audible_to.end(), node_id) ==
+            m.audible_to.end()) {
+      continue;
+    }
+    if (!latest.has_value() || m.on_ticks > *latest) latest = m.on_ticks;
+  }
+  if (!latest.has_value()) return std::nullopt;
+  return now - *latest;
+}
+
 void World::RecordAppBytes(int dst, int bytes) {
   if (bytes > 0) app_bytes_[dst] += static_cast<std::uint64_t>(bytes);
 }

@@ -113,6 +113,12 @@ class World {
   /// True iff node `node_id` can currently sense a mic on channel `c`.
   bool MicAudible(UhfIndex c, int node_id) const;
 
+  /// Ticks since the most recent active mic on `c` audible to `node_id`
+  /// switched on; nullopt when none.  The audibility-filtered MicOnSince,
+  /// used by the incumbent-safety audit: a mic a node physically cannot
+  /// sense (spatial variation) must not count against that node.
+  std::optional<SimTime> MicAudibleOnSince(UhfIndex c, int node_id) const;
+
   // -- Application throughput accounting ----------------------------------
 
   /// Records application payload delivery to node `dst`.

@@ -15,6 +15,19 @@ std::uint64_t SplitMix64(std::uint64_t x) {
 
 }  // namespace
 
+std::uint64_t DeriveSeed(std::uint64_t root, std::string_view label) {
+  // FNV-1a over the label bytes, then two SplitMix64 rounds over the
+  // (root, label-hash) pair.  Two rounds so that roots differing in one
+  // bit do not produce substream seeds differing in a recognizable
+  // pattern even for short labels.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return SplitMix64(SplitMix64(root ^ h) + h);
+}
+
 Rng::Rng(std::uint64_t seed) : engine_(SplitMix64(seed)), seed_(seed) {}
 
 Rng Rng::Fork() {

@@ -10,9 +10,22 @@
 #include <cstdint>
 #include <random>
 #include <span>
+#include <string_view>
 #include <vector>
 
 namespace whitefi {
+
+/// Derives the seed for a named substream from a root seed.
+///
+/// Every stochastic component (fault injector, background traffic, fuzz
+/// generator, ...) must seed from `DeriveSeed(root, "component")` rather
+/// than reusing the root seed raw or with ad-hoc arithmetic: two
+/// components that accidentally share a stream become correlated, and a
+/// draw added to one silently perturbs the other.  The label is hashed
+/// (FNV-1a) and mixed with the root through SplitMix64, so distinct
+/// labels yield decorrelated streams and the mapping is stable across
+/// platforms and releases.
+std::uint64_t DeriveSeed(std::uint64_t root, std::string_view label);
 
 /// A seedable random number generator with convenience distributions.
 ///

@@ -1,0 +1,89 @@
+#!/bin/sh
+# Exit-code contract of scenario_cli (documented in its header):
+#   0  success / replay reproduced / invariants held
+#   1  runtime failure / violation found / replay divergence
+#   2  configuration error (bad flags, malformed file, --strict unknown key)
+# Scripts (and CI) rely on the 1-vs-2 distinction, so it is pinned here.
+#
+# Usage: scenario_cli_exit_codes.sh <path-to-scenario_cli>
+set -u
+
+CLI="$1"
+TMP="${TMPDIR:-/tmp}/scenario_cli_exit_codes.$$"
+mkdir -p "$TMP"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+expect_exit() {
+  want="$1"
+  desc="$2"
+  shift 2
+  "$@" >"$TMP/out" 2>"$TMP/err"
+  got=$?
+  [ "$got" -eq "$want" ] || {
+    cat "$TMP/err" >&2
+    fail "$desc: expected exit $want, got $got"
+  }
+}
+
+# A minimal valid scenario: exit 0.
+cat >"$TMP/ok.conf" <<EOF
+seed = 3
+seconds = 1
+warmup = 0.2
+network.clients = 1
+EOF
+expect_exit 0 "valid config" "$CLI" --config "$TMP/ok.conf"
+
+# Unknown key: warning (exit 0) by default, fatal (exit 2) under --strict,
+# and the strict error must carry the file path and line number.
+cat >"$TMP/typo.conf" <<EOF
+seed = 3
+seconds = 1
+netwrk.clients = 1
+EOF
+expect_exit 0 "unknown key without --strict" \
+  "$CLI" --config "$TMP/typo.conf"
+grep -q "netwrk.clients" "$TMP/err" || fail "missing unknown-key warning"
+
+expect_exit 2 "unknown key under --strict" \
+  "$CLI" --config "$TMP/typo.conf" --strict
+grep -q "typo.conf line 3" "$TMP/err" || {
+  cat "$TMP/err" >&2
+  fail "--strict error must name path and line"
+}
+
+# Malformed syntax: exit 2, with line attribution.
+printf 'seed = 3\nthis is not a key value line\n' >"$TMP/bad.conf"
+expect_exit 2 "malformed config" "$CLI" --config "$TMP/bad.conf"
+grep -q "line 2" "$TMP/err" || fail "parse error must carry the line"
+
+# Missing file and bad flags are configuration errors too.
+expect_exit 2 "missing config file" "$CLI" --config "$TMP/nonexistent.conf"
+expect_exit 2 "unknown flag" "$CLI" --no-such-flag
+expect_exit 2 "flag missing its value" "$CLI" --config
+
+# Bad numeric flag values: exit 2 with an error naming the flag — even
+# when the number is merely out of range (std::out_of_range must not leak
+# into the runtime-error class) or carries trailing garbage.
+expect_exit 2 "non-numeric flag value" "$CLI" --audit-budget-ms banana
+grep -q -- "--audit-budget-ms" "$TMP/err" || {
+  cat "$TMP/err" >&2
+  fail "bad value error must name the flag"
+}
+expect_exit 2 "out-of-range flag value" \
+  "$CLI" --seed 99999999999999999999999999
+expect_exit 2 "trailing garbage in flag value" "$CLI" --seconds 3x
+
+# Replaying a file with no expect block is a runtime failure (1), not a
+# config error: the file parsed fine, the reproduction just cannot hold.
+expect_exit 1 "replay of a non-bundle" "$CLI" --replay "$TMP/ok.conf"
+
+# Replay of an unreadable bundle is a config error.
+expect_exit 2 "replay of missing bundle" "$CLI" --replay "$TMP/nope.bundle"
+
+echo "PASS"

@@ -206,6 +206,38 @@ TEST(Simulator, CancellingFiredIdsLeavesStateBounded) {
   EXPECT_EQ(sim.ArenaSlots(), 256u);
 }
 
+TEST(Simulator, StaleIdAfterSlotReuseIsNoOp) {
+  // The generation check on EventId: once a slot is released (fired or
+  // cancelled) and reissued to a NEW event, the old handle must neither
+  // cancel the new occupant nor report success — across arbitrary
+  // schedule/fire churn, including chunk recycling.
+  Simulator sim;
+  // Burn through several full 256-slot chunk cycles so reissued ids come
+  // from recycled slots at every chunk position.
+  std::vector<EventId> stale;
+  for (int round = 0; round < 4; ++round) {
+    stale.clear();
+    for (int i = 0; i < 300; ++i) {  // > one chunk: forces a second chunk.
+      stale.push_back(sim.ScheduleAfter(1, [] {}));
+    }
+    sim.RunUntilIdle();  // All fire; every slot is released.
+
+    // Reoccupy the slots with live events.
+    int fired = 0;
+    std::vector<EventId> live;
+    for (int i = 0; i < 300; ++i) {
+      live.push_back(sim.ScheduleAfter(1, [&fired] { ++fired; }));
+    }
+    // Stale handles from the PREVIOUS occupancy of the same slots: every
+    // cancel must be a generation-check miss, not a hit on the new event.
+    for (const EventId id : stale) EXPECT_FALSE(sim.Cancel(id));
+    sim.RunUntilIdle();
+    EXPECT_EQ(fired, 300);  // No live event was collaterally cancelled.
+    // And the live ids are stale now too.
+    for (const EventId id : live) EXPECT_FALSE(sim.Cancel(id));
+  }
+}
+
 TEST(Simulator, RearmChurnReusesSlots) {
   Simulator sim;
   EventId timer = kInvalidEventId;
