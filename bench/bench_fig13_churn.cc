@@ -10,9 +10,11 @@
 // static widest choice (OPT-20) becomes the worst; WhiteFi — which can
 // re-adapt as the background moves — can even beat the best *static*
 // choice, exactly as the paper observes.
+#include <fstream>
 #include <iostream>
 
 #include "flags.h"
+#include "obs/event_trace.h"
 #include "scenario.h"
 #include "spectrum/campus.h"
 #include "util/report.h"
@@ -72,7 +74,21 @@ ScenarioConfig MakeConfig(const ChurnPoint& point, std::uint64_t seed) {
   return config;
 }
 
-int Main(int jobs) {
+/// A flight-recorder trace restricted to the protocol-level kinds
+/// trace_lens analyses; per-frame kinds stay out so 14 adaptive runs fit
+/// comfortably in one capture (exact per-kind counts are still kept).
+EventTrace MakeProtocolTrace() {
+  EventTraceOptions options;
+  options.only = {
+      TraceEventKind::kSpanBegin,   TraceEventKind::kSpanEnd,
+      TraceEventKind::kStateEnter,  TraceEventKind::kChirp,
+      TraceEventKind::kChannelSwitch, TraceEventKind::kIncumbentOn,
+      TraceEventKind::kIncumbentOff, TraceEventKind::kNote,
+  };
+  return EventTrace(options);
+}
+
+int Main(int jobs, const std::string& trace_jsonl) {
   std::cout << "Figure 13: per-client throughput vs. background churn\n"
             << "(34 Markov on/off pairs, 25 ms CBR when active; "
             << kReps << " reps per point)\n\n";
@@ -88,12 +104,18 @@ int Main(int jobs) {
   // baseline sweeps run unobserved).  Attaching the registry does not
   // perturb the simulation, so the table matches an uninstrumented build.
   MetricsRegistry metrics;
+  // Optional flight recorder over the same adaptive runs (protocol-level
+  // kinds only).  The OPT sweeps run unobserved either way, so the trace
+  // content is identical for any --jobs value, and a detached recorder
+  // leaves the printed table byte-identical.
+  EventTrace trace = MakeProtocolTrace();
   std::uint64_t seed = 1400;
   for (const ChurnPoint& point : points) {
     RunningStats whitefi, opt5, opt10, opt20, opt, switches;
     for (int rep = 0; rep < kReps; ++rep) {
       ScenarioConfig config = MakeConfig(point, seed++);
       config.obs.metrics = &metrics;
+      if (!trace_jsonl.empty()) config.obs.trace = &trace;
       // The adaptive run stays on this thread (it feeds the shared
       // metrics registry); only the OPT candidate sweeps fan out.
       const RunResult run = RunScenario(config);
@@ -121,6 +143,18 @@ int Main(int jobs) {
                "adaptive WhiteFi can beat every static choice\n";
   std::cout << "\nmetrics across all adaptive WhiteFi runs:\n"
             << metrics.Snapshot().ToText();
+  if (!trace_jsonl.empty()) {
+    std::ofstream out(trace_jsonl);
+    trace.WriteJsonl(out);
+    if (!out.good()) {
+      std::cerr << "error: cannot write " << trace_jsonl << "\n";
+      return 1;
+    }
+    // stderr, so stdout stays byte-identical to an untraced run (the CI
+    // byte-identity leg diffs them directly).
+    std::cerr << "event trace (" << trace.events().size()
+              << " events) written to " << trace_jsonl << "\n";
+  }
   return 0;
 }
 
@@ -128,5 +162,7 @@ int Main(int jobs) {
 }  // namespace whitefi::bench
 
 int main(int argc, char** argv) {
-  return whitefi::bench::Main(whitefi::bench::JobsFromArgs(argc, argv));
+  return whitefi::bench::Main(
+      whitefi::bench::JobsFromArgs(argc, argv),
+      whitefi::bench::StringFromArgs(argc, argv, "--trace-jsonl"));
 }

@@ -11,6 +11,8 @@
 #include "audit/audit.h"
 #include "core/assignment.h"
 #include "core/discovery.h"
+#include "obs/event_trace.h"
+#include "obs/state_timeline.h"
 #include "sim/traffic.h"
 #include "sim/world.h"
 #include "spectrum/campus.h"
@@ -195,6 +197,46 @@ void BM_SaturatedCellSimSecondAudited(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SaturatedCellSimSecondAudited);
+
+/// The audited saturated second with the flight recorder attached on top:
+/// a kind-filtered event trace (protocol-level kinds only, the trace_lens
+/// capture profile) plus the state timeline.  Per-frame hot sites take
+/// the Wants()-rejected path (exact counting, no record built) on
+/// every tx/rx/backoff, which is precisely the cost the ≤5% overhead
+/// gate in compare_bench.py --overhead pins against
+/// BM_SaturatedCellSimSecondAudited.
+void BM_SaturatedCellSimSecondAuditedTraced(benchmark::State& state) {
+  for (auto _ : state) {
+    InvariantAuditor auditor;
+    EventTraceOptions trace_options;
+    trace_options.only = {
+        TraceEventKind::kSpanBegin,  TraceEventKind::kSpanEnd,
+        TraceEventKind::kStateEnter, TraceEventKind::kChirp,
+        TraceEventKind::kChannelSwitch, TraceEventKind::kIncumbentOn,
+        TraceEventKind::kIncumbentOff,
+    };
+    EventTrace trace(trace_options);
+    StateTimeline timeline;
+    WorldConfig world_config;
+    world_config.obs.auditor = &auditor;
+    world_config.obs.trace = &trace;
+    world_config.obs.timeline = &timeline;
+    World world(world_config);
+    auditor.Attach(world);
+    DeviceConfig config;
+    config.initial_channel = Channel{10, ChannelWidth::kW20};
+    config.position = {0, 0};
+    Device& a = world.Create<Device>(config);
+    config.position = {50, 0};
+    Device& b = world.Create<Device>(config);
+    SaturatedSource source(a, b.NodeId(), 1000);
+    source.Start();
+    world.RunFor(1.0);
+    benchmark::DoNotOptimize(world.AppBytes(b.NodeId()));
+    benchmark::DoNotOptimize(trace.TotalSeen());
+  }
+}
+BENCHMARK(BM_SaturatedCellSimSecondAuditedTraced);
 
 /// Fig13-style mixed load: one saturated 20 MHz cell plus Markov on/off
 /// CBR background pairs spread over the band — the event/medium mix

@@ -9,11 +9,26 @@
 #include <cstdlib>
 #include <iostream>
 #include <stdexcept>
+#include <string>
 #include <string_view>
 
 #include "util/parallel.h"
 
 namespace whitefi::bench {
+
+/// Extracts a `--name VALUE` / `--name=VALUE` string flag from argv;
+/// empty string when absent.  Same forgiving contract as JobsFromArgs:
+/// unrelated arguments are ignored.
+inline std::string StringFromArgs(int argc, char** argv,
+                                  std::string_view name) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == name && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind(prefix, 0) == 0) return std::string(arg.substr(prefix.size()));
+  }
+  return {};
+}
 
 /// Extracts `--jobs N` / `--jobs=N` from argv (default 1).  Unknown
 /// arguments are ignored so drivers stay forgiving about extra flags; a

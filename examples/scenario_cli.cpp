@@ -30,6 +30,10 @@
 //   --metrics-json FILE write the snapshot as JSON
 //   --trace-json FILE   write a Chrome trace-event file (chrome://tracing)
 //   --trace-jsonl FILE  write raw structured events, one JSON per line
+//   --trace-only K,K    record only the named event kinds (e.g.
+//                       span_begin,span_end,state_enter); unknown names
+//                       are a configuration error (exit 2)
+//   --timeline-csv FILE write per-node protocol-state intervals as CSV
 //   --profile           print wall-clock cost per simulation phase
 //
 // Examples:
@@ -42,6 +46,7 @@
 #include <iostream>
 #include <iterator>
 #include <string>
+#include <vector>
 
 #include "core/whitefi.h"
 #include "fuzz.h"
@@ -80,6 +85,9 @@ struct Options {
   std::string metrics_json;
   std::string trace_json;   ///< Chrome trace-event format.
   std::string trace_jsonl;  ///< Raw JSONL records.
+  /// Kind filter for the event trace (--trace-only a,b,c); empty = all.
+  std::vector<TraceEventKind> trace_only;
+  std::string timeline_csv;  ///< Protocol-state intervals as CSV.
   bool profile = false;
 };
 
@@ -88,9 +96,17 @@ struct ObsSession {
   MetricsRegistry registry;
   EventTrace events;
   PhaseProfiler profiler;
+  StateTimeline timeline;
   const Options& options;
 
-  explicit ObsSession(const Options& opts) : options(opts) {
+  static EventTraceOptions TraceOptions(const Options& opts) {
+    EventTraceOptions trace_options;
+    trace_options.only = opts.trace_only;
+    return trace_options;
+  }
+
+  explicit ObsSession(const Options& opts)
+      : events(TraceOptions(opts)), options(opts) {
     // Pre-register the cold-path metrics so every snapshot contains them
     // (a quiet run shows zeros instead of missing rows).  Hot-path metrics
     // (per-frame-type tx/rx/drop, MAC retries) register at wiring time.
@@ -110,7 +126,8 @@ struct ObsSession {
   bool Wanted() const {
     return options.metrics || !options.metrics_csv.empty() ||
            !options.metrics_json.empty() || !options.trace_json.empty() ||
-           !options.trace_jsonl.empty() || options.profile;
+           !options.trace_jsonl.empty() || !options.timeline_csv.empty() ||
+           options.profile;
   }
 
   Observability Sinks() {
@@ -119,6 +136,7 @@ struct ObsSession {
     if (!options.trace_json.empty() || !options.trace_jsonl.empty()) {
       obs.trace = &events;
     }
+    if (!options.timeline_csv.empty()) obs.timeline = &timeline;
     if (options.profile) obs.profiler = &profiler;
     return obs;
   }
@@ -132,7 +150,7 @@ struct ObsSession {
     }
   }
 
-  void WriteOutputs(double sim_seconds) const {
+  void WriteOutputs(double sim_seconds) {
     if (options.metrics) {
       std::cout << "\nmetrics:\n" << registry.Snapshot().ToText();
     }
@@ -161,6 +179,20 @@ struct ObsSession {
                  "event trace (" + std::to_string(events.events().size()) +
                      " events)",
                  options.trace_jsonl);
+    }
+    if (!options.timeline_csv.empty()) {
+      timeline.Close(static_cast<std::int64_t>(sim_seconds * kTicksPerSec));
+      std::ofstream out(options.timeline_csv);
+      out << "node,state,begin_us,end_us,duration_us\n";
+      for (const StateInterval& iv : timeline.intervals()) {
+        out << iv.node << "," << iv.state << "," << iv.begin_us << ","
+            << iv.end_us << "," << iv.DurationUs() << "\n";
+      }
+      ReportFile(out,
+                 "state timeline (" +
+                     std::to_string(timeline.intervals().size()) +
+                     " intervals)",
+                 options.timeline_csv);
     }
     if (options.profile) {
       std::cout << "\nphase profile:\n" << profiler.ToString(sim_seconds);
@@ -243,6 +275,30 @@ bool ParseOptions(int argc, char** argv, Options& options) {
     else if (flag == "--metrics-json") options.metrics_json = next();
     else if (flag == "--trace-json") options.trace_json = next();
     else if (flag == "--trace-jsonl") options.trace_jsonl = next();
+    else if (flag == "--trace-only") {
+      const std::string list = next();
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string name =
+            list.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        if (!name.empty()) {
+          const auto kind = ParseTraceEventKind(name);
+          if (!kind) {
+            throw std::invalid_argument("--trace-only: unknown event kind '" +
+                                        name + "'");
+          }
+          options.trace_only.push_back(*kind);
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      if (options.trace_only.empty()) {
+        throw std::invalid_argument("--trace-only: empty kind list");
+      }
+    }
+    else if (flag == "--timeline-csv") options.timeline_csv = next();
     else if (flag == "--profile") options.profile = true;
     else if (flag == "--help" || flag == "-h") return false;
     else throw std::invalid_argument("unknown flag: " + flag);
@@ -356,7 +412,8 @@ int main(int argc, char** argv) {
                    "[--static 5|10|20] [--map NAME] [--seconds S] "
                    "[--verbose] [--metrics] [--metrics-csv FILE] "
                    "[--metrics-json FILE] [--trace-json FILE] "
-                   "[--trace-jsonl FILE] [--profile] [--config FILE] "
+                   "[--trace-jsonl FILE] [--trace-only K,K,...] "
+                   "[--timeline-csv FILE] [--profile] [--config FILE] "
                    "[--strict] [--audit] [--audit-budget-ms M] "
                    "[--replay BUNDLE [--minimize OUT]]\n"
                    "exit codes: 0 success / reproduced / invariants held, "

@@ -22,6 +22,7 @@ ApNode::ApNode(World& world, int id, const DeviceConfig& device_config,
       backup_(initial_backup) {}
 
 void ApNode::Start() {
+  world_.RecordState(NodeId(), "operating");
   scanner_.StartSweep();
   scanner_.StartChirpWatch(backup_, ssid(),
                            [this](const ChirpInfo& info, const Channel& on) {
@@ -145,6 +146,19 @@ void ApNode::EvaluateAssignment() {
   revert_backup_ = backup_;
   pre_switch_rate_bps_ = RecentThroughputBps(params_.revert_check_delay);
   revert_armed_ = pre_switch_rate_bps_ > 0.0;
+  // Flight recorder: the MCham decision chain (scan -> scoring ->
+  // switch) as one episode span, closed when the switch applies.
+  BeginEpisode("ap.assignment", world_.NextTraceId());
+  if (world_.trace() != nullptr) {
+    TraceEvent note;
+    note.kind = TraceEventKind::kNote;
+    note.node = NodeId();
+    note.span_id = episode_span_;
+    note.flow_id = episode_flow_;
+    note.detail = "mcham switch -> " + next.ToString() +
+                  " metric=" + std::to_string(decision.metric);
+    world_.TraceEventNow(std::move(note));
+  }
   AnnounceAndSwitch(next, next_backup.value_or(backup_), /*voluntary=*/true);
 }
 
@@ -156,6 +170,10 @@ void ApNode::AnnounceAndSwitch(const Channel& next_main,
   pending_main_ = next_main;
   pending_backup_ = next_backup;
   pending_voluntary_ = voluntary;
+  announce_span_ = world_.NextTraceId();
+  world_.TraceSpanBegin(NodeId(), announce_span_, episode_span_,
+                        episode_flow_, "ap.announce");
+  world_.RecordState(NodeId(), "announcing");
 
   Frame announce;
   announce.type = FrameType::kChannelSwitch;
@@ -196,9 +214,15 @@ void ApNode::ApplyPendingSwitch() {
   ++switches_;
   MetricsRegistry::Count(world_.metrics(), "whitefi.ap.switches");
   state_ = State::kOperating;
+  if (announce_span_ != 0) {
+    world_.TraceSpanEnd(NodeId(), announce_span_, 0, "ap.announce");
+    announce_span_ = 0;
+  }
   scanner_.SetChirpChannel(backup_);
   UpdateSecondaryWatch();
   SwitchChannel(main_);
+  EndEpisode();
+  world_.RecordState(NodeId(), "operating");
   WHITEFI_LOG_TAGGED(LogLevel::kInfo, "core/ap" + std::to_string(NodeId()))
       << "now on " << main_.ToString() << " backup " << backup_.ToString();
   if (pending_voluntary_ && revert_armed_) {
@@ -209,6 +233,7 @@ void ApNode::ApplyPendingSwitch() {
       if (post < params_.revert_tolerance * pre_switch_rate_bps_) {
         ++reverts_;
         MetricsRegistry::Count(world_.metrics(), "whitefi.ap.reverts");
+        BeginEpisode("ap.assignment/revert", world_.NextTraceId());
         AnnounceAndSwitch(revert_channel_, revert_backup_,
                           /*voluntary=*/false);
       }
@@ -243,7 +268,7 @@ void ApNode::OnIncumbentDetected(UhfIndex channel) {
   }
   if (main_.Contains(channel)) {
     if (state_ == State::kOperating && !announce_pending_) {
-      BeginCollect();
+      BeginCollect("incumbent", world_.MicFlowId(channel, NodeId()));
     } else {
       // Busy announcing/collecting/rescuing: the vacate must not be lost.
       // Re-check shortly; if the incumbent still sits inside whatever the
@@ -267,9 +292,14 @@ void ApNode::OnIncumbentDetected(UhfIndex channel) {
   }
 }
 
-void ApNode::BeginCollect() {
+void ApNode::BeginCollect(const char* why, std::int64_t flow) {
   state_ = State::kCollecting;
   revert_armed_ = false;
+  // Flight recorder: one episode span covering vacate -> collect ->
+  // reassign -> announce -> re-beacon, on the trigger's causal flow.
+  BeginEpisode(std::string("ap.vacate/") + why,
+               flow != 0 ? flow : world_.NextTraceId());
+  world_.RecordState(NodeId(), "collecting");
   SwitchChannel(backup_);  // Beacon loop keeps beaconing, now on backup.
   world_.sim().ScheduleAfter(params_.collect_window, [this] { FinishCollect(); });
   WHITEFI_LOG_TAGGED(LogLevel::kInfo, "core/ap" + std::to_string(NodeId()))
@@ -306,6 +336,9 @@ void ApNode::OnChirpHeard(const ChirpInfo& info, const Channel& heard_on) {
     event.kind = TraceEventKind::kChirp;
     event.node = NodeId();
     event.src = info.sender;
+    // Continue the chirper's recovery flow: this is the client -> AP hop
+    // of the causal chain.
+    event.flow_id = info.trace_flow;
     event.detail = "heard on " + heard_on.ToString();
     world_.TraceEventNow(std::move(event));
   }
@@ -319,12 +352,12 @@ void ApNode::OnChirpHeard(const ChirpInfo& info, const Channel& heard_on) {
   if (!info.map.CanUse(main_)) {
     // The chirper sees an incumbent inside our operating channel: full
     // vacate-collect-reassign flow.
-    BeginCollect();
+    BeginCollect("chirp", info.trace_flow);
   } else {
     // The chirper merely lost us (e.g. missed a switch): re-announce the
     // current channels on the channel the chirp came from — which may be a
     // stale backup or the chirper's secondary backup.
-    RescueAnnounce(heard_on);
+    RescueAnnounce(heard_on, info.trace_flow);
   }
 }
 
@@ -340,8 +373,10 @@ void ApNode::UpdateSecondaryWatch() {
   scanner_.SetSecondaryChirpChannel(secondary);
 }
 
-void ApNode::RescueAnnounce(const Channel& where) {
+void ApNode::RescueAnnounce(const Channel& where, std::int64_t flow) {
   state_ = State::kRescuing;
+  BeginEpisode("ap.rescue", flow != 0 ? flow : world_.NextTraceId());
+  world_.RecordState(NodeId(), "rescuing");
   const Channel home = main_;
   SwitchChannel(where);
   Frame announce;
@@ -361,8 +396,27 @@ void ApNode::RescueAnnounce(const Channel& where) {
     if (state_ == State::kRescuing) {
       state_ = State::kOperating;
       SwitchChannel(home);
+      EndEpisode();
+      world_.RecordState(NodeId(), "operating");
     }
   });
+}
+
+void ApNode::BeginEpisode(std::string name, std::int64_t flow) {
+  EndEpisode();  // A stale episode must not leave an unbalanced span.
+  episode_span_ = world_.NextTraceId();
+  episode_flow_ = flow;
+  episode_name_ = std::move(name);
+  world_.TraceSpanBegin(NodeId(), episode_span_, 0, episode_flow_,
+                        episode_name_);
+}
+
+void ApNode::EndEpisode() {
+  if (episode_span_ == 0) return;
+  world_.TraceSpanEnd(NodeId(), episode_span_, episode_flow_, episode_name_);
+  episode_span_ = 0;
+  episode_flow_ = 0;
+  episode_name_.clear();
 }
 
 void ApNode::OnChannelSwitched(const Channel& channel) {

@@ -15,7 +15,9 @@
 //    ("rescue") when the chirper simply lost the network.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <string>
 
 #include "core/assignment.h"
 #include "sim/scanner.h"
@@ -98,10 +100,16 @@ class ApNode : public Device {
   void AnnounceAndSwitch(const Channel& next_main, const Channel& next_backup,
                          bool voluntary);
   void ApplyPendingSwitch();
-  void BeginCollect();
+  /// `why` labels the vacate episode span ("incumbent" / "chirp");
+  /// `flow` continues the trigger's causal flow (mic or chirper).
+  void BeginCollect(const char* why, std::int64_t flow);
   void FinishCollect();
   void OnChirpHeard(const ChirpInfo& info, const Channel& heard_on);
-  void RescueAnnounce(const Channel& where);
+  void RescueAnnounce(const Channel& where, std::int64_t flow);
+  /// Flight recorder: opens/closes the AP's episode span (one vacate,
+  /// assignment, or rescue); a fresh Begin closes any stale episode.
+  void BeginEpisode(std::string name, std::int64_t flow);
+  void EndEpisode();
   void UpdateSecondaryWatch();
   void ScheduleMicCheck(const Channel& channel);
   double RecentThroughputBps(SimTime window) const;
@@ -134,6 +142,13 @@ class ApNode : public Device {
   Channel revert_backup_;
   double pre_switch_rate_bps_ = 0.0;
   bool revert_armed_ = false;
+
+  // Flight-recorder state: the current episode span (vacate/assignment/
+  // rescue) and the announce child span inside it (0 = none).
+  std::int64_t episode_span_ = 0;
+  std::int64_t episode_flow_ = 0;
+  std::string episode_name_;
+  std::int64_t announce_span_ = 0;
 };
 
 }  // namespace whitefi

@@ -57,6 +57,7 @@ ClientNode::ClientNode(World& world, int id, const DeviceConfig& device_config,
 
 void ClientNode::Start() {
   last_contact_ = world_.sim().Now();
+  world_.RecordState(NodeId(), "connected");
   scanner_.StartSweep();
   world_.sim().ScheduleAfter(params_.contact_check_interval,
                              [this] { CheckContact(); });
@@ -107,7 +108,7 @@ void ClientNode::CheckContact() {
   }
 }
 
-void ClientNode::Disconnect() {
+void ClientNode::Disconnect(const char* cause, std::int64_t cause_flow) {
   if (!connected_) return;
   connected_ = false;
   ++disconnects_;
@@ -119,6 +120,17 @@ void ClientNode::Disconnect() {
   if (AuditHooks* auditor = world_.obs().auditor; auditor != nullptr) {
     auditor->OnClientDisconnected(disconnected_at_, NodeId());
   }
+  // Flight recorder: open the recovery span before the vacate so the
+  // channel switch and first chirp land inside it.  An incumbent-caused
+  // disconnect continues the mic's flow; otherwise the recovery starts a
+  // flow of its own (chirps thread it through the AP's rescue).
+  recovery_flow_ = cause_flow != 0 ? cause_flow : world_.NextTraceId();
+  recovery_span_ = world_.NextTraceId();
+  recovery_name_ = std::string("client.recovery/") + cause;
+  world_.TraceSpanBegin(NodeId(), recovery_span_, 0, recovery_flow_,
+                        recovery_name_);
+  BeginRecoveryPhase("client.phase.chirp_backup");
+  world_.RecordState(NodeId(), "chirping");
   SwitchChannel(backup_);
   Chirp();
   if (params_.reconnect_escalation) ScheduleEscalation();
@@ -129,6 +141,21 @@ void ClientNode::Reconnect() {
   connected_ = true;
   ++reconnect_epoch_;
   reconnect_stage_ = 0;
+  // Close the phase and recovery spans at the reconnect instant; the
+  // recovery end carries the flow so the causal arrow terminates here.
+  if (phase_span_ != 0) {
+    world_.TraceSpanEnd(NodeId(), phase_span_, 0, phase_name_);
+    phase_span_ = 0;
+    phase_name_.clear();
+  }
+  if (recovery_span_ != 0) {
+    world_.TraceSpanEnd(NodeId(), recovery_span_, recovery_flow_,
+                        recovery_name_);
+    recovery_span_ = 0;
+    recovery_flow_ = 0;
+    recovery_name_.clear();
+  }
+  world_.RecordState(NodeId(), "connected");
   outages_.push_back(world_.sim().Now() - disconnected_at_);
   MetricsRegistry::Observe(world_.metrics(), "whitefi.client.outage_s",
                            ToSeconds(outages_.back()));
@@ -153,17 +180,22 @@ void ClientNode::Chirp() {
   chirp.type = FrameType::kChirp;
   chirp.dst = kBroadcastId;
   chirp.bytes = params_.chirp_bytes;
-  chirp.payload =
-      ChirpInfo{ObservedMap(), scanner_.Observation(), ssid(), NodeId()};
+  chirp.payload = ChirpInfo{ObservedMap(), scanner_.Observation(), ssid(),
+                            NodeId(), recovery_flow_};
   MetricsRegistry::Count(world_.metrics(), "whitefi.client.chirps");
-  {
+  if (EventTrace* trace = world_.trace();
+      trace != nullptr && trace->Wants(TraceEventKind::kChirp)) {
     TraceEvent event;
     event.kind = TraceEventKind::kChirp;
     event.node = NodeId();
     event.src = NodeId();
     event.bytes = chirp.bytes;
+    event.span_id = phase_span_;
+    event.flow_id = recovery_flow_;
     event.detail = "sent on " + TunedChannel().ToString();
     world_.TraceEventNow(std::move(event));
+  } else if (trace != nullptr) {
+    trace->CountSkipped(TraceEventKind::kChirp);
   }
   // Jump the queue: application traffic (e.g. a still-running backlogged
   // uplink) must not starve the distress signal.
@@ -189,6 +221,16 @@ void ClientNode::Chirp() {
   world_.sim().ScheduleAfter(jittered, [this] { Chirp(); });
 }
 
+void ClientNode::BeginRecoveryPhase(std::string_view name) {
+  if (phase_span_ != 0) {
+    world_.TraceSpanEnd(NodeId(), phase_span_, 0, phase_name_);
+  }
+  phase_span_ = world_.NextTraceId();
+  phase_name_ = std::string(name);
+  world_.TraceSpanBegin(NodeId(), phase_span_, recovery_span_, recovery_flow_,
+                        phase_name_);
+}
+
 void ClientNode::ScheduleEscalation() {
   const std::uint64_t epoch = reconnect_epoch_;
   world_.sim().ScheduleAfter(params_.reconnect_stage_timeout, [this, epoch] {
@@ -204,8 +246,15 @@ void ClientNode::EscalateReconnect() {
   if (reconnect_stage_ == 1) {
     // Stage 1: the backup channel is not producing a rescue — fall back to
     // the deterministic secondary backup.
+    BeginRecoveryPhase("client.phase.secondary_backup");
+    world_.RecordState(NodeId(), "scanning");
     SelectSecondaryBackup();
   } else {
+    if (reconnect_stage_ == 2) {
+      // Later sweep hops stay within this one phase span.
+      BeginRecoveryPhase("client.phase.sweep");
+      world_.RecordState(NodeId(), "scanning");
+    }
     // Stage >= 2: full sweep — hop to the next observed free channel and
     // keep chirping; the AP's band sweep doubles as an all-channel rescue
     // scan, so any free channel is a potential rendezvous.
@@ -224,6 +273,8 @@ void ClientNode::EscalateReconnect() {
     TraceEvent event;
     event.kind = TraceEventKind::kNote;
     event.node = NodeId();
+    event.span_id = phase_span_;
+    event.flow_id = recovery_flow_;
     event.detail = "reconnect escalate stage " +
                    std::to_string(reconnect_stage_) + " -> " +
                    backup_.ToString();
@@ -250,7 +301,7 @@ void ClientNode::OnIncumbentDetected(UhfIndex channel) {
                        "core/client" + std::to_string(NodeId()))
         << "detected incumbent on ch" << TvChannelNumber(channel)
         << ", vacating";
-    Disconnect();
+    Disconnect("incumbent", world_.MicFlowId(channel, NodeId()));
     return;
   }
   if (!connected_ && backup_.Contains(channel)) SelectSecondaryBackup();

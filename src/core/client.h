@@ -11,6 +11,10 @@
 // sweeping scanner will eventually find its chirps.
 #pragma once
 
+#include <cstdint>
+#include <string>
+#include <string_view>
+
 #include "sim/scanner.h"
 #include "sim/world.h"
 
@@ -82,11 +86,18 @@ class ClientNode : public Device {
   void CheckContact();
   void Chirp();
   void SendReport();
-  void Disconnect();
+  /// `cause` labels the recovery span ("lost_contact" / "incumbent");
+  /// `cause_flow` continues the triggering event's causal flow (e.g. the
+  /// mic's) so the flight recorder can join recovery to root cause.
+  void Disconnect(const char* cause = "lost_contact",
+                  std::int64_t cause_flow = 0);
   void Reconnect();
   void SelectSecondaryBackup();
   void ScheduleEscalation();
   void EscalateReconnect();
+  /// Closes the open recovery phase span (if any) and opens `name` as a
+  /// child of the recovery span.
+  void BeginRecoveryPhase(std::string_view name);
 
   ClientParams params_;
   Scanner scanner_;
@@ -104,6 +115,12 @@ class ClientNode : public Device {
   /// Bumped on every connect/disconnect edge; stale escalation timers
   /// compare their captured epoch and die silently.
   std::uint64_t reconnect_epoch_ = 0;
+  // Flight-recorder state for the in-progress recovery (0 = none).
+  std::int64_t recovery_span_ = 0;
+  std::int64_t recovery_flow_ = 0;
+  std::string recovery_name_;
+  std::int64_t phase_span_ = 0;
+  std::string phase_name_;
 };
 
 }  // namespace whitefi

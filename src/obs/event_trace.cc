@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <istream>
+#include <map>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace whitefi {
 namespace {
@@ -14,7 +16,7 @@ constexpr const char* kKindNames[kNumTraceEventKinds] = {
     "frame_tx",     "frame_rx",     "frame_drop",  "mac_backoff",
     "mac_retry",    "channel_switch", "incumbent_on", "incumbent_off",
     "chirp",        "discovery_probe", "fault_injected", "fault_cleared",
-    "invariant_violation", "note",
+    "invariant_violation", "note", "span_begin", "span_end", "state_enter",
 };
 
 std::string JsonEscape(const std::string& s) {
@@ -47,6 +49,9 @@ void AppendEventJson(std::ostream& os, const TraceEvent& e) {
   if (e.src != -1) os << ",\"src\":" << e.src;
   if (e.dst != -1) os << ",\"dst\":" << e.dst;
   if (e.bytes != 0) os << ",\"bytes\":" << e.bytes;
+  if (e.span_id != 0) os << ",\"span\":" << e.span_id;
+  if (e.parent_span != 0) os << ",\"parent\":" << e.parent_span;
+  if (e.flow_id != 0) os << ",\"flow\":" << e.flow_id;
   if (!e.frame_type.empty()) {
     os << ",\"frame\":\"" << JsonEscape(e.frame_type) << "\"";
   }
@@ -93,6 +98,12 @@ class LineParser {
         event.dst = static_cast<int>(ParseInt());
       } else if (key == "bytes") {
         event.bytes = static_cast<int>(ParseInt());
+      } else if (key == "span") {
+        event.span_id = ParseInt();
+      } else if (key == "parent") {
+        event.parent_span = ParseInt();
+      } else if (key == "flow") {
+        event.flow_id = ParseInt();
       } else {
         Fail("unknown key '" + key + "'");
       }
@@ -181,19 +192,30 @@ std::optional<TraceEventKind> ParseTraceEventKind(std::string_view name) {
   return std::nullopt;
 }
 
-EventTrace::EventTrace(const EventTraceOptions& options) : options_(options) {}
+EventTrace::EventTrace(const EventTraceOptions& options) : options_(options) {
+  if (options_.only.empty()) {
+    wants_.fill(true);
+  } else {
+    for (TraceEventKind kind : options_.only) {
+      const auto index = static_cast<std::size_t>(kind);
+      if (index < wants_.size()) wants_[index] = true;
+    }
+  }
+}
 
 void EventTrace::Append(TraceEvent event) {
   ++total_;
   const auto index = static_cast<std::size_t>(event.kind);
   if (index < counts_.size()) ++counts_[index];
-  if (!options_.only.empty() &&
-      std::find(options_.only.begin(), options_.only.end(), event.kind) ==
-          options_.only.end()) {
-    return;
-  }
+  if (!Wants(event.kind)) return;
   if (events_.size() >= options_.max_events) {
-    if (!options_.keep_last) return;
+    if (!options_.keep_last) {
+      // Stop-at-cap: the record is wanted but lost.
+      if (index < dropped_.size()) ++dropped_[index];
+      return;
+    }
+    const auto evicted = static_cast<std::size_t>(events_.front().kind);
+    if (evicted < dropped_.size()) ++dropped_[evicted];
     events_.pop_front();
   }
   events_.push_back(std::move(event));
@@ -204,13 +226,39 @@ std::size_t EventTrace::CountOf(TraceEventKind kind) const {
   return index < counts_.size() ? counts_[index] : 0;
 }
 
+std::size_t EventTrace::DroppedOf(TraceEventKind kind) const {
+  const auto index = static_cast<std::size_t>(kind);
+  return index < dropped_.size() ? dropped_[index] : 0;
+}
+
+std::size_t EventTrace::TotalDropped() const {
+  std::size_t total = 0;
+  for (std::size_t n : dropped_) total += n;
+  return total;
+}
+
 void EventTrace::Clear() {
   events_.clear();
   counts_.fill(0);
+  dropped_.fill(0);
   total_ = 0;
 }
 
 void EventTrace::WriteJsonl(std::ostream& os) const {
+  if (TotalDropped() > 0) {
+    // Truncation is never silent: lead with the per-kind dropped counts.
+    os << "{\"meta\":\"event_trace\",\"dropped\":" << TotalDropped()
+       << ",\"dropped_by_kind\":{";
+    bool first = true;
+    for (int i = 0; i < kNumTraceEventKinds; ++i) {
+      if (dropped_[static_cast<std::size_t>(i)] == 0) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << kKindNames[i]
+         << "\":" << dropped_[static_cast<std::size_t>(i)];
+    }
+    os << "}}\n";
+  }
   for (const TraceEvent& event : events_) {
     AppendEventJson(os, event);
     os << "\n";
@@ -228,28 +276,65 @@ std::vector<TraceEvent> EventTrace::ReadJsonl(std::istream& is) {
   std::string line;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
+    if (line.rfind("{\"meta\"", 0) == 0) continue;  // Dropped-count header.
     events.push_back(LineParser(line).Parse());
   }
   return events;
 }
 
 void EventTrace::WriteChromeTrace(std::ostream& os) const {
-  // Instant events, one timeline row per node; world-level events (mic
-  // transitions) land on row -1 so they bracket everything.
+  // One timeline row per node; world-level events (mic transitions) land
+  // on row -1 so they bracket everything.  Span begin/end pairs render as
+  // "B"/"E" duration slices; any event carrying a flow_id additionally
+  // emits a flow step ("s" at the first occurrence of the id, "f" at the
+  // last, "t" in between) so causal chains draw as arrows across rows.
+  std::map<std::int64_t, std::pair<std::size_t, std::size_t>> flow_span;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const std::int64_t flow = events_[i].flow_id;
+    if (flow == 0) continue;
+    auto [it, inserted] = flow_span.try_emplace(flow, i, i);
+    if (!inserted) it->second.second = i;
+  }
   os << "[";
   bool first = true;
-  for (const TraceEvent& e : events_) {
+  auto begin_record = [&] {
     if (!first) os << ",";
     first = false;
-    os << "\n{\"name\":\"";
-    if (!e.frame_type.empty()) {
+    os << "\n";
+  };
+  if (TotalDropped() > 0) {
+    begin_record();
+    const std::int64_t ts = events_.empty() ? 0 : events_.front().at_us;
+    os << "{\"name\":\"trace_dropped\",\"cat\":\"meta\",\"ph\":\"i\","
+          "\"s\":\"g\",\"pid\":0,\"tid\":-1,\"ts\":"
+       << ts << ",\"args\":{\"dropped\":" << TotalDropped();
+    for (int i = 0; i < kNumTraceEventKinds; ++i) {
+      if (dropped_[static_cast<std::size_t>(i)] == 0) continue;
+      os << ",\"" << kKindNames[i]
+         << "\":" << dropped_[static_cast<std::size_t>(i)];
+    }
+    os << "}}";
+  }
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    begin_record();
+    const bool span_begin = e.kind == TraceEventKind::kSpanBegin;
+    const bool span_end = e.kind == TraceEventKind::kSpanEnd;
+    os << "{\"name\":\"";
+    if (span_begin || span_end) {
+      os << (e.detail.empty() ? "span" : JsonEscape(e.detail));
+    } else if (!e.frame_type.empty()) {
       os << JsonEscape(e.frame_type) << " " << TraceEventKindName(e.kind);
     } else {
       os << TraceEventKindName(e.kind);
     }
-    os << "\",\"cat\":\"" << TraceEventKindName(e.kind)
-       << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":" << e.node
-       << ",\"ts\":" << e.at_us << ",\"args\":{";
+    os << "\",\"cat\":\""
+       << (span_begin || span_end ? "span" : TraceEventKindName(e.kind))
+       << "\",\"ph\":\""
+       << (span_begin ? "B" : span_end ? "E" : "i") << "\"";
+    if (!span_begin && !span_end) os << ",\"s\":\"t\"";
+    os << ",\"pid\":0,\"tid\":" << e.node << ",\"ts\":" << e.at_us
+       << ",\"args\":{";
     bool first_arg = true;
     auto arg = [&](const char* key, const std::string& value, bool quote) {
       if (!first_arg) os << ",";
@@ -264,8 +349,25 @@ void EventTrace::WriteChromeTrace(std::ostream& os) const {
     if (e.src != -1) arg("src", std::to_string(e.src), false);
     if (e.dst != -1) arg("dst", std::to_string(e.dst), false);
     if (e.bytes != 0) arg("bytes", std::to_string(e.bytes), false);
-    if (!e.detail.empty()) arg("detail", e.detail, true);
+    if (e.span_id != 0) arg("span", std::to_string(e.span_id), false);
+    if (e.parent_span != 0) arg("parent", std::to_string(e.parent_span), false);
+    if (e.flow_id != 0) arg("flow", std::to_string(e.flow_id), false);
+    if ((span_begin || span_end) && !e.detail.empty()) {
+      // Name already carries the detail; skip the redundant arg.
+    } else if (!e.detail.empty()) {
+      arg("detail", e.detail, true);
+    }
     os << "}}";
+    if (e.flow_id != 0) {
+      const auto [first_idx, last_idx] = flow_span.at(e.flow_id);
+      const char* ph = i == first_idx ? "s" : i == last_idx ? "f" : "t";
+      begin_record();
+      os << "{\"name\":\"flow\",\"cat\":\"flow\",\"ph\":\"" << ph
+         << "\",\"id\":" << e.flow_id << ",\"pid\":0,\"tid\":" << e.node
+         << ",\"ts\":" << e.at_us;
+      if (*ph == 'f') os << ",\"bp\":\"e\"";
+      os << "}";
+    }
   }
   os << "\n]\n";
 }

@@ -40,9 +40,12 @@ enum class TraceEventKind {
   kFaultCleared,     ///< A windowed fault ended / burst state recovered.
   kInvariantViolation,  ///< The InvariantAuditor flagged a violation.
   kNote,             ///< Free-form milestone.
+  kSpanBegin,        ///< A causal span opened (detail = span name).
+  kSpanEnd,          ///< A causal span closed (same span_id as the begin).
+  kStateEnter,       ///< A node entered a protocol state (detail = state).
 };
 
-inline constexpr int kNumTraceEventKinds = 14;
+inline constexpr int kNumTraceEventKinds = 17;
 
 /// Stable wire name, e.g. "frame_tx".
 const char* TraceEventKindName(TraceEventKind kind);
@@ -59,6 +62,15 @@ struct TraceEvent {
   int src = -1;            ///< Frame source (frame events).
   int dst = -1;            ///< Frame destination (-1 = broadcast).
   int bytes = 0;           ///< Frame size / event magnitude.
+  // Causal identifiers (0 = unset).  A span is a named interval on one
+  // node (kSpanBegin/kSpanEnd share span_id; parent_span nests child
+  // phases under it).  A flow threads one causal chain across nodes —
+  // e.g. mic-on -> client disconnect -> chirps -> AP rescue -> reconnect
+  // all carry the same flow_id, and the Chrome export renders the chain
+  // as arrows.  Ids come from World::NextTraceId (deterministic).
+  std::int64_t span_id = 0;
+  std::int64_t parent_span = 0;
+  std::int64_t flow_id = 0;
   std::string frame_type;  ///< FrameTypeName for frame events, else empty.
   std::string detail;      ///< Channel string or free text.
 
@@ -84,6 +96,23 @@ class EventTrace {
   /// Appends one record (subject to the kind filter and the cap).
   void Append(TraceEvent event);
 
+  /// True when the kind filter admits `kind`.  Hot instrumentation sites
+  /// check this before building detail strings; when it returns false
+  /// they call CountSkipped instead, which keeps the exact per-kind
+  /// counts identical to a full Append of a filtered-out event.
+  bool Wants(TraceEventKind kind) const {
+    const auto index = static_cast<std::size_t>(kind);
+    return index < wants_.size() && wants_[index];
+  }
+
+  /// Accounts for an event of `kind` that a hot site chose not to build
+  /// because Wants(kind) is false.  Equivalent to Append for counting.
+  void CountSkipped(TraceEventKind kind) {
+    ++total_;
+    const auto index = static_cast<std::size_t>(kind);
+    if (index < counts_.size()) ++counts_[index];
+  }
+
   /// Records currently held (capped / ring-buffered).
   const std::deque<TraceEvent>& events() const { return events_; }
 
@@ -94,26 +123,43 @@ class EventTrace {
   /// Exact per-kind count (also unaffected by cap and filter).
   std::size_t CountOf(TraceEventKind kind) const;
 
+  /// Events of `kind` that passed the filter but were lost to the cap —
+  /// ring-mode evictions or stop-at-cap skips.  Kinds rejected by the
+  /// filter are not drops: the caller opted out of them.
+  std::size_t DroppedOf(TraceEventKind kind) const;
+
+  /// Total events lost to the cap across all kinds.
+  std::size_t TotalDropped() const;
+
   /// Drops all buffered records and zeroes the counts.
   void Clear();
 
-  /// JSONL: one compact JSON object per line.
+  /// JSONL: one compact JSON object per line.  When the cap dropped
+  /// records, the first line is a `{"meta":"event_trace",...}` header
+  /// carrying the per-kind dropped counts so truncation is never silent;
+  /// ReadJsonl skips it.
   void WriteJsonl(std::ostream& os) const;
   std::string ToJsonl() const;
 
   /// Parses WriteJsonl output back into records (exact round-trip).
-  /// Throws std::runtime_error on malformed lines.
+  /// Skips meta header lines.  Throws std::runtime_error on malformed
+  /// lines.
   static std::vector<TraceEvent> ReadJsonl(std::istream& is);
 
-  /// Chrome trace-event format (JSON array of instant events, ts in
-  /// microseconds of simulated time, one timeline row per node) — loads
-  /// directly in chrome://tracing / Perfetto.
+  /// Chrome trace-event format (JSON array, ts in microseconds of
+  /// simulated time, one timeline row per node) — loads directly in
+  /// chrome://tracing / Perfetto.  kSpanBegin/kSpanEnd become "B"/"E"
+  /// duration slices; events with flow_id become flow arrows ("s"/"t"/
+  /// "f" steps); everything else stays an instant event.  When the cap
+  /// dropped records, a metadata instant event reports the counts.
   void WriteChromeTrace(std::ostream& os) const;
 
  private:
   EventTraceOptions options_;
   std::deque<TraceEvent> events_;
   std::array<std::size_t, kNumTraceEventKinds> counts_{};
+  std::array<std::size_t, kNumTraceEventKinds> dropped_{};
+  std::array<bool, kNumTraceEventKinds> wants_{};
   std::size_t total_ = 0;
 };
 

@@ -183,7 +183,15 @@ std::string MetricsSnapshot::ToJson() const {
        << "\"count\":" << d.Count() << ",\"sum\":" << d.Sum()
        << ",\"mean\":" << d.Mean() << ",\"min\":" << d.Min()
        << ",\"p50\":" << d.Percentile(50) << ",\"p90\":" << d.Percentile(90)
-       << ",\"p99\":" << d.Percentile(99) << ",\"max\":" << d.Max() << "}";
+       << ",\"p99\":" << d.Percentile(99) << ",\"max\":" << d.Max()
+       << ",\"buckets\":[";
+    const auto buckets = d.NonEmptyBuckets();
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      if (b > 0) os << ",";
+      os << "[" << buckets[b].lo << "," << buckets[b].hi << ","
+         << buckets[b].count << "]";
+    }
+    os << "]}";
   }
   os << "}}";
   return os.str();

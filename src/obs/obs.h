@@ -9,6 +9,7 @@
 #include "obs/event_trace.h"
 #include "obs/metrics.h"
 #include "obs/phase_timer.h"
+#include "obs/state_timeline.h"
 
 namespace whitefi {
 
@@ -18,6 +19,8 @@ struct Observability {
   MetricsRegistry* metrics = nullptr;
   EventTrace* trace = nullptr;
   PhaseProfiler* profiler = nullptr;
+  /// Per-node protocol-state intervals (see World::RecordState).
+  StateTimeline* timeline = nullptr;
   /// Runtime invariant auditor (see src/audit).  Like the sinks above it
   /// is non-owning and null by default; hook sites cost one branch.
   AuditHooks* auditor = nullptr;

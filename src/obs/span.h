@@ -1,0 +1,97 @@
+// Span model — reconstructing causal intervals from a flat event trace.
+//
+// Instrumentation emits kSpanBegin/kSpanEnd pairs (same span_id) around
+// protocol chains: a client recovery, an AP incumbent-handling episode,
+// an MCham assignment decision.  This header rebuilds those pairs into
+// Span values and derives the analysis trace_lens prints: per-recovery
+// phase breakdowns (from kStateEnter events, so the numbers agree with
+// StateTimeline exactly) and root-cause attribution joining each
+// recovery span to the fault / incumbent / AP-switch event that
+// triggered it.  Shared between examples/trace_lens.cpp and the tests
+// so the acceptance numbers are pinned in-process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event_trace.h"
+
+namespace whitefi {
+
+/// One reconstructed span.
+struct Span {
+  std::int64_t id = 0;
+  std::int64_t parent = 0;
+  std::int64_t flow = 0;
+  int node = -1;
+  std::string name;
+  std::int64_t begin_us = 0;
+  std::int64_t end_us = kOpen;  ///< kOpen when the trace ended mid-span.
+
+  static constexpr std::int64_t kOpen = -1;
+
+  bool Closed() const { return end_us != kOpen; }
+  std::int64_t DurationUs() const { return Closed() ? end_us - begin_us : 0; }
+};
+
+/// Pairs kSpanBegin/kSpanEnd events by span_id, in begin order.
+std::vector<Span> BuildSpans(const std::vector<TraceEvent>& events);
+
+/// Splits a concatenated multi-run capture (e.g. one EventTrace shared by
+/// every adaptive run of a bench sweep) into per-run segments at the
+/// points where simulated time restarts — trace records are append-ordered
+/// and sim time never decreases within one world, so a backwards jump can
+/// only be a new run.  A single-run trace comes back as one segment;
+/// empty input yields no segments.  Span ids and node ids repeat across
+/// runs, so every analysis must stay within one segment.
+std::vector<std::vector<TraceEvent>> SplitRuns(
+    const std::vector<TraceEvent>& events);
+
+/// Time a recovery spent in one protocol state (e.g. "chirping").
+struct RecoveryPhase {
+  std::string state;
+  std::int64_t duration_us = 0;
+
+  bool operator==(const RecoveryPhase&) const = default;
+};
+
+/// One client recovery span with its breakdown and attributed cause.
+struct Recovery {
+  Span span;                   ///< Name starts with "client.recovery".
+  std::string declared_cause;  ///< Suffix the client stamped: "incumbent"
+                               ///< or "lost_contact".
+  /// Resolved root cause: "incumbent" (flow-joined or temporal),
+  /// "fault", "ap_switch", or "unknown".
+  std::string cause_kind = "unknown";
+  std::int64_t cause_at_us = -1;  ///< Timestamp of the triggering event.
+  std::string cause_detail;       ///< Detail of the triggering event.
+  /// Per-state time within the span window, in state-entry order.  The
+  /// durations sum to the span duration exactly (states only change at
+  /// disconnect / escalate / reconnect instants).
+  std::vector<RecoveryPhase> phases;
+};
+
+/// Attribution tuning.
+struct AnalyzeOptions {
+  /// How far before a lost-contact disconnect a cause may fire.  Covers
+  /// the client contact timeout plus its contact-check period.
+  std::int64_t cause_window_us = 3'000'000;
+};
+
+/// The full derived view of one trace.
+struct TraceAnalysis {
+  std::vector<Span> spans;
+  std::vector<Recovery> recoveries;
+  /// Nodes that behaved as APs (emitted AP spans or AP states).
+  std::vector<int> ap_nodes;
+};
+
+TraceAnalysis AnalyzeTrace(const std::vector<TraceEvent>& events,
+                           const AnalyzeOptions& options = {});
+
+/// Exact nearest-rank percentile of `values` (not required sorted);
+/// p in [0, 100].  Returns 0 when empty.
+double ExactPercentile(std::vector<double> values, double p);
+
+}  // namespace whitefi

@@ -1,0 +1,65 @@
+#include "obs/state_timeline.h"
+
+#include <algorithm>
+
+namespace whitefi {
+
+void StateTimeline::Enter(std::int64_t at_us, int node,
+                          std::string_view state) {
+  const auto it = open_.find(node);
+  if (it != open_.end()) {
+    StateInterval& current = intervals_[it->second];
+    if (current.state == state) return;  // Re-entry: nothing changed.
+    current.end_us = at_us;
+  }
+  StateInterval next;
+  next.node = node;
+  next.state = std::string(state);
+  next.begin_us = at_us;
+  open_[node] = intervals_.size();
+  intervals_.push_back(std::move(next));
+}
+
+void StateTimeline::Close(std::int64_t at_us) {
+  for (const auto& [node, index] : open_) {
+    intervals_[index].end_us = at_us;
+  }
+  open_.clear();
+}
+
+std::int64_t StateTimeline::TotalIn(int node, std::string_view state) const {
+  std::int64_t total = 0;
+  for (const StateInterval& interval : intervals_) {
+    if (interval.node == node && interval.state == state) {
+      total += interval.DurationUs();
+    }
+  }
+  return total;
+}
+
+std::string_view StateTimeline::CurrentState(int node) const {
+  // Transition order means the node's last interval is its newest; a
+  // Close() does not change what state the node is in.
+  for (auto it = intervals_.rbegin(); it != intervals_.rend(); ++it) {
+    if (it->node == node) return it->state;
+  }
+  return {};
+}
+
+std::vector<int> StateTimeline::Nodes() const {
+  std::vector<int> nodes;
+  for (const StateInterval& interval : intervals_) {
+    if (std::find(nodes.begin(), nodes.end(), interval.node) == nodes.end()) {
+      nodes.push_back(interval.node);
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+void StateTimeline::Clear() {
+  intervals_.clear();
+  open_.clear();
+}
+
+}  // namespace whitefi

@@ -1,0 +1,78 @@
+// StateTimeline — exact per-node protocol-state interval accounting.
+//
+// Every node reports its protocol state transitions (client: connected /
+// chirping / escalated; AP: operating / collecting / announcing /
+// rescuing) through World::RecordState.  The timeline closes the node's
+// previous interval at the transition instant and opens a new one, so the
+// per-state durations partition simulated time exactly: for any node,
+// the sum of its interval lengths equals last-transition minus
+// first-transition, with no gaps and no double counting.
+//
+// World::RecordState also emits a kStateEnter trace event at the same
+// instant, which is what makes the trace_lens per-phase breakdown agree
+// with this recorder to the tick (tested in flight_recorder_test).
+//
+// Attached through Observability (obs/obs.h); null pointer = zero cost.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace whitefi {
+
+/// One closed (or still-open) state interval on one node.
+struct StateInterval {
+  int node = -1;
+  std::string state;
+  std::int64_t begin_us = 0;
+  /// End tick; equals begin of the next interval for the node.  Open
+  /// intervals keep kOpen until Close() stamps the final time.
+  std::int64_t end_us = kOpen;
+
+  static constexpr std::int64_t kOpen = -1;
+
+  std::int64_t DurationUs() const {
+    return end_us == kOpen ? 0 : end_us - begin_us;
+  }
+
+  bool operator==(const StateInterval&) const = default;
+};
+
+/// The recorder.
+class StateTimeline {
+ public:
+  /// Node `node` enters `state` at tick `at_us`.  Closes the node's open
+  /// interval (if any) at the same tick.  Re-entering the current state
+  /// is a no-op so callers can report unconditionally.
+  void Enter(std::int64_t at_us, int node, std::string_view state);
+
+  /// Closes every open interval at `at_us` (end of run).
+  void Close(std::int64_t at_us);
+
+  /// All intervals in transition order (closed ones first come first;
+  /// at most one open interval per node at the tail).
+  const std::vector<StateInterval>& intervals() const { return intervals_; }
+
+  /// Sum of closed-interval durations for (node, state).  Call Close()
+  /// first to include time accrued in the final state.
+  std::int64_t TotalIn(int node, std::string_view state) const;
+
+  /// The state `node` is currently in; empty if it never reported.
+  std::string_view CurrentState(int node) const;
+
+  /// Nodes that reported at least one transition, ascending.
+  std::vector<int> Nodes() const;
+
+  /// Drops everything.
+  void Clear();
+
+ private:
+  std::vector<StateInterval> intervals_;
+  /// node -> index into intervals_ of its open interval.
+  std::map<int, std::size_t> open_;
+};
+
+}  // namespace whitefi

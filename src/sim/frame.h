@@ -62,6 +62,10 @@ struct ChirpInfo {
   BandObservation observation;
   int ssid = 0;
   int sender = -1;
+  /// Causal flow id of the sender's recovery (flight recorder); 0 when
+  /// no trace is attached.  Carried in-band so the AP's rescue continues
+  /// the same flow and chrome://tracing draws the client -> AP arrow.
+  std::int64_t trace_flow = 0;
 };
 
 /// One MAC frame.

@@ -150,14 +150,18 @@ void Mac::DifsExpired() {
   if (backoff_slots_ < 0) {
     backoff_slots_ = rng_.UniformInt(0, cw_);
     if (trace_ != nullptr && !queue_.empty()) {
-      TraceEvent event;
-      event.at_us = sim_.Now();
-      event.kind = TraceEventKind::kMacBackoff;
-      event.node = radio_.NodeId();
-      event.bytes = backoff_slots_;  // Magnitude: slots drawn.
-      event.frame_type = FrameTypeName(queue_.front().type);
-      event.detail = "cw=" + std::to_string(cw_);
-      trace_->Append(std::move(event));
+      if (trace_->Wants(TraceEventKind::kMacBackoff)) {
+        TraceEvent event;
+        event.at_us = sim_.Now();
+        event.kind = TraceEventKind::kMacBackoff;
+        event.node = radio_.NodeId();
+        event.bytes = backoff_slots_;  // Magnitude: slots drawn.
+        event.frame_type = FrameTypeName(queue_.front().type);
+        event.detail = "cw=" + std::to_string(cw_);
+        trace_->Append(std::move(event));
+      } else {
+        trace_->CountSkipped(TraceEventKind::kMacBackoff);
+      }
     }
   }
   state_ = State::kBackoff;
@@ -254,33 +258,41 @@ void Mac::AckTimeout(std::uint64_t epoch) {
     WHITEFI_METRIC_COUNT(
         drop_counters_[static_cast<std::size_t>(frame.type)], 1);
     if (trace_ != nullptr) {
-      TraceEvent event;
-      event.at_us = sim_.Now();
-      event.kind = TraceEventKind::kFrameDrop;
-      event.node = radio_.NodeId();
-      event.src = frame.src;
-      event.dst = frame.dst;
-      event.bytes = frame.bytes;
-      event.frame_type = FrameTypeName(frame.type);
-      event.detail = "retry_limit";
-      trace_->Append(std::move(event));
+      if (trace_->Wants(TraceEventKind::kFrameDrop)) {
+        TraceEvent event;
+        event.at_us = sim_.Now();
+        event.kind = TraceEventKind::kFrameDrop;
+        event.node = radio_.NodeId();
+        event.src = frame.src;
+        event.dst = frame.dst;
+        event.bytes = frame.bytes;
+        event.frame_type = FrameTypeName(frame.type);
+        event.detail = "retry_limit";
+        trace_->Append(std::move(event));
+      } else {
+        trace_->CountSkipped(TraceEventKind::kFrameDrop);
+      }
     }
     CompleteHead(false);
     return;
   }
   WHITEFI_METRIC_COUNT(retries_counter_, 1);
   if (trace_ != nullptr) {
-    const Frame& frame = queue_.front();
-    TraceEvent event;
-    event.at_us = sim_.Now();
-    event.kind = TraceEventKind::kMacRetry;
-    event.node = radio_.NodeId();
-    event.src = frame.src;
-    event.dst = frame.dst;
-    event.bytes = frame.bytes;
-    event.frame_type = FrameTypeName(frame.type);
-    event.detail = "attempt=" + std::to_string(attempts_);
-    trace_->Append(std::move(event));
+    if (trace_->Wants(TraceEventKind::kMacRetry)) {
+      const Frame& frame = queue_.front();
+      TraceEvent event;
+      event.at_us = sim_.Now();
+      event.kind = TraceEventKind::kMacRetry;
+      event.node = radio_.NodeId();
+      event.src = frame.src;
+      event.dst = frame.dst;
+      event.bytes = frame.bytes;
+      event.frame_type = FrameTypeName(frame.type);
+      event.detail = "attempt=" + std::to_string(attempts_);
+      trace_->Append(std::move(event));
+    } else {
+      trace_->CountSkipped(TraceEventKind::kMacRetry);
+    }
   }
   cw_ = std::min(cw_ * 2 + 1, params_.cw_max);
   state_ = State::kIdle;

@@ -60,16 +60,20 @@ void Medium::Transmit(RadioPort* tx, const Channel& channel,
   const auto type_index = static_cast<std::size_t>(frame.type);
   WHITEFI_METRIC_COUNT(tx_counters_[type_index], 1);
   if (obs_.trace != nullptr) {
-    TraceEvent event;
-    event.at_us = sim_.Now();
-    event.kind = TraceEventKind::kFrameTx;
-    event.node = tx->NodeId();
-    event.src = frame.src;
-    event.dst = frame.dst;
-    event.bytes = frame.bytes;
-    event.frame_type = FrameTypeName(frame.type);
-    event.detail = channel.ToString();
-    obs_.trace->Append(std::move(event));
+    if (obs_.trace->Wants(TraceEventKind::kFrameTx)) {
+      TraceEvent event;
+      event.at_us = sim_.Now();
+      event.kind = TraceEventKind::kFrameTx;
+      event.node = tx->NodeId();
+      event.src = frame.src;
+      event.dst = frame.dst;
+      event.bytes = frame.bytes;
+      event.frame_type = FrameTypeName(frame.type);
+      event.detail = channel.ToString();
+      obs_.trace->Append(std::move(event));
+    } else {
+      obs_.trace->CountSkipped(TraceEventKind::kFrameTx);
+    }
   }
   ActiveTx record{id,      tx,  channel, frame,
                   tx_power, sim_.Now(), sim_.Now() + duration,
@@ -250,16 +254,20 @@ void Medium::ResolveReceptions(const ActiveTx& tx) {
     if (signal_mw / (noise_mw + interference_mw) < min_sinr) {
       WHITEFI_METRIC_COUNT(drop_counters_[type_index], 1);
       if (obs_.trace != nullptr) {
-        TraceEvent event;
-        event.at_us = sim_.Now();
-        event.kind = TraceEventKind::kFrameDrop;
-        event.node = rx->NodeId();
-        event.src = tx.frame.src;
-        event.dst = tx.frame.dst;
-        event.bytes = tx.frame.bytes;
-        event.frame_type = FrameTypeName(tx.frame.type);
-        event.detail = "sinr";
-        obs_.trace->Append(std::move(event));
+        if (obs_.trace->Wants(TraceEventKind::kFrameDrop)) {
+          TraceEvent event;
+          event.at_us = sim_.Now();
+          event.kind = TraceEventKind::kFrameDrop;
+          event.node = rx->NodeId();
+          event.src = tx.frame.src;
+          event.dst = tx.frame.dst;
+          event.bytes = tx.frame.bytes;
+          event.frame_type = FrameTypeName(tx.frame.type);
+          event.detail = "sinr";
+          obs_.trace->Append(std::move(event));
+        } else {
+          obs_.trace->CountSkipped(TraceEventKind::kFrameDrop);
+        }
       }
       continue;
     }
@@ -271,31 +279,39 @@ void Medium::ResolveReceptions(const ActiveTx& tx) {
       if (reason != nullptr) {
         WHITEFI_METRIC_COUNT(drop_counters_[type_index], 1);
         if (obs_.trace != nullptr) {
-          TraceEvent event;
-          event.at_us = sim_.Now();
-          event.kind = TraceEventKind::kFrameDrop;
-          event.node = rx->NodeId();
-          event.src = tx.frame.src;
-          event.dst = tx.frame.dst;
-          event.bytes = tx.frame.bytes;
-          event.frame_type = FrameTypeName(tx.frame.type);
-          event.detail = reason;
-          obs_.trace->Append(std::move(event));
+          if (obs_.trace->Wants(TraceEventKind::kFrameDrop)) {
+            TraceEvent event;
+            event.at_us = sim_.Now();
+            event.kind = TraceEventKind::kFrameDrop;
+            event.node = rx->NodeId();
+            event.src = tx.frame.src;
+            event.dst = tx.frame.dst;
+            event.bytes = tx.frame.bytes;
+            event.frame_type = FrameTypeName(tx.frame.type);
+            event.detail = reason;
+            obs_.trace->Append(std::move(event));
+          } else {
+            obs_.trace->CountSkipped(TraceEventKind::kFrameDrop);
+          }
         }
         continue;
       }
     }
     WHITEFI_METRIC_COUNT(rx_counters_[type_index], 1);
     if (obs_.trace != nullptr) {
-      TraceEvent event;
-      event.at_us = sim_.Now();
-      event.kind = TraceEventKind::kFrameRx;
-      event.node = rx->NodeId();
-      event.src = tx.frame.src;
-      event.dst = tx.frame.dst;
-      event.bytes = tx.frame.bytes;
-      event.frame_type = FrameTypeName(tx.frame.type);
-      obs_.trace->Append(std::move(event));
+      if (obs_.trace->Wants(TraceEventKind::kFrameRx)) {
+        TraceEvent event;
+        event.at_us = sim_.Now();
+        event.kind = TraceEventKind::kFrameRx;
+        event.node = rx->NodeId();
+        event.src = tx.frame.src;
+        event.dst = tx.frame.dst;
+        event.bytes = tx.frame.bytes;
+        event.frame_type = FrameTypeName(tx.frame.type);
+        obs_.trace->Append(std::move(event));
+      } else {
+        obs_.trace->CountSkipped(TraceEventKind::kFrameRx);
+      }
     }
     rx->DeliverFrame(tx.frame, rx_power);
   }

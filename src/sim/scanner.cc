@@ -1,6 +1,7 @@
 #include "sim/scanner.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 #include "sim/world.h"
@@ -153,6 +154,26 @@ void Scanner::EndDwell() {
   observation_[idx].incumbent =
       device_.config().tv_map.Occupied(cursor_) || mic;
   device_.NoteMicObservation(cursor_, mic);
+
+  // Flight recorder: one probe record per measured dwell — the "scan"
+  // leg of the MCham chain.  Guarded by Wants so a filtered trace never
+  // pays for the detail string.
+  if (EventTrace* trace = world.trace(); trace != nullptr) {
+    if (trace->Wants(TraceEventKind::kDiscoveryProbe)) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "dwell ch%d airtime=%.3f aps=%d%s",
+                    cursor_, observation_[idx].airtime,
+                    observation_[idx].ap_count,
+                    observation_[idx].incumbent ? " incumbent" : "");
+      TraceEvent event;
+      event.kind = TraceEventKind::kDiscoveryProbe;
+      event.node = device_.NodeId();
+      event.detail = buf;
+      world.TraceEventNow(std::move(event));
+    } else {
+      trace->CountSkipped(TraceEventKind::kDiscoveryProbe);
+    }
+  }
 
   cursor_ = (cursor_ + 1) % kNumUhfChannels;
   if (cursor_ == 0) ++sweeps_;

@@ -1,6 +1,7 @@
 #include "sim/world.h"
 
 #include <algorithm>
+#include <string>
 
 #include "util/log.h"
 
@@ -58,7 +59,7 @@ void World::SetMicSchedule(std::vector<MicActivation> mics) {
 
 void World::AddMic(const MicActivation& mic, std::vector<int> audible_to) {
   WorldMic entry{mic, std::move(audible_to), ToTicks(mic.on_time),
-                 ToTicks(mic.off_time)};
+                 ToTicks(mic.off_time), NextTraceId()};
   mics_.push_back(entry);
   // Copy by value: mics_ may reallocate before the events fire.
   sim_.Schedule(entry.on_ticks,
@@ -71,6 +72,63 @@ void World::TraceEventNow(TraceEvent event) {
   if (config_.obs.trace == nullptr) return;
   event.at_us = sim_.Now();
   config_.obs.trace->Append(std::move(event));
+}
+
+void World::RecordState(int node, std::string_view state) {
+  if (StateTimeline* timeline = config_.obs.timeline; timeline != nullptr) {
+    timeline->Enter(sim_.Now(), node, state);
+  }
+  if (config_.obs.trace != nullptr) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kStateEnter;
+    event.node = node;
+    event.detail = std::string(state);
+    TraceEventNow(std::move(event));
+  }
+}
+
+void World::TraceSpanBegin(int node, std::int64_t id, std::int64_t parent,
+                           std::int64_t flow, std::string_view name) {
+  if (config_.obs.trace == nullptr) return;
+  TraceEvent event;
+  event.kind = TraceEventKind::kSpanBegin;
+  event.node = node;
+  event.span_id = id;
+  event.parent_span = parent;
+  event.flow_id = flow;
+  event.detail = std::string(name);
+  TraceEventNow(std::move(event));
+}
+
+void World::TraceSpanEnd(int node, std::int64_t id, std::int64_t flow,
+                         std::string_view name) {
+  if (config_.obs.trace == nullptr) return;
+  TraceEvent event;
+  event.kind = TraceEventKind::kSpanEnd;
+  event.node = node;
+  event.span_id = id;
+  event.flow_id = flow;
+  event.detail = std::string(name);
+  TraceEventNow(std::move(event));
+}
+
+std::int64_t World::MicFlowId(UhfIndex c, int node_id) const {
+  const SimTime now = sim_.Now();
+  std::int64_t flow = 0;
+  SimTime latest = 0;
+  for (const WorldMic& m : mics_) {
+    if (m.mic.channel != c || !m.ActiveAtTick(now)) continue;
+    if (!m.audible_to.empty() &&
+        std::find(m.audible_to.begin(), m.audible_to.end(), node_id) ==
+            m.audible_to.end()) {
+      continue;
+    }
+    if (flow == 0 || m.on_ticks > latest) {
+      flow = m.flow;
+      latest = m.on_ticks;
+    }
+  }
+  return flow;
 }
 
 std::optional<SimTime> World::MicOnSince(UhfIndex c) const {
@@ -89,6 +147,7 @@ void World::ApplyMicTransition(const WorldMic& mic, bool on) {
     TraceEvent event;
     event.kind = on ? TraceEventKind::kIncumbentOn : TraceEventKind::kIncumbentOff;
     event.detail = "mic ch" + std::to_string(mic.mic.channel);
+    event.flow_id = mic.flow;
     TraceEventNow(std::move(event));
   }
   if (!on) return;

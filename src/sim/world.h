@@ -5,9 +5,11 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "fault/fault.h"
@@ -62,6 +64,31 @@ class World {
   /// Appends a structured trace event stamped with the current simulated
   /// time; no-op when no trace is attached.
   void TraceEventNow(TraceEvent event);
+
+  /// Fresh span/flow identifier for the causal flight recorder.  The
+  /// counter always advances (attached or not) so ids are stable across
+  /// observability configurations; they only surface inside traces.
+  std::int64_t NextTraceId() { return ++next_trace_id_; }
+
+  /// Records that `node` entered protocol state `state` (e.g. a client
+  /// moving connected -> chirping).  Feeds both the StateTimeline and a
+  /// kStateEnter trace event at the same tick, which is what keeps
+  /// trace-derived phase breakdowns exactly equal to the timeline.
+  /// No-op when neither sink is attached.
+  void RecordState(int node, std::string_view state);
+
+  /// Flow id of the most recent active mic on `c` audible to `node_id`;
+  /// 0 when none.  Lets a node continue the causal flow the incumbent
+  /// event opened (mic-on -> detect -> vacate -> ... -> reconnect).
+  std::int64_t MicFlowId(UhfIndex c, int node_id) const;
+
+  /// Emits a kSpanBegin / kSpanEnd record (no-op when no trace is
+  /// attached).  `name` goes in detail and must match between the pair;
+  /// pass the end's `flow` to terminate a flow arrow at the span close.
+  void TraceSpanBegin(int node, std::int64_t id, std::int64_t parent,
+                      std::int64_t flow, std::string_view name);
+  void TraceSpanEnd(int node, std::int64_t id, std::int64_t flow,
+                    std::string_view name);
 
   /// Ticks since the most recent active mic on channel `c` switched on;
   /// nullopt when none is active.  Feeds the incumbent reaction-latency
@@ -143,6 +170,9 @@ class World {
     // Tick-resolution activity window (avoids double/tick boundary skew).
     SimTime on_ticks = 0;
     SimTime off_ticks = 0;
+    /// Causal flow id shared by this mic's on/off trace events and every
+    /// protocol reaction they trigger.
+    std::int64_t flow = 0;
 
     bool ActiveAtTick(SimTime t) const { return t >= on_ticks && t < off_ticks; }
   };
@@ -154,6 +184,7 @@ class World {
   Simulator sim_;
   Medium medium_;
   int next_id_ = 1;
+  std::int64_t next_trace_id_ = 0;
   std::vector<std::unique_ptr<Device>> devices_;
   std::vector<WorldMic> mics_;
   std::map<int, std::uint64_t> app_bytes_;

@@ -117,6 +117,18 @@ double ExpHistogram::Percentile(double p) const {
   return max_;
 }
 
+std::vector<ExpHistogram::BucketCount> ExpHistogram::NonEmptyBuckets() const {
+  std::vector<BucketCount> buckets;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::size_t count = bins_[static_cast<std::size_t>(i)];
+    if (count == 0) continue;
+    const double lo = i == 0 ? 0.0 : std::ldexp(1.0, i - 1);
+    const double hi = std::ldexp(1.0, i);
+    buckets.push_back({lo, hi, count});
+  }
+  return buckets;
+}
+
 void ExpHistogram::Merge(const ExpHistogram& other) {
   if (other.count_ == 0) return;
   if (count_ == 0) {

@@ -102,6 +102,18 @@ class ExpHistogram {
   /// Estimated value at percentile `p` in [0, 100]; 0 when empty.
   double Percentile(double p) const;
 
+  /// One non-empty power-of-two bucket: [lo, hi) holding `count`
+  /// observations.
+  struct BucketCount {
+    double lo = 0.0;
+    double hi = 0.0;
+    std::size_t count = 0;
+  };
+
+  /// The non-empty buckets in ascending order (exact raw counts, for
+  /// JSON export and offline re-bucketing).
+  std::vector<BucketCount> NonEmptyBuckets() const;
+
   /// Merges another histogram into this one.
   void Merge(const ExpHistogram& other);
 

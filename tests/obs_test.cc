@@ -112,6 +112,31 @@ TEST(MetricsRegistry, ExportFormatsContainEveryMetric) {
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
 }
 
+TEST(MetricsRegistry, JsonExportsHistogramBucketsAlongsideQuantiles) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("whitefi.client.outage_s");
+  h.Observe(0.5);  // Bucket [0, 1).
+  h.Observe(0.7);  // Same bucket.
+  h.Observe(3.0);  // Bucket [2, 4).
+  const std::string json = registry.Snapshot().ToJson();
+  // Quantile summary fields are still present...
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  // ...and the exact power-of-two bucket counts ride alongside, as
+  // [lo, hi, count] triples in ascending order.
+  EXPECT_NE(json.find("\"buckets\":[[0,1,2],[2,4,1]]"), std::string::npos);
+
+  // ExpHistogram's accessor reports the same triples.
+  const auto buckets = h.distribution().NonEmptyBuckets();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].lo, 0.0);
+  EXPECT_EQ(buckets[0].hi, 1.0);
+  EXPECT_EQ(buckets[0].count, 2u);
+  EXPECT_EQ(buckets[1].lo, 2.0);
+  EXPECT_EQ(buckets[1].hi, 4.0);
+  EXPECT_EQ(buckets[1].count, 1u);
+}
+
 TEST(MetricMacros, NullHandleIsANoOp) {
   Counter* counter = nullptr;
   Gauge* gauge = nullptr;

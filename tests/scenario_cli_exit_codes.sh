@@ -79,6 +79,15 @@ expect_exit 2 "out-of-range flag value" \
   "$CLI" --seed 99999999999999999999999999
 expect_exit 2 "trailing garbage in flag value" "$CLI" --seconds 3x
 
+# --trace-only takes wire names of trace-event kinds; an unknown name is
+# a configuration error naming the offending kind.
+expect_exit 2 "unknown trace kind" "$CLI" --trace-only frame_tx,bogus_kind
+grep -q "bogus_kind" "$TMP/err" || {
+  cat "$TMP/err" >&2
+  fail "--trace-only error must name the unknown kind"
+}
+expect_exit 2 "empty trace kind list" "$CLI" --trace-only ,
+
 # Replaying a file with no expect block is a runtime failure (1), not a
 # config error: the file parsed fine, the reproduction just cannot hold.
 expect_exit 1 "replay of a non-bundle" "$CLI" --replay "$TMP/ok.conf"
