@@ -25,6 +25,16 @@
 // --jobs N (parallel trials per arm; any N is byte-identical to 1) — CI
 // runs a reduced soak under sanitizers.  Exit status 0 iff the hardened
 // backoff arm's p95 beats fixed-interval chirping.
+//
+// --geodb additionally runs every trial with the simulated geo-db
+// service, mobile clients, and a DB outage spanning the disconnect storm:
+// the sessions lose their refresh path exactly when the mic strands the
+// clients, so recovery has to ride the breaker -> conservative-map path.
+// --json PATH writes a google-benchmark-compatible report whose
+// "throughputs" are deterministic simulation outputs (1/p95 reconnect,
+// rescued fraction, geo-db recovery ratio) — the committed baseline
+// (BENCH_chaos_geodb.json) is gated by bench/compare_bench.py, turning a
+// recovery-latency regression into a red build.
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -61,10 +71,15 @@ struct ArmResult {
   int disconnects = 0;
   int unrecovered = 0;  ///< Clients still down when the run ended.
   std::uint64_t faults = 0;
+  // Geo-db session statistics (zero without --geodb).
+  long long geodb_degraded = 0;
+  long long geodb_recovered = 0;
+  std::uint64_t geodb_queries = 0;
+  std::uint64_t geodb_pushes = 0;
 };
 
 ScenarioConfig MakeConfig(const Arm& arm, std::uint64_t seed, int clients,
-                          double storm_at_s) {
+                          double storm_at_s, bool geodb) {
   ScenarioConfig config;
   config.seed = seed;
   config.base_map = CampusSimulationMap();
@@ -122,6 +137,29 @@ ScenarioConfig MakeConfig(const Arm& arm, std::uint64_t seed, int clients,
   outage.until = static_cast<SimTime>((storm_at_s + 4.2) * kTicksPerSec);
   config.faults.scanner_outages.push_back(outage);
 
+  // --geodb: mobile clients under the dynamic geo-db service, with the
+  // DB itself down for the whole rescue window — the sessions' scheduled
+  // refresh times out exactly when the mic strands the clients, so the
+  // breaker must trip to the conservative map while the reconnect
+  // machinery does its job.  Tight session timings fit full
+  // degrade -> recover cycles inside the run.
+  if (geodb) {
+    config.geodb.enabled = true;
+    config.geodb.venues = 2;
+    config.geodb.mobility = true;
+    config.geodb.session.refresh_interval = 1 * kTicksPerSec;
+    config.geodb.session.refresh_timeout = 200 * kTicksPerMs;
+    config.geodb.session.backoff_base = 200 * kTicksPerMs;
+    config.geodb.session.backoff_max = 800 * kTicksPerMs;
+    config.geodb.session.breaker_failures = 2;
+    config.geodb.session.breaker_cooldown = 500 * kTicksPerMs;
+    FaultWindow db_outage;
+    db_outage.from = static_cast<SimTime>(storm_at_s * kTicksPerSec);
+    db_outage.until =
+        static_cast<SimTime>((storm_at_s + 6.0) * kTicksPerSec);
+    config.faults.geodb_outages.push_back(db_outage);
+  }
+
   // Storm: one wireless mic keys up in the middle of the operating
   // channel, audible only to the clients — they all vacate at once while
   // the AP (out of the mic's range) keeps transmitting, unaware.
@@ -154,7 +192,8 @@ struct TrialOutcome {
 };
 
 ArmResult RunArm(const Arm& arm, std::uint64_t seed0, int trials,
-                 int clients, const std::string& trace_prefix, int jobs) {
+                 int clients, const std::string& trace_prefix, int jobs,
+                 bool geodb) {
   ArmResult out;
   // The storm's arrival phase relative to the chirp/scan cycles decides
   // whether a deterministic chirper is caught or stranded, so it must be
@@ -175,7 +214,7 @@ ArmResult RunArm(const Arm& arm, std::uint64_t seed0, int trials,
         outcome.storm_at_s = storm_onsets[t];
         ScenarioConfig config =
             MakeConfig(arm, seed0 + static_cast<std::uint64_t>(t), clients,
-                       outcome.storm_at_s);
+                       outcome.storm_at_s, geodb);
         // --trace: dump trial 0's protocol-level story (chirps, switches,
         // faults) as JSONL for post-mortem of a pathological arm.
         if (!trace_prefix.empty() && t == 0) {
@@ -215,8 +254,61 @@ ArmResult RunArm(const Arm& arm, std::uint64_t seed0, int trials,
     }
     out.unrecovered += stuck;
     out.faults += run.faults_injected;
+    out.geodb_degraded += run.geodb_degraded;
+    out.geodb_recovered += run.geodb_recovered;
+    out.geodb_queries += run.geodb_queries;
+    out.geodb_pushes += run.geodb_pushes;
   }
   return out;
+}
+
+/// Google-benchmark-compatible JSON report.  Every "throughput" here is a
+/// deterministic function of the simulation (same seed = same bytes), so
+/// bench/compare_bench.py can gate it against a committed baseline with a
+/// tight threshold: a drop in 1/p95 IS a recovery-latency regression, not
+/// machine noise.
+void WriteJsonReport(std::ostream& os, const std::vector<Arm>& arms,
+                     const std::vector<ArmResult>& results, int trials,
+                     int clients, std::uint64_t seed, bool geodb) {
+  os.setf(std::ios::fixed);
+  os.precision(6);
+  os << "{\n \"context\": {\n"
+     << "  \"executable\": \"bench_chaos_recovery\",\n"
+     << "  \"whitefi_trials\": " << trials << ",\n"
+     << "  \"whitefi_clients\": " << clients << ",\n"
+     << "  \"whitefi_seed\": " << seed << ",\n"
+     << "  \"whitefi_geodb\": " << (geodb ? "true" : "false") << "\n"
+     << " },\n \"benchmarks\": [\n";
+  bool first = true;
+  auto entry = [&](const std::string& name, double rate) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\n   \"name\": \"" << name << "\",\n"
+       << "   \"run_name\": \"" << name << "\",\n"
+       << "   \"run_type\": \"iteration\",\n"
+       << "   \"iterations\": 1,\n"
+       << "   \"real_time\": " << (rate > 0.0 ? 1.0 / rate : 0.0) << ",\n"
+       << "   \"cpu_time\": " << (rate > 0.0 ? 1.0 / rate : 0.0) << ",\n"
+       << "   \"time_unit\": \"s\",\n"
+       << "   \"items_per_second\": " << rate << "\n  }";
+  };
+  for (std::size_t a = 0; a < arms.size(); ++a) {
+    const ArmResult& r = results[a];
+    const std::string prefix = "chaos/" + arms[a].label + "/";
+    const double p95 = r.outages.Percentile(95);
+    entry(prefix + "recovery_p95_inv", p95 > 0.0 ? 1.0 / p95 : 0.0);
+    const double samples = static_cast<double>(r.outages.Count());
+    entry(prefix + "rescued_frac",
+          samples > 0.0 ? (samples - r.unrecovered) / samples : 0.0);
+    if (geodb) {
+      entry(prefix + "geodb_recovered_per_degraded",
+            r.geodb_degraded > 0
+                ? static_cast<double>(r.geodb_recovered) /
+                      static_cast<double>(r.geodb_degraded)
+                : 0.0);
+    }
+  }
+  os << "\n ]\n}\n";
 }
 
 int Main(int argc, char** argv) {
@@ -225,6 +317,8 @@ int Main(int argc, char** argv) {
   int jobs = 1;
   std::uint64_t seed = 1;
   std::string trace_prefix;
+  std::string json_path;
+  bool geodb = false;
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string flag = argv[i];
@@ -239,9 +333,12 @@ int Main(int argc, char** argv) {
       else if (flag == "--clients") clients = std::stoi(next());
       else if (flag == "--trace") trace_prefix = next();
       else if (flag == "--jobs") jobs = ParseJobs(next());
+      else if (flag == "--geodb") geodb = true;
+      else if (flag == "--json") json_path = next();
       else {
         std::cerr << "usage: bench_chaos_recovery [--trials N] [--seed S] "
-                     "[--clients N] [--trace PREFIX] [--jobs N]\n";
+                     "[--clients N] [--trace PREFIX] [--jobs N] [--geodb] "
+                     "[--json PATH]\n";
         return 2;
       }
     }
@@ -255,7 +352,12 @@ int Main(int argc, char** argv) {
             << "(" << trials << " trials per arm, seed " << seed
             << "; mic audible to clients only, 25% chirp-detection miss,\n"
             << " 5% beacon loss, 4 s scanner outage at storm onset;\n"
-            << " clients still down at run end are censored at the cap)\n\n";
+            << " clients still down at run end are censored at the cap)\n";
+  if (geodb) {
+    std::cout << "geo-db arm: mobile clients, dynamic geo-db sessions, "
+                 "6 s DB outage at storm onset\n";
+  }
+  std::cout << "\n";
 
   const std::vector<Arm> arms{
       {"fixed", 0.0, false, false, false},
@@ -269,7 +371,8 @@ int Main(int argc, char** argv) {
                "stuck", "faults"});
   std::vector<ArmResult> results;
   for (const Arm& arm : arms) {
-    results.push_back(RunArm(arm, seed, trials, clients, trace_prefix, jobs));
+    results.push_back(
+        RunArm(arm, seed, trials, clients, trace_prefix, jobs, geodb));
     const ArmResult& r = results.back();
     table.AddRow({arm.label, std::to_string(r.outages.Count()),
                   FormatDouble(r.outages.Percentile(50), 2),
@@ -292,6 +395,36 @@ int Main(int argc, char** argv) {
   // clients wins even before comparing percentiles.
   std::cout << "stranded clients: fixed " << results[0].unrecovered
             << ", fully hardened " << results.back().unrecovered << "\n";
+  long long degraded = 0, recovered = 0;
+  if (geodb) {
+    std::uint64_t queries = 0, pushes = 0;
+    for (const ArmResult& r : results) {
+      degraded += r.geodb_degraded;
+      recovered += r.geodb_recovered;
+      queries += r.geodb_queries;
+      pushes += r.geodb_pushes;
+    }
+    std::cout << "geodb: " << queries << " queries, " << pushes
+              << " pushes, " << degraded << " degraded / " << recovered
+              << " recovered transitions\n";
+  }
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    WriteJsonReport(os, arms, results, trials, clients, seed, geodb);
+    std::cout << "json report: " << json_path << "\n";
+  }
+  // Acceptance.  Default: the backoff hardening beats fixed-interval
+  // chirping on p95 reconnect.  --geodb: the outage churn, not chirp
+  // phasing, dominates the percentiles, so the criterion is the recovery
+  // protocol's own — every session that degraded came back fresh (the
+  // per-arm latency profile is gated separately via --json +
+  // compare_bench.py against the committed baseline).
+  if (geodb) {
+    const bool healthy = degraded > 0 && recovered == degraded;
+    std::cout << "geodb recovery: "
+              << (healthy ? "ALL SESSIONS RECOVERED" : "INCOMPLETE") << "\n";
+    return healthy ? 0 : 1;
+  }
   return backoff_p95 < fixed_p95 ? 0 : 1;
 }
 

@@ -1,0 +1,181 @@
+// Geo-db chaos soak: randomized geo-db scenarios under the invariant
+// auditor with the position-aware incumbent-safety check armed.
+//
+// Every trial enables the simulated geo-db service (load-dependent query
+// latency, bounded queue, push fan-out), tight session recovery timings
+// (refresh timeout, capped backoff, circuit breaker), venue activations
+// (often backed by real mics), client mobility, and geo-db fault pressure:
+// DB outage windows, served-data staleness, and push-update storms.  The
+// auditor checks every transmission against the geometric ground truth at
+// the node's CURRENT position — a session that keeps transmitting on a
+// protected channel past the derived reaction budget fails the soak.
+//
+// On a violation the soak fails CLOSED exactly like bench_fuzz_soak: the
+// lowest-index violating trial becomes a minimized repro bundle replayable
+// with `scenario_cli --replay`.
+//
+// Flags:
+//   --seeds N          trials (default 20; ISSUE 7 acceptance runs 200)
+//   --jobs N           parallel trials; byte-identical to --jobs 1
+//   --root-seed S      substream root (default 1)
+//   --geo-budget-ms M  override the geometric-safety budget — a weakened
+//                      budget (e.g. 1) is the self-test that the geo path
+//                      detects, bundles, and replays a violation
+//   --out PATH         bundle path (default geodb_repro.bundle)
+//   --no-minimize      write the raw failing bundle unminimized
+//
+// Exit status: 0 all trials clean, 1 violation found (bundle written),
+// 2 bad flags.
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fuzz.h"
+#include "util/parallel.h"
+
+namespace whitefi::bench {
+namespace {
+
+struct TrialOutcome {
+  std::string scenario;       ///< Generated text (kept only on failure).
+  std::uint64_t violations = 0;
+  Violation first;            ///< Valid iff violations > 0.
+  double mbps = 0.0;
+  std::uint64_t faults = 0;
+  int degraded = 0;
+  int recovered = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t pushes = 0;
+};
+
+int Main(int argc, char** argv) {
+  int seeds = 20;
+  int jobs = 1;
+  std::uint64_t root_seed = 1;
+  long long geo_budget_ms = 0;
+  std::string out_path = "geodb_repro.bundle";
+  bool minimize = true;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument(flag + " needs a value");
+        }
+        return argv[++i];
+      };
+      if (flag == "--seeds") seeds = std::stoi(next());
+      else if (flag == "--jobs") jobs = ParseJobs(next());
+      else if (flag == "--root-seed") root_seed = std::stoull(next());
+      else if (flag == "--geo-budget-ms") geo_budget_ms = std::stoll(next());
+      else if (flag == "--out") out_path = next();
+      else if (flag == "--no-minimize") minimize = false;
+      else {
+        std::cerr << "usage: bench_geodb_soak [--seeds N] [--jobs N] "
+                     "[--root-seed S] [--geo-budget-ms M] [--out PATH] "
+                     "[--no-minimize]\n";
+        return 2;
+      }
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 2;
+  }
+
+  FuzzOptions options;
+  options.root_seed = root_seed;
+  options.geo_budget_ms = geo_budget_ms;
+
+  std::cout << "Geo-db chaos soak: " << seeds
+            << " randomized geo-db scenarios, position-aware incumbent "
+            << "safety armed (root seed " << root_seed;
+  if (geo_budget_ms > 0) {
+    std::cout << ", geo budget " << geo_budget_ms << " ms";
+  }
+  std::cout << ")\n";
+
+  // Scenario text depends only on (root seed, index) — never on
+  // scheduling — so any --jobs N collects the same outcomes in the same
+  // index order.
+  const std::vector<TrialOutcome> outcomes = ParallelMap(
+      jobs, static_cast<std::size_t>(seeds), [&](std::size_t t) {
+        TrialOutcome outcome;
+        const std::string scenario =
+            GenerateGeoDbFuzzScenario(options, static_cast<std::uint64_t>(t));
+        const AuditedRun run = RunAuditedScenarioText(scenario);
+        outcome.violations = run.violation_count;
+        if (!run.violations.empty()) {
+          outcome.first = run.violations.front();
+          outcome.scenario = scenario;
+        }
+        outcome.mbps = run.result.aggregate_mbps;
+        outcome.faults = run.result.faults_injected;
+        outcome.degraded = run.result.geodb_degraded;
+        outcome.recovered = run.result.geodb_recovered;
+        outcome.queries = run.result.geodb_queries;
+        outcome.shed = run.result.geodb_shed;
+        outcome.pushes = run.result.geodb_pushes;
+        return outcome;
+      });
+
+  std::uint64_t total_faults = 0, queries = 0, shed = 0, pushes = 0;
+  long long degraded = 0, recovered = 0;
+  double total_mbps = 0.0;
+  int failing = -1;
+  for (int t = 0; t < seeds; ++t) {
+    const TrialOutcome& outcome = outcomes[static_cast<std::size_t>(t)];
+    total_faults += outcome.faults;
+    total_mbps += outcome.mbps;
+    queries += outcome.queries;
+    shed += outcome.shed;
+    pushes += outcome.pushes;
+    degraded += outcome.degraded;
+    recovered += outcome.recovered;
+    if (outcome.violations > 0 && failing < 0) failing = t;
+  }
+  std::cout << "ran " << seeds << " trials, " << total_faults
+            << " faults injected, mean "
+            << (seeds > 0 ? total_mbps / seeds : 0.0) << " Mbps aggregate\n"
+            << "geodb: " << queries << " queries (" << shed << " shed), "
+            << pushes << " pushes, " << degraded << " degraded / "
+            << recovered << " recovered transitions\n";
+
+  // A soak where no session ever degraded did not exercise the recovery
+  // protocol at all — that is a generator bug, not a clean pass.
+  if (failing < 0 && degraded == 0 && seeds > 0) {
+    std::cout << "NO DEGRADED TRANSITIONS: the soak never stressed the "
+                 "recovery path\n";
+    return 1;
+  }
+
+  if (failing < 0) {
+    std::cout << "all invariants held\n";
+    return 0;
+  }
+
+  const TrialOutcome& bad = outcomes[static_cast<std::size_t>(failing)];
+  std::cout << "VIOLATION in trial " << failing << " (" << bad.violations
+            << " total): " << bad.first.ToString() << "\n";
+  std::string bundle = MakeReproBundle(bad.scenario, bad.first);
+  if (minimize) {
+    int steps = 0;
+    bundle = MinimizeBundle(bundle, &steps);
+    std::cout << "minimizer accepted " << steps << " reductions\n";
+  }
+  std::ofstream os(out_path);
+  os << bundle;
+  os.close();
+  std::cout << "repro bundle: " << out_path << "\n"
+            << "replay with: scenario_cli --replay " << out_path << "\n";
+  return 1;
+}
+
+}  // namespace
+}  // namespace whitefi::bench
+
+int main(int argc, char** argv) {
+  return whitefi::bench::Main(argc, argv);
+}

@@ -160,10 +160,126 @@ std::string GenerateFuzzScenario(const FuzzOptions& options,
   return os.str();
 }
 
+std::string GenerateGeoDbFuzzScenario(const FuzzOptions& options,
+                                      std::uint64_t index) {
+  Rng rng(DeriveSeed(options.root_seed,
+                     "fuzz.geodb.trial." + std::to_string(index)));
+  std::ostringstream os;
+  os << "# geodb fuzz trial " << index << " (root seed " << options.root_seed
+     << ")\n";
+  os << "seed = " << rng.UniformInt(1, 1 << 30) << "\n";
+  const bool building = rng.Bernoulli(0.3);
+  const SpectrumMap map = building ? Building5Map() : CampusSimulationMap();
+  os << "map.name = " << (building ? "building5" : "campus") << "\n";
+  const long long seconds = rng.UniformInt(5, 8);
+  os << "seconds = " << seconds << "\n";
+  os << "warmup = 1\n";
+  os << "network.clients = " << rng.UniformInt(1, 3) << "\n";
+  os << "background.pairs = " << rng.UniformInt(0, 2) << "\n";
+
+  // The geo-db service is always on: this generator's whole point is the
+  // recovery protocol under churn, so every trial gets venue activations
+  // (often backed by real mics — those arm the audible fast path on top
+  // of the geo ground truth) and tight session timings so full
+  // degrade -> breaker -> recover cycles fit inside a short run.
+  os << "geodb.enabled = true\n";
+  os << "geodb.stations = " << rng.UniformInt(10, 24) << "\n";
+  os << "geodb.venues = " << rng.UniformInt(1, 3) << "\n";
+  os << "geodb.venue_radius_km = " << Num(rng.Uniform(0.5, 2.0)) << "\n";
+  os << "geodb.venue_spread_km = " << Num(rng.Uniform(0.2, 1.0)) << "\n";
+  const double start_min = rng.Uniform(0.5, 1.5);
+  os << "geodb.venue_start_min_s = " << Num(start_min) << "\n";
+  os << "geodb.venue_start_max_s = " << Num(start_min + rng.Uniform(1.0, 3.0))
+     << "\n";
+  const double on_min = rng.Uniform(0.8, 1.5);
+  os << "geodb.venue_on_min_s = " << Num(on_min) << "\n";
+  os << "geodb.venue_on_max_s = " << Num(on_min + rng.Uniform(0.5, 2.0))
+     << "\n";
+  os << "geodb.venue_mics = " << (rng.Bernoulli(0.5) ? "true" : "false")
+     << "\n";
+
+  // Service behavior: latency, queueing, overload shedding, push fan-out.
+  os << "geodb.query_latency_ms = " << rng.UniformInt(20, 80) << "\n";
+  os << "geodb.per_pending_ms = " << rng.UniformInt(5, 30) << "\n";
+  os << "geodb.latency_jitter = " << Num(rng.Uniform(0.0, 0.4)) << "\n";
+  os << "geodb.queue = " << rng.UniformInt(2, 8) << "\n";
+  os << "geodb.push_latency_min_ms = 10\n";
+  os << "geodb.push_latency_max_ms = " << rng.UniformInt(50, 150) << "\n";
+
+  // Session recovery protocol, tightened to the run length.
+  os << "geodb.refresh_s = " << Num(rng.Uniform(0.5, 1.2)) << "\n";
+  os << "geodb.refresh_timeout_ms = " << rng.UniformInt(100, 250) << "\n";
+  os << "geodb.backoff_ms = " << rng.UniformInt(80, 200) << "\n";
+  os << "geodb.backoff_max_ms = " << rng.UniformInt(400, 800) << "\n";
+  os << "geodb.breaker_failures = " << rng.UniformInt(2, 3) << "\n";
+  os << "geodb.breaker_cooldown_ms = " << rng.UniformInt(300, 800) << "\n";
+  os << "geodb.stale_after_s = " << Num(rng.Uniform(4.0, 10.0)) << "\n";
+
+  // Mobility most trials: movement is what makes the position-aware
+  // ground-truth check different from the audible-mic one.
+  if (rng.Bernoulli(0.7)) {
+    os << "mobility.enabled = true\n";
+    os << "mobility.range_m = " << Num(rng.Uniform(100.0, 400.0)) << "\n";
+    os << "mobility.speed_min_mps = 1.000\n";
+    os << "mobility.speed_max_mps = " << Num(rng.Uniform(5.0, 15.0)) << "\n";
+    os << "mobility.tick_ms = " << rng.UniformInt(50, 150) << "\n";
+  }
+
+  // Geo-db fault pressure.  An outage window mid-run forces the timeout /
+  // backoff / breaker path; staleness makes even successful refreshes
+  // serve old data; a push storm floods the subscription fan-out with
+  // short-lived protected venues.
+  if (rng.Bernoulli(0.8)) {
+    const double from = rng.Uniform(1.5, 3.0);
+    os << "fault.geodb_outages = " << Num(from) << "-"
+       << Num(from + rng.Uniform(1.0, 2.5)) << "\n";
+  }
+  if (rng.Bernoulli(0.3)) {
+    os << "fault.geodb_staleness_s = " << Num(rng.Uniform(0.5, 2.0)) << "\n";
+  }
+  if (rng.Bernoulli(0.4)) {
+    os << "fault.push_storm_start_s = " << Num(rng.Uniform(1.5, 3.0)) << "\n";
+    os << "fault.push_storm_duration_s = " << Num(rng.Uniform(2.0, 3.0))
+       << "\n";
+    os << "fault.push_storm_venues = " << rng.UniformInt(2, 4) << "\n";
+    os << "fault.push_storm_mean_on_s = " << Num(rng.Uniform(0.5, 1.5))
+       << "\n";
+    os << "fault.push_storm_mean_off_s = " << Num(rng.Uniform(0.5, 1.5))
+       << "\n";
+    os << "fault.push_storm_radius_km = " << Num(rng.Uniform(0.8, 1.5))
+       << "\n";
+    os << "fault.push_storm_spread_km = " << Num(rng.Uniform(1.0, 3.0))
+       << "\n";
+  }
+
+  // A plain audible mic and light protocol fault pressure some trials:
+  // the geo-db path must compose with, not replace, the audio one.
+  if (rng.Bernoulli(0.4)) {
+    const auto free = map.FreeIndices();
+    const UhfIndex mic = free[rng.Index(free.size())];
+    const double on_s = rng.Uniform(1.5, 3.0);
+    os << "mic.tv_channel = " << TvChannelNumber(mic) << "\n";
+    os << "mic.on_s = " << Num(on_s) << "\n";
+    os << "mic.off_s = " << Num(on_s + rng.Uniform(1.0, 2.0)) << "\n";
+  }
+  if (rng.Bernoulli(0.4)) {
+    os << "fault.beacon_drop_p = " << Num(rng.Uniform(0.05, 0.2)) << "\n";
+  }
+
+  if (options.safety_budget_ms > 0) {
+    os << "audit.safety_budget_ms = " << options.safety_budget_ms << "\n";
+  }
+  if (options.geo_budget_ms > 0) {
+    os << "audit.geo_budget_ms = " << options.geo_budget_ms << "\n";
+  }
+  return os.str();
+}
+
 AuditConfig LoadAuditConfig(const ConfigFile& config) {
   AuditConfig audit;
   audit.safety_budget =
       config.GetInt("audit.safety_budget_ms", 0) * kTicksPerMs;
+  audit.geo_budget = config.GetInt("audit.geo_budget_ms", 0) * kTicksPerMs;
   if (config.Has("audit.vacate_slack_ms")) {
     audit.safety_vacate_slack =
         config.GetInt("audit.vacate_slack_ms") * kTicksPerMs;

@@ -36,6 +36,10 @@ struct FuzzOptions {
   /// Incumbent-safety budget override in ms (0 = auditor default).  Wired
   /// into the generated text so a repro bundle carries it.
   long long safety_budget_ms = 0;
+  /// Geometric-safety budget override in ms (0 = the budget the geodb
+  /// runtime derives from its own timing).  A deliberately weakened value
+  /// is the geodb soak's fail-closed self-test.
+  long long geo_budget_ms = 0;
 };
 
 /// Deterministically generates the scenario text for fuzz trial `index`.
@@ -43,6 +47,16 @@ struct FuzzOptions {
 /// "fuzz.trial.<index>" substream; same (options, index) = same bytes.
 std::string GenerateFuzzScenario(const FuzzOptions& options,
                                  std::uint64_t index);
+
+/// Geo-db flavored trial: every scenario enables the simulated geo-db
+/// service with randomized service latency / queue / staleness, tight
+/// session (refresh / backoff / breaker) timings, venue churn (often
+/// backed by real mics), client mobility, and geodb fault pressure (DB
+/// outage windows, served-data staleness, push-update storms).  Runs are
+/// audited with the position-aware incumbent-safety check armed via the
+/// runtime's ground truth.  Substream: "fuzz.geodb.trial.<index>".
+std::string GenerateGeoDbFuzzScenario(const FuzzOptions& options,
+                                      std::uint64_t index);
 
 /// One audited run.
 struct AuditedRun {

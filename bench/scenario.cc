@@ -68,6 +68,13 @@ RunResult RunScenario(const ScenarioConfig& config) {
   }
   World world(world_config);
   if (config.auditor != nullptr) config.auditor->Attach(world);
+  // The geo-db runtime (when enabled) is likewise seeded purely from named
+  // substreams of config.seed, so a disabled run stays byte-identical.
+  std::unique_ptr<GeoDbRuntime> geodb;
+  if (config.geodb.enabled) {
+    geodb = std::make_unique<GeoDbRuntime>(world, config.geodb, config.seed,
+                                           injector.get());
+  }
   Rng rng = world.NewRng();
 
   const std::vector<SpectrumMap> maps = NodeMaps(config);
@@ -75,12 +82,19 @@ RunResult RunScenario(const ScenarioConfig& config) {
 
   // Pick the initial channel: the pinned static one, or the assigner's
   // choice under the OR'd maps (association is assumed complete at t=0).
+  // With a geo-db the boot decision also respects the guarded bootstrap
+  // map at the cell origin, so the network does not start on a
+  // geo-protected channel only to vacate at t=0.
+  SpectrumMap boot_view = union_map;
+  if (geodb != nullptr) {
+    boot_view = boot_view.UnionWith(geodb->BootstrapMapAt(Position{0.0, 0.0}));
+  }
   AssignmentInputs boot;
-  boot.ap_map = union_map;
+  boot.ap_map = boot_view;
   boot.ap_observation = EmptyBandObservation();
   for (UhfIndex c = 0; c < kNumUhfChannels; ++c) {
     boot.ap_observation[static_cast<std::size_t>(c)].incumbent =
-        union_map.Occupied(c);
+        boot_view.Occupied(c);
   }
   SpectrumAssigner boot_assigner(config.ap_params.assignment);
   Channel initial{0, ChannelWidth::kW5};
@@ -123,6 +137,10 @@ RunResult RunScenario(const ScenarioConfig& config) {
     if (config.auditor != nullptr) {
       config.auditor->RegisterClient(clients.back()->NodeId(), params);
     }
+  }
+  if (geodb != nullptr) {
+    geodb->AddNode(ap, /*mobile=*/false);
+    for (ClientNode* client : clients) geodb->AddNode(*client, /*mobile=*/true);
   }
 
   // Backlogged flows both ways.
@@ -198,6 +216,21 @@ RunResult RunScenario(const ScenarioConfig& config) {
       world.AddMic(mic);
     }
   }
+  if (geodb != nullptr) {
+    // After SetMicSchedule (venue mics append to the installed schedule),
+    // before StartAll (bootstrap maps must be in place when the AP's
+    // first assignment and the clients' first scans run).
+    geodb->Start();
+    if (config.auditor != nullptr) {
+      // The runtime's suggestion covers the notification path; add the
+      // detection latency and a vacate allowance mirroring the mic-path
+      // budget's slack (the AP may legally defer past announce re-checks).
+      config.auditor->SetGeoTruth(
+          geodb.get(), geodb->SuggestedGeoBudget() +
+                           world.config().incumbent_detect_latency +
+                           700 * kTicksPerMs);
+    }
+  }
   world.StartAll();
   downlink.Start();
   for (auto& uplink : uplinks) uplink->Start();
@@ -224,6 +257,16 @@ RunResult RunScenario(const ScenarioConfig& config) {
     }
   }
   if (injector != nullptr) result.faults_injected = injector->InjectedCount();
+  if (geodb != nullptr) {
+    result.geodb_degraded = geodb->degraded_transitions();
+    result.geodb_recovered = geodb->recovered_transitions();
+    result.geodb_queries = geodb->service().queries();
+    result.geodb_shed = geodb->service().shed();
+    result.geodb_pushes = geodb->service().pushes_sent();
+    // The oracle dies with this scope; a reused auditor must not keep a
+    // dangling ground-truth pointer.
+    if (config.auditor != nullptr) config.auditor->SetGeoTruth(nullptr, 0);
+  }
   return result;
 }
 

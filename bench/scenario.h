@@ -19,6 +19,7 @@
 #include "core/ap.h"
 #include "core/client.h"
 #include "fault/fault.h"
+#include "geodb/runtime.h"
 #include "sim/traffic.h"
 #include "spectrum/spectrum_map.h"
 
@@ -71,6 +72,14 @@ struct ScenarioConfig {
   /// attaches it to the world, and registers the AP and every client.
   /// Null — the default — costs nothing and keeps the run byte-identical.
   InvariantAuditor* auditor = nullptr;
+  /// Dynamic geo-db service + per-device resilient sessions + client
+  /// mobility (see src/geodb).  Disabled — the default — creates nothing
+  /// and keeps the run byte-identical to a geodb-free build: every geodb
+  /// random stream is a named substream of `seed`, never a world fork.
+  /// When enabled and `auditor` is set, RunScenario also arms the
+  /// position-aware incumbent-safety check against the runtime's ground
+  /// truth.
+  GeoDbRuntimeParams geodb;
 };
 
 /// The seed the fault injector will actually run with: `fault_seed` when
@@ -90,6 +99,12 @@ struct RunResult {
   /// Faults injected during the run (0 without a fault plan).
   std::uint64_t faults_injected = 0;
   Channel final_channel{0, ChannelWidth::kW5};
+  // Geo-db session statistics (all zero when config.geodb is disabled).
+  int geodb_degraded = 0;        ///< fresh -> degraded/blackout edges.
+  int geodb_recovered = 0;       ///< -> fresh recovery edges.
+  std::uint64_t geodb_queries = 0;
+  std::uint64_t geodb_shed = 0;  ///< Overload rejections served.
+  std::uint64_t geodb_pushes = 0;
 };
 
 /// Runs one scenario.

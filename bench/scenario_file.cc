@@ -103,6 +103,107 @@ ScenarioConfig LoadScenario(const ConfigFile& config) {
         config.GetInt("client.reconnect_stage_timeout_ms") * kTicksPerMs;
   }
 
+  // Geo-db service + resilient sessions ([geodb] section; absent or
+  // enabled=false leaves the subsystem off and the run byte-identical).
+  GeoDbRuntimeParams& geo = scenario.geodb;
+  geo.enabled = config.GetBool("geodb.enabled", false);
+  geo.origin_km.x_km = config.GetDouble("geodb.origin_x_km", geo.origin_km.x_km);
+  geo.origin_km.y_km = config.GetDouble("geodb.origin_y_km", geo.origin_km.y_km);
+  geo.stations = static_cast<int>(config.GetInt("geodb.stations", geo.stations));
+  geo.core_radius_km =
+      config.GetDouble("geodb.core_radius_km", geo.core_radius_km);
+  geo.venues = static_cast<int>(config.GetInt("geodb.venues", geo.venues));
+  geo.venue_radius_km =
+      config.GetDouble("geodb.venue_radius_km", geo.venue_radius_km);
+  geo.venue_spread_km =
+      config.GetDouble("geodb.venue_spread_km", geo.venue_spread_km);
+  geo.venue_start_min =
+      config.GetDouble("geodb.venue_start_min_s", 1.0) * kSecond;
+  geo.venue_start_max =
+      config.GetDouble("geodb.venue_start_max_s", 6.0) * kSecond;
+  geo.venue_on_min = config.GetDouble("geodb.venue_on_min_s", 1.0) * kSecond;
+  geo.venue_on_max = config.GetDouble("geodb.venue_on_max_s", 4.0) * kSecond;
+  geo.venue_mics = config.GetBool("geodb.venue_mics", geo.venue_mics);
+  if (geo.stations < 0 || geo.venues < 0) {
+    throw std::runtime_error("geodb.stations / geodb.venues must be >= 0");
+  }
+  if (geo.venue_start_max < geo.venue_start_min ||
+      geo.venue_on_max < geo.venue_on_min || geo.venue_on_min <= 0.0) {
+    throw std::runtime_error("geodb venue windows must be ordered and positive");
+  }
+  // Service knobs.
+  geo.service.base_latency =
+      config.GetInt("geodb.query_latency_ms", 50) * kTicksPerMs;
+  geo.service.per_pending_latency =
+      config.GetInt("geodb.per_pending_ms", 20) * kTicksPerMs;
+  geo.service.latency_jitter =
+      config.GetDouble("geodb.latency_jitter", geo.service.latency_jitter);
+  geo.service.max_queue =
+      static_cast<int>(config.GetInt("geodb.queue", geo.service.max_queue));
+  geo.service.staleness = config.GetDouble("geodb.staleness_s", 0.0) * kSecond;
+  geo.service.push_enabled = config.GetBool("geodb.push", true);
+  geo.service.push_latency_min =
+      config.GetInt("geodb.push_latency_min_ms", 20) * kTicksPerMs;
+  geo.service.push_latency_max =
+      config.GetInt("geodb.push_latency_max_ms", 200) * kTicksPerMs;
+  if (geo.service.max_queue < 1 || geo.service.base_latency < 0 ||
+      geo.service.push_latency_max < geo.service.push_latency_min) {
+    throw std::runtime_error("invalid geodb service parameters");
+  }
+  // Session (recovery protocol) knobs.
+  geo.session.refresh_interval =
+      static_cast<SimTime>(config.GetDouble("geodb.refresh_s", 2.0) * kSecond);
+  geo.session.refresh_jitter =
+      config.GetDouble("geodb.refresh_jitter", geo.session.refresh_jitter);
+  geo.session.refresh_timeout =
+      config.GetInt("geodb.refresh_timeout_ms", 400) * kTicksPerMs;
+  geo.session.backoff_base = config.GetInt("geodb.backoff_ms", 200) * kTicksPerMs;
+  geo.session.backoff_factor =
+      config.GetDouble("geodb.backoff_factor", geo.session.backoff_factor);
+  geo.session.backoff_max =
+      config.GetInt("geodb.backoff_max_ms", 1600) * kTicksPerMs;
+  geo.session.backoff_jitter =
+      config.GetDouble("geodb.backoff_jitter", geo.session.backoff_jitter);
+  geo.session.breaker_failures = static_cast<int>(
+      config.GetInt("geodb.breaker_failures", geo.session.breaker_failures));
+  geo.session.breaker_cooldown =
+      config.GetInt("geodb.breaker_cooldown_ms", 1000) * kTicksPerMs;
+  geo.session.stale_after = config.GetDouble("geodb.stale_after_s", 20.0) * kSecond;
+  geo.session.guard_km = config.GetDouble("geodb.guard_km", geo.session.guard_km);
+  geo.session.requery_km =
+      config.GetDouble("geodb.requery_km", geo.session.requery_km);
+  geo.session.subscribe_push = config.GetBool("geodb.subscribe_push", true);
+  geo.session.enforce_interval =
+      config.GetInt("geodb.enforce_ms", 200) * kTicksPerMs;
+  if (geo.session.refresh_interval <= 0 || geo.session.refresh_timeout <= 0 ||
+      geo.session.backoff_base <= 0 || geo.session.backoff_factor < 1.0 ||
+      geo.session.backoff_max < geo.session.backoff_base ||
+      geo.session.breaker_failures < 1 || geo.session.breaker_cooldown <= 0 ||
+      geo.session.stale_after <= 0.0 || geo.session.guard_km < 0.0 ||
+      geo.session.requery_km < 0.0 || geo.session.enforce_interval <= 0) {
+    throw std::runtime_error("invalid geodb session parameters");
+  }
+
+  // Client mobility ([mobility] section; requires geodb.enabled to move
+  // anything — positions feed the geo sessions).
+  geo.mobility = config.GetBool("mobility.enabled", false);
+  geo.waypoint.range_m = config.GetDouble("mobility.range_m", geo.waypoint.range_m);
+  geo.waypoint.speed_min_mps =
+      config.GetDouble("mobility.speed_min_mps", geo.waypoint.speed_min_mps);
+  geo.waypoint.speed_max_mps =
+      config.GetDouble("mobility.speed_max_mps", geo.waypoint.speed_max_mps);
+  geo.waypoint.pause_min = static_cast<SimTime>(
+      config.GetDouble("mobility.pause_min_s", 0.0) * kSecond);
+  geo.waypoint.pause_max = static_cast<SimTime>(
+      config.GetDouble("mobility.pause_max_s", 2.0) * kSecond);
+  geo.waypoint.tick = config.GetInt("mobility.tick_ms", 100) * kTicksPerMs;
+  if (geo.waypoint.range_m < 0.0 || geo.waypoint.speed_min_mps <= 0.0 ||
+      geo.waypoint.speed_max_mps < geo.waypoint.speed_min_mps ||
+      geo.waypoint.pause_max < geo.waypoint.pause_min ||
+      geo.waypoint.tick <= 0) {
+    throw std::runtime_error("invalid mobility parameters");
+  }
+
   // Fault schedule ([fault] section; absent = no injector).
   scenario.faults = ParseFaultPlan(config);
   scenario.fault_seed =

@@ -353,6 +353,12 @@ int RunFromConfigFile(const Options& options) {
     std::cout << ", faults injected " << result.faults_injected;
   }
   std::cout << "\nfinal channel: " << result.final_channel.ToString() << "\n";
+  if (scenario.geodb.enabled) {
+    std::cout << "geodb: " << result.geodb_queries << " queries ("
+              << result.geodb_shed << " shed), " << result.geodb_pushes
+              << " pushes, " << result.geodb_degraded << " degraded / "
+              << result.geodb_recovered << " recovered transitions\n";
+  }
   if (obs.Wanted()) {
     obs.WriteOutputs(scenario.warmup_s + scenario.measure_s);
   }

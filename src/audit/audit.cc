@@ -29,6 +29,18 @@ void InvariantAuditor::Attach(World& world) {
 
 void InvariantAuditor::RegisterAp(int node) { ap_node_ = node; }
 
+void InvariantAuditor::SetGeoTruth(const GeoTruth* truth,
+                                   SimTime suggested_budget) {
+  geo_truth_ = truth;
+  geo_since_.clear();
+  if (truth == nullptr) {
+    geo_budget_ = 0;
+    return;
+  }
+  geo_budget_ =
+      config_.geo_budget != 0 ? config_.geo_budget : suggested_budget;
+}
+
 void InvariantAuditor::RegisterClient(int node, const ClientParams& params) {
   ClientState state;
   // The widest legal chirp gap: the (possibly backed-off) period at its
@@ -131,6 +143,50 @@ void InvariantAuditor::OnTransmitStart(SimTime now, const RadioPort& tx,
       Report(now, "incumbent-safety", node, c, os.str());
     }
   }
+  // The geometric check runs off its own clock set: ground truth at the
+  // node's current position, independent of any scheduled world mic.
+  if (geo_truth_ == nullptr) return;
+  for (UhfIndex c = channel.Low(); c <= channel.High(); ++c) {
+    const int node = tx.NodeId();
+    if (node != ap_node_ && clients_.find(node) == clients_.end()) continue;
+    const SimTime exposed = GeoExposure(now, node, c);
+    if (exposed > geo_budget_) {
+      std::ostringstream os;
+      os << "tx on geo-protected channel for " << exposed
+         << "us at current position (geo budget " << geo_budget_ << "us)";
+      Report(now, "incumbent-safety", node, c, os.str());
+      // Re-arm: one violation per budget of continued exposure.
+      geo_since_[{node, static_cast<int>(c)}] = now;
+    }
+  }
+}
+
+SimTime InvariantAuditor::GeoExposure(SimTime now, int node, UhfIndex channel) {
+  const std::pair<int, int> key{node, static_cast<int>(channel)};
+  if (!geo_truth_->ProtectedAt(node, channel, now)) {
+    geo_since_.erase(key);
+    return 0;
+  }
+  const auto [it, inserted] = geo_since_.emplace(key, now);
+  SimTime exposed = now - it->second;
+  // Like the mic check, the clock starts no earlier than the node's
+  // arrival on the channel: a node that just retuned gets a full window.
+  if (const auto tuned = tuned_at_.find(node); tuned != tuned_at_.end()) {
+    exposed = std::min(exposed, now - tuned->second);
+  }
+  return exposed;
+}
+
+void InvariantAuditor::SweepGeoClocks(SimTime now) {
+  auto sweep_node = [&](int node) {
+    const auto it = tuned_.find(node);
+    if (it == tuned_.end()) return;
+    for (UhfIndex c = it->second.Low(); c <= it->second.High(); ++c) {
+      GeoExposure(now, node, c);  // Maintains the clocks; no report here.
+    }
+  };
+  if (ap_node_ >= 0) sweep_node(ap_node_);
+  for (const auto& [node, state] : clients_) sweep_node(node);
 }
 
 void InvariantAuditor::OnMacTiming(const RadioPort& radio,
@@ -192,6 +248,7 @@ void InvariantAuditor::Sweep() {
   CheckMonotonic(now, "sweep");
   CheckLiveness(now);
   CheckConvergence(now);
+  if (geo_truth_ != nullptr) SweepGeoClocks(now);
   if (config_.check_books) CheckBooks(now);
   world_->sim().ScheduleAfter(config_.sweep_interval, [this] { Sweep(); });
 }

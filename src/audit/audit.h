@@ -12,7 +12,11 @@
 //                      (detect latency + vacation slack), measured from
 //                      the later of mic-on and the node's arrival on the
 //                      channel.  Exactly AT the budget passes; one tick
-//                      past it trips.
+//                      past it trips.  When a GeoTruth oracle is armed
+//                      (SetGeoTruth), the same invariant also checks every
+//                      transmission against the geometric ground truth at
+//                      the node's current position, under its own budget
+//                      covering the geo-db notification path.
 //   chirp-liveness     A disconnected audited client keeps chirping: the
 //                      gap since its last chirp (or the disconnect) never
 //                      exceeds the chirp/backoff bound derived from its
@@ -41,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/geo_truth.h"
 #include "core/client.h"
 #include "sim/audit_hooks.h"
 #include "sim/world.h"
@@ -69,6 +74,15 @@ struct AuditConfig {
   SimTime sweep_interval = 250 * kTicksPerMs;
   /// Verify medium book conservation during sweeps.
   bool check_books = true;
+  /// Budget for the position-aware (geometric) incumbent-safety check:
+  /// how long an audited node may keep transmitting on a channel the
+  /// ground-truth geo database protects at its current position.  Must
+  /// cover the full notification path — push fan-out latency, or (during
+  /// an outage) the scheduled-refresh interval plus the circuit-breaker
+  /// trip to the conservative map — plus the vacate itself.  0 = use the
+  /// budget suggested by the caller of SetGeoTruth (the geodb runtime
+  /// derives it from its own timing parameters).
+  SimTime geo_budget = 0;
   /// Halt the simulator on the first violation (the repro itself is
   /// post-run either way; stopping just shortens doomed runs).
   bool stop_on_violation = false;
@@ -110,6 +124,16 @@ class InvariantAuditor : public AuditHooks {
 
   /// Resolved incumbent-safety budget (valid after Attach).
   SimTime safety_budget() const { return safety_budget_; }
+
+  /// Arms the position-aware incumbent-safety check against a geometric
+  /// ground-truth oracle.  `suggested_budget` is the reaction allowance
+  /// derived by the caller (typically GeoDbRuntime::SuggestedGeoBudget);
+  /// a non-zero AuditConfig::geo_budget overrides it.  The oracle must
+  /// outlive the run.  Pass nullptr to disarm.
+  void SetGeoTruth(const GeoTruth* truth, SimTime suggested_budget);
+
+  /// Resolved geometric-safety budget (0 until SetGeoTruth).
+  SimTime geo_budget() const { return geo_budget_; }
 
   /// All retained violations, in detection order (capped at
   /// config.max_recorded; `violation_count()` is exact regardless).
@@ -161,6 +185,14 @@ class InvariantAuditor : public AuditHooks {
   void CheckLiveness(SimTime now);
   void CheckConvergence(SimTime now);
   void CheckBooks(SimTime now);
+  /// Updates the per-(node, channel) geometric-protection clock for one
+  /// audited node on one channel and returns the exposure so far (0 when
+  /// the channel is not geo-protected at the node's position).
+  SimTime GeoExposure(SimTime now, int node, UhfIndex channel);
+  /// Sweeps the geo clocks over every audited node's tuned channel, so a
+  /// protection contour arriving between transmissions (mobility, venue
+  /// activation) starts its clock with sweep granularity at worst.
+  void SweepGeoClocks(SimTime now);
 
   AuditConfig config_;
   World* world_ = nullptr;
@@ -173,6 +205,14 @@ class InvariantAuditor : public AuditHooks {
   std::map<int, SimTime> tuned_at_;    ///< When that tune happened.
 
   std::array<ChannelUnion, static_cast<std::size_t>(kNumUhfChannels)> unions_;
+
+  /// Geometric ground truth (null = check disarmed).
+  const GeoTruth* geo_truth_ = nullptr;
+  SimTime geo_budget_ = 0;
+  /// When the ground truth was first observed protecting (node, channel);
+  /// erased when observed unprotected again, reset on report so one long
+  /// exposure trips once per budget.  Keyed (node, uhf index).
+  std::map<std::pair<int, int>, SimTime> geo_since_;
 
   std::vector<Violation> violations_;
   std::uint64_t violation_count_ = 0;

@@ -1,0 +1,31 @@
+// GeoTruth — the auditor's window into geometric incumbent ground truth.
+//
+// The incumbent-safety invariant classically checks transmissions against
+// the World's scheduled wireless mics.  With the geo-location database
+// promoted to a live service (src/geodb), there is a second, geometric
+// notion of "protected": the channel set the ground-truth database would
+// return for the node's *current position* right now — independent of
+// what the node's possibly stale, possibly outage-degraded cache believes.
+// This interface lets the auditor ask that question without depending on
+// the geodb subsystem (the GeoDbRuntime implements it; the auditor only
+// sees the abstract query).
+#pragma once
+
+#include "sim/time.h"
+#include "spectrum/uhf.h"
+
+namespace whitefi {
+
+/// Ground-truth oracle for the position-aware incumbent-safety check.
+/// Implementations must be pure queries: called during the run, they may
+/// never mutate simulation state or draw random numbers.
+class GeoTruth {
+ public:
+  virtual ~GeoTruth() = default;
+
+  /// True iff the geometric ground truth protects `channel` at node
+  /// `node`'s current position at simulated time `now`.
+  virtual bool ProtectedAt(int node, UhfIndex channel, SimTime now) const = 0;
+};
+
+}  // namespace whitefi

@@ -1,6 +1,7 @@
 #include "fault/fault.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "obs/metrics.h"
@@ -60,7 +61,7 @@ bool FaultPlan::Empty() const {
          scanner_outages.empty() && stale_scan_p == 0.0 &&
          miss_chirp_p == 0.0 && false_incumbent_p == 0.0 &&
          miss_incumbent_p == 0.0 && geodb_outages.empty() &&
-         geodb_staleness == 0.0 && storms.empty();
+         geodb_staleness == 0.0 && storms.empty() && push_storms.empty();
 }
 
 FaultPlan ParseFaultPlan(const ConfigFile& config) {
@@ -99,6 +100,22 @@ FaultPlan ParseFaultPlan(const ConfigFile& config) {
         config.GetDouble("fault.storm_mean_off_s", 3.0) * kTicksPerSec);
     plan.storms.push_back(storm);
   }
+  if (config.Has("fault.push_storm_start_s") ||
+      config.Has("fault.push_storm_venues")) {
+    PushStorm storm;
+    storm.start = static_cast<SimTime>(
+        config.GetDouble("fault.push_storm_start_s", 0.0) * kTicksPerSec);
+    storm.duration = static_cast<SimTime>(
+        config.GetDouble("fault.push_storm_duration_s", 10.0) * kTicksPerSec);
+    storm.venues = static_cast<int>(config.GetInt("fault.push_storm_venues", 1));
+    storm.mean_on = static_cast<SimTime>(
+        config.GetDouble("fault.push_storm_mean_on_s", 2.0) * kTicksPerSec);
+    storm.mean_off = static_cast<SimTime>(
+        config.GetDouble("fault.push_storm_mean_off_s", 3.0) * kTicksPerSec);
+    storm.radius_km = config.GetDouble("fault.push_storm_radius_km", 1.0);
+    storm.spread_km = config.GetDouble("fault.push_storm_spread_km", 2.0);
+    plan.push_storms.push_back(storm);
+  }
   return plan;
 }
 
@@ -128,6 +145,19 @@ FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed)
     if (storm.mics > 0 && (storm.duration <= 0 || storm.mean_on <= 0)) {
       throw std::invalid_argument(
           "storm duration and mean_on must be positive");
+    }
+  }
+  for (const PushStorm& storm : plan_.push_storms) {
+    if (storm.venues < 0) {
+      throw std::invalid_argument("push storm venue count must be non-negative");
+    }
+    if (storm.venues > 0 && (storm.duration <= 0 || storm.mean_on <= 0)) {
+      throw std::invalid_argument(
+          "push storm duration and mean_on must be positive");
+    }
+    if (storm.radius_km <= 0.0 || storm.spread_km < 0.0) {
+      throw std::invalid_argument(
+          "push storm radius must be positive and spread non-negative");
     }
   }
 }
@@ -272,6 +302,46 @@ std::vector<MicActivation> FaultInjector::ExpandStorms(
   return mics;
 }
 
+std::vector<StormVenue> FaultInjector::ExpandPushStorms(
+    const std::vector<UhfIndex>& channels) {
+  std::vector<StormVenue> venues;
+  if (channels.empty()) return venues;
+  for (const PushStorm& storm : plan_.push_storms) {
+    for (int v = 0; v < storm.venues; ++v) {
+      // One fixed location and channel per churner: the same venue keeps
+      // re-activating, which is how real schedules (performances at one
+      // theater) behave — and what makes a push storm distinguishable
+      // from random noise at the subscribers.
+      StormVenue venue;
+      venue.channel = channels[rng_.Index(channels.size())];
+      const double r = storm.spread_km * std::sqrt(rng_.Uniform01());
+      const double theta = rng_.Uniform(0.0, 2.0 * M_PI);
+      venue.x_km = r * std::cos(theta);
+      venue.y_km = r * std::sin(theta);
+      venue.radius_km = storm.radius_km;
+      SimTime t = storm.start;
+      const SimTime end = storm.start + storm.duration;
+      while (t < end) {
+        const auto on = static_cast<SimTime>(
+            rng_.Exponential(static_cast<double>(storm.mean_on)));
+        StormVenue window = venue;
+        window.from = static_cast<Us>(t);
+        window.until = static_cast<Us>(
+            std::min(end, t + std::max<SimTime>(on, kTicksPerMs)));
+        if (window.until > window.from) venues.push_back(window);
+        const auto off = static_cast<SimTime>(
+            rng_.Exponential(static_cast<double>(storm.mean_off)));
+        t = static_cast<SimTime>(window.until) + std::max<SimTime>(off, 1);
+      }
+    }
+  }
+  std::sort(venues.begin(), venues.end(),
+            [](const StormVenue& a, const StormVenue& b) {
+              return a.from < b.from;
+            });
+  return venues;
+}
+
 std::vector<FaultInjector::WindowEvent> FaultInjector::WindowEvents() const {
   std::vector<WindowEvent> events;
   auto add = [&events](const std::vector<FaultWindow>& windows,
@@ -288,6 +358,11 @@ std::vector<FaultInjector::WindowEvent> FaultInjector::WindowEvents() const {
     if (storm.mics <= 0) continue;
     events.push_back({storm.start, true, "churn_storm"});
     events.push_back({storm.start + storm.duration, false, "churn_storm"});
+  }
+  for (const PushStorm& storm : plan_.push_storms) {
+    if (storm.venues <= 0) continue;
+    events.push_back({storm.start, true, "push_storm"});
+    events.push_back({storm.start + storm.duration, false, "push_storm"});
   }
   std::stable_sort(events.begin(), events.end(),
                    [](const WindowEvent& a, const WindowEvent& b) {

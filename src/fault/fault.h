@@ -66,6 +66,34 @@ struct ChurnStorm {
   SimTime mean_off = 3 * kTicksPerSec;  ///< Mean gap between activations.
 };
 
+/// A storm of geo-db push updates: `venues` protected-venue registrations
+/// toggling on/off near the cell for `duration`, each activation and
+/// deactivation fanning out as a push notification to every subscribed
+/// geo-db session (and loading the service's request queue, since pushed
+/// sessions re-query).  The geometric counterpart of ChurnStorm.
+struct PushStorm {
+  SimTime start = 0;
+  SimTime duration = 0;
+  int venues = 0;
+  SimTime mean_on = 2 * kTicksPerSec;   ///< Mean protection window.
+  SimTime mean_off = 3 * kTicksPerSec;  ///< Mean gap between windows.
+  double radius_km = 1.0;               ///< Venue protection radius.
+  double spread_km = 2.0;               ///< Venues scatter within this of
+                                        ///< the cell origin.
+};
+
+/// One expanded push-storm venue: where, which channel, and when it is
+/// protected.  The runtime registers these in the ground-truth database,
+/// so the audited geometry and the pushes sessions receive always agree.
+struct StormVenue {
+  UhfIndex channel = 0;
+  double x_km = 0.0;
+  double y_km = 0.0;
+  double radius_km = 1.0;
+  Us from = 0.0;
+  Us until = 0.0;
+};
+
 /// The declarative fault schedule.  Default-constructed = no faults.
 struct FaultPlan {
   // -- Medium: frame loss ---------------------------------------------------
@@ -103,6 +131,9 @@ struct FaultPlan {
 
   // -- Incumbent churn ------------------------------------------------------
   std::vector<ChurnStorm> storms;
+  /// Geo-db venue churn: each storm becomes a burst of venue
+  /// activation/deactivation push updates (see src/geodb).
+  std::vector<PushStorm> push_storms;
 
   /// True iff every field still holds its default (no fault configured).
   bool Empty() const;
@@ -153,6 +184,12 @@ class FaultInjector {
   /// Expands the plan's churn storms into a deterministic mic schedule
   /// over `channels` (typically the scenario map's free channels).
   std::vector<MicActivation> ExpandStorms(const std::vector<UhfIndex>& channels);
+
+  /// Expands the plan's push storms into deterministic timed venues over
+  /// `channels`.  Like ExpandStorms, draws come from the injector's own
+  /// stream, so the expansion never perturbs simulation randomness.
+  std::vector<StormVenue> ExpandPushStorms(
+      const std::vector<UhfIndex>& channels);
 
   /// One windowed fault boundary, for trace emission by the World.
   struct WindowEvent {

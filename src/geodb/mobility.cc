@@ -1,0 +1,42 @@
+#include "geodb/mobility.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace whitefi {
+
+RandomWaypoint::RandomWaypoint(const Position& start,
+                               const MobilityParams& params,
+                               std::uint64_t seed)
+    : anchor_(start), params_(params), rng_(seed), from_(start), to_(start) {
+  // The node starts at rest; the first leg departs immediately.
+  NextLeg(0);
+}
+
+void RandomWaypoint::NextLeg(SimTime depart) {
+  from_ = to_;
+  to_ = Position{anchor_.x + rng_.Uniform(-params_.range_m, params_.range_m),
+                 anchor_.y + rng_.Uniform(-params_.range_m, params_.range_m)};
+  const double speed =
+      std::max(0.01, rng_.Uniform(params_.speed_min_mps, params_.speed_max_mps));
+  const double meters = Distance(from_, to_);
+  depart_ = depart;
+  arrive_ = depart + std::max<SimTime>(
+                         1, static_cast<SimTime>(meters / speed * kSecond));
+  rest_until_ =
+      arrive_ + static_cast<SimTime>(
+                    rng_.Uniform(static_cast<double>(params_.pause_min),
+                                 static_cast<double>(params_.pause_max)));
+}
+
+Position RandomWaypoint::At(SimTime now) {
+  while (now >= rest_until_) NextLeg(rest_until_);
+  if (now <= depart_) return from_;
+  if (now >= arrive_) return to_;
+  const double f = static_cast<double>(now - depart_) /
+                   static_cast<double>(arrive_ - depart_);
+  return Position{from_.x + (to_.x - from_.x) * f,
+                  from_.y + (to_.y - from_.y) * f};
+}
+
+}  // namespace whitefi

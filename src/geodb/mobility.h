@@ -1,0 +1,56 @@
+// Random-waypoint mobility over the geo plane.
+//
+// The classic evaluation model: a node picks a uniform waypoint in a box,
+// walks there in a straight line at a uniformly drawn speed, pauses, and
+// repeats.  Legs are generated lazily from a seeded Rng as time advances,
+// so the trajectory is a pure function of (start, params, seed) — the
+// determinism contract every other stochastic component in this repo
+// follows.  Positions are device-frame meters (sim/propagation.h); the
+// geodb runtime converts to the kilometer geo plane when querying.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/propagation.h"
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace whitefi {
+
+/// Waypoint model tuning.
+struct MobilityParams {
+  /// Waypoints are drawn uniformly from start + [-range_m, range_m]^2.
+  double range_m = 300.0;
+  double speed_min_mps = 0.5;
+  double speed_max_mps = 10.0;
+  SimTime pause_min = 0;
+  SimTime pause_max = 2 * kTicksPerSec;
+  /// How often the runtime samples positions into the devices.
+  SimTime tick = 100 * kTicksPerMs;
+};
+
+/// One node's trajectory.  `At` must be called with nondecreasing times
+/// (the runtime's periodic tick guarantees it).
+class RandomWaypoint {
+ public:
+  RandomWaypoint(const Position& start, const MobilityParams& params,
+                 std::uint64_t seed);
+
+  /// Position at simulated time `now` (>= the previous call's `now`).
+  Position At(SimTime now);
+
+ private:
+  void NextLeg(SimTime depart);
+
+  Position anchor_;  ///< Box center (the node's starting position).
+  MobilityParams params_;
+  Rng rng_;
+
+  Position from_;
+  Position to_;
+  SimTime depart_ = 0;  ///< When motion on the current leg starts.
+  SimTime arrive_ = 0;  ///< When the leg's waypoint is reached.
+  SimTime rest_until_ = 0;  ///< Pause end after arrival (next leg departs).
+};
+
+}  // namespace whitefi

@@ -1,0 +1,182 @@
+#include "geodb/runtime.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+namespace whitefi {
+
+namespace {
+
+GeoDatabase BuildGroundTruth(const GeoDbRuntimeParams& params,
+                             std::uint64_t seed, FaultInjector* faults) {
+  Rng rng(DeriveSeed(seed, "geodb.db"));
+  MetroModel model;
+  model.stations = params.stations;
+  model.core_radius_km = params.core_radius_km;
+  model.min_erp_kw = params.min_erp_kw;
+  model.max_erp_kw = params.max_erp_kw;
+  model.venues = 0;  // Venues are scheduled below, inside the run horizon.
+  GeoDatabase db = SynthesizeMetro(model, rng);
+
+  // Channels free of stations at the cell origin: venue protections on
+  // these are the interesting ones (the cell might be using them).
+  const SpectrumMap at_origin = db.QueryAt(params.origin_km);
+  std::vector<UhfIndex> candidates = at_origin.FreeIndices();
+  if (candidates.empty()) {
+    for (UhfIndex c = 0; c < kNumUhfChannels; ++c) candidates.push_back(c);
+  }
+  for (int i = 0; i < params.venues; ++i) {
+    ProtectedVenue venue;
+    venue.name = "venue-" + std::to_string(i);
+    venue.channel = rng.Pick(candidates);
+    const double r = params.venue_spread_km * std::sqrt(rng.Uniform01());
+    const double theta = rng.Uniform(0.0, 2.0 * M_PI);
+    venue.location = GeoPoint{params.origin_km.x_km + r * std::cos(theta),
+                              params.origin_km.y_km + r * std::sin(theta)};
+    venue.radius_km = params.venue_radius_km;
+    venue.from = rng.Uniform(params.venue_start_min, params.venue_start_max);
+    venue.until = venue.from + rng.Uniform(params.venue_on_min,
+                                           params.venue_on_max);
+    db.RegisterVenue(venue);
+  }
+  // Push-storm venues come from the fault plan: registering them in the
+  // same database keeps ground truth, pushes, and the auditor's oracle
+  // telling one story.
+  if (faults != nullptr) {
+    int n = 0;
+    for (const StormVenue& sv : faults->ExpandPushStorms(candidates)) {
+      ProtectedVenue venue;
+      venue.name = "storm-" + std::to_string(n++);
+      venue.channel = sv.channel;
+      venue.location = GeoPoint{params.origin_km.x_km + sv.x_km,
+                                params.origin_km.y_km + sv.y_km};
+      venue.radius_km = sv.radius_km;
+      venue.from = sv.from;
+      venue.until = sv.until;
+      db.RegisterVenue(venue);
+    }
+  }
+  return db;
+}
+
+}  // namespace
+
+GeoDbRuntime::GeoDbRuntime(World& world, const GeoDbRuntimeParams& params,
+                           std::uint64_t seed, FaultInjector* faults)
+    : world_(world), params_(params), seed_(seed),
+      db_(BuildGroundTruth(params, seed, faults)),
+      service_(world.sim(), db_, params.service,
+               DeriveSeed(seed, "geodb.service"), faults, world.obs()) {}
+
+GeoPoint GeoDbRuntime::GeoAt(const Position& position) const {
+  return GeoPoint{params_.origin_km.x_km + position.x / 1000.0,
+                  params_.origin_km.y_km + position.y / 1000.0};
+}
+
+SpectrumMap GeoDbRuntime::BootstrapMapAt(const Position& at) const {
+  return db_.QueryGuardedAt(GeoAt(at), 0.0, params_.session.guard_km);
+}
+
+void GeoDbRuntime::AddNode(Device& device, bool mobile) {
+  Entry entry;
+  entry.device = &device;
+  if (mobile && params_.mobility) {
+    entry.waypoint = std::make_unique<RandomWaypoint>(
+        device.Location(), params_.waypoint,
+        DeriveSeed(seed_, "geodb.waypoint." +
+                              std::to_string(device.NodeId())));
+  }
+  entries_.push_back(std::move(entry));
+  sessions_.push_back(std::make_unique<GeoDbSession>(
+      world_, device, service_, params_.origin_km, device.config().tv_map,
+      params_.session,
+      DeriveSeed(seed_, "geodb.session." +
+                            std::to_string(device.NodeId()))));
+}
+
+void GeoDbRuntime::Start() {
+  service_.Start();
+  if (params_.venue_mics) {
+    // Mirror every venue as a physical mic audible to the nodes inside
+    // its radius (evaluated at starting positions — an approximation for
+    // mobile nodes, which the scanner's own detections then correct).
+    for (const ProtectedVenue& venue : db_.venues()) {
+      std::vector<int> audible;
+      for (const Entry& entry : entries_) {
+        if (GeoDistanceKm(GeoAt(entry.device->Location()), venue.location) <=
+            venue.radius_km) {
+          audible.push_back(entry.device->NodeId());
+        }
+      }
+      MicActivation mic;
+      mic.channel = venue.channel;
+      mic.on_time = venue.from;
+      mic.off_time = venue.until;
+      world_.AddMic(mic, std::move(audible));
+    }
+  }
+  for (const auto& session : sessions_) session->Start();
+  bool any_mobile = false;
+  for (const Entry& entry : entries_) {
+    any_mobile = any_mobile || entry.waypoint != nullptr;
+  }
+  if (!any_mobile) return;
+  // One shared tick moves every mobile node, in registration order.
+  world_.sim().ScheduleAfter(params_.waypoint.tick, [this] { MobilityTick(); });
+}
+
+void GeoDbRuntime::MobilityTick() {
+  const SimTime now = world_.sim().Now();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& entry = entries_[i];
+    if (entry.waypoint == nullptr) continue;
+    entry.device->SetPosition(entry.waypoint->At(now));
+    sessions_[i]->OnMoved();
+  }
+  world_.sim().ScheduleAfter(params_.waypoint.tick, [this] { MobilityTick(); });
+}
+
+bool GeoDbRuntime::ProtectedAt(int node, UhfIndex channel,
+                               SimTime now) const {
+  for (const Entry& entry : entries_) {
+    if (entry.device->NodeId() != node) continue;
+    return db_.ProtectedAt(GeoAt(entry.device->Location()), channel,
+                           ToUs(now));
+  }
+  return false;  // Unregistered (background) nodes are not geo-governed.
+}
+
+SimTime GeoDbRuntime::SuggestedGeoBudget() const {
+  const GeoDbSessionParams& s = params_.session;
+  // Push path: worst fan-out latency.
+  const SimTime push = params_.service.push_latency_max;
+  // Refresh path: the change lands just after a successful refresh; the
+  // next scheduled attempt (jittered interval) must then either succeed
+  // (query round trip <= timeout) or start the failure ladder, which
+  // reaches the conservative map after breaker_failures timeouts with
+  // capped, jittered backoff between them.
+  const auto jittered = [](SimTime t, double j) {
+    return static_cast<SimTime>(static_cast<double>(t) * (1.0 + j));
+  };
+  const SimTime trip =
+      jittered(s.refresh_interval, s.refresh_jitter) +
+      static_cast<SimTime>(s.breaker_failures) *
+          (s.refresh_timeout + jittered(s.backoff_max, s.backoff_jitter));
+  return std::max(push, trip) + s.enforce_interval;
+}
+
+int GeoDbRuntime::degraded_transitions() const {
+  int n = 0;
+  for (const auto& session : sessions_) n += session->degraded_transitions();
+  return n;
+}
+
+int GeoDbRuntime::recovered_transitions() const {
+  int n = 0;
+  for (const auto& session : sessions_) n += session->recovered_transitions();
+  return n;
+}
+
+}  // namespace whitefi

@@ -1,0 +1,125 @@
+// GeoDbRuntime — wires the geo-db subsystem into one scenario.
+//
+// Owns the ground-truth GeoDatabase (synthesized metro stations plus
+// scheduled venues, plus any push-storm venues the fault plan expands),
+// the GeoDbService that serves it, one GeoDbSession per registered
+// device, and the mobility trajectories that move devices across the geo
+// plane.  It is also the auditor's GeoTruth oracle: ProtectedAt answers
+// from the same database the service serves, evaluated at the node's
+// *current* position — so a device whose degraded-mode handling is wrong
+// shows up as an incumbent-safety violation, not a silent anomaly.
+//
+// Determinism: every random stream in here derives from named substreams
+// of the scenario seed (never from World::NewRng), so enabling the
+// subsystem leaves a disabled run byte-identical, and two runs with the
+// same seed are byte-identical to each other.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "audit/geo_truth.h"
+#include "geodb/mobility.h"
+#include "geodb/service.h"
+#include "geodb/session.h"
+#include "sim/world.h"
+
+namespace whitefi {
+
+/// Scenario-level geo-db configuration ([geodb] / [mobility] sections).
+struct GeoDbRuntimeParams {
+  bool enabled = false;
+  /// Geo-plane position of the cell's metric origin; the synthesized
+  /// metro core sits at (0,0), so the default places the cell in the
+  /// suburbs where some — not all — channels are protected.
+  GeoPoint origin_km{25.0, 0.0};
+  // Ground-truth synthesis (stations reuse MetroModel's power model).
+  int stations = 18;
+  double core_radius_km = 15.0;
+  double min_erp_kw = 10.0;
+  double max_erp_kw = 1000.0;
+  /// Scheduled venues near the cell: each activates once inside the run
+  /// horizon, forcing a mid-run protection change the devices must honor.
+  int venues = 2;
+  double venue_radius_km = 1.0;
+  /// Venue distance from the cell origin (<= radius keeps the cell inside
+  /// the protection, so activations actually bite).
+  double venue_spread_km = 0.5;
+  Us venue_start_min = 1.0 * kSecond;
+  Us venue_start_max = 6.0 * kSecond;
+  Us venue_on_min = 1.0 * kSecond;
+  Us venue_on_max = 4.0 * kSecond;
+  /// Mirror each venue as a physical world mic audible to the nodes its
+  /// radius covers (at their starting positions): the scanner then backs
+  /// up the database, which is how a cell survives "DB outage during a
+  /// mic event".
+  bool venue_mics = false;
+  GeoDbServiceParams service;
+  GeoDbSessionParams session;
+  /// Client mobility (random waypoint); the AP never moves.
+  bool mobility = false;
+  MobilityParams waypoint;
+};
+
+class GeoDbRuntime : public GeoTruth {
+ public:
+  /// Builds the ground truth (stations, venues, expanded push storms from
+  /// `faults`, which may be null) and the service.  `seed` is the
+  /// scenario root seed; all streams are derived substreams.
+  GeoDbRuntime(World& world, const GeoDbRuntimeParams& params,
+               std::uint64_t seed, FaultInjector* faults);
+
+  /// Registers a device: creates its session (base map = the device's
+  /// current tv_map) and, when `mobile` and mobility is on, a waypoint
+  /// trajectory.  Call in node-creation order for determinism.
+  void AddNode(Device& device, bool mobile);
+
+  /// The guarded map a device at metric position `at` would bootstrap
+  /// with — fold into the boot channel decision so the cell does not
+  /// start on a geo-protected channel and immediately vacate.
+  SpectrumMap BootstrapMapAt(const Position& at) const;
+
+  /// Starts the service timeline, bootstraps every session, registers
+  /// venue mics, and schedules the mobility tick.  Call after every
+  /// AddNode and before the run.
+  void Start();
+
+  /// Worst-case notification delay from a ground-truth protection change
+  /// to the device respecting it: the later of the push path and the
+  /// refresh-then-breaker-trip path, plus the enforcement re-assert.
+  /// Callers add their vacate allowance (detect latency + retune slack)
+  /// to form the auditor's geo budget.
+  SimTime SuggestedGeoBudget() const;
+
+  // -- GeoTruth ------------------------------------------------------------
+  bool ProtectedAt(int node, UhfIndex channel, SimTime now) const override;
+
+  const GeoDatabase& db() const { return db_; }
+  GeoDbService& service() { return service_; }
+  const std::vector<std::unique_ptr<GeoDbSession>>& sessions() const {
+    return sessions_;
+  }
+
+  /// Aggregated mode-transition counts across every session.
+  int degraded_transitions() const;
+  int recovered_transitions() const;
+
+ private:
+  GeoPoint GeoAt(const Position& position) const;
+  void MobilityTick();
+
+  World& world_;
+  GeoDbRuntimeParams params_;
+  std::uint64_t seed_;
+  GeoDatabase db_;
+  GeoDbService service_;
+  struct Entry {
+    Device* device = nullptr;
+    std::unique_ptr<RandomWaypoint> waypoint;  ///< Null: static node.
+  };
+  std::vector<Entry> entries_;
+  std::vector<std::unique_ptr<GeoDbSession>> sessions_;
+};
+
+}  // namespace whitefi

@@ -1,0 +1,160 @@
+// GeoDbService — the geo-location database as a simulated stateful
+// service.
+//
+// The paper's Section 3 treats the FCC geo-location database as an
+// oracle; "Towards Dynamic Real-Time Geo-location Databases for TV White
+// Spaces" (PAPERS.md) argues it is a live service: queries cost latency
+// that grows with load, the request queue is bounded and sheds under
+// overload, served data can lag reality, outages happen, and incumbent
+// changes are *pushed* to subscribed devices rather than polled.  This
+// class models exactly that, scheduled on the simulator's timer wheel:
+//
+//   * query latency = base + per-pending * queue depth, with seeded
+//     jitter — a loaded database answers slower;
+//   * a bounded request queue: past `max_queue` pending queries the
+//     service sheds, answering immediately with a rejection (the client
+//     treats it as a failure and backs off);
+//   * outage windows (FaultInjector::GeoDbAvailable): requests and
+//     in-flight responses vanish silently — the client's only signal is
+//     its own timeout;
+//   * staleness: served contour data is timestamped `staleness` behind
+//     the serve time (compounded with the fault plan's geodb_staleness);
+//   * push updates: every registered venue's activation and deactivation
+//     fans out to each subscriber with a per-subscriber latency draw.
+//
+// Determinism: the service owns a seeded Rng (a named substream of the
+// scenario seed); fan-out draws happen in subscription order, so runs are
+// byte-identical at any thread count and unchanged by observability.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/fault.h"
+#include "obs/obs.h"
+#include "sim/events.h"
+#include "sim/time.h"
+#include "spectrum/geodb.h"
+#include "util/rng.h"
+
+namespace whitefi {
+
+/// Service tuning.
+struct GeoDbServiceParams {
+  /// Unloaded query service time.
+  SimTime base_latency = 50 * kTicksPerMs;
+  /// Additional latency per already-pending request (load dependence).
+  SimTime per_pending_latency = 20 * kTicksPerMs;
+  /// Fractional +/- jitter applied to each query latency draw.
+  double latency_jitter = 0.3;
+  /// Pending requests beyond this are shed (rejected immediately).
+  int max_queue = 16;
+  /// Turnaround of a shed rejection (fast-fail, not a timeout).
+  SimTime shed_latency = 10 * kTicksPerMs;
+  /// Age of served contour data behind the serve time.
+  Us staleness = 0.0;
+  /// Enable venue activation/deactivation push notifications.
+  bool push_enabled = true;
+  /// Per-subscriber push fan-out latency range.
+  SimTime push_latency_min = 20 * kTicksPerMs;
+  SimTime push_latency_max = 200 * kTicksPerMs;
+};
+
+/// One entry of the venue directory a query returns: static geometry plus
+/// the activity flag evaluated at serve time.  Venue *schedules* are
+/// forward-looking DB content, so activity is always current even when
+/// contour data is served stale — this is what lets a recovering client
+/// resync venue state it missed during an outage.
+struct GeoVenueInfo {
+  int index = -1;  ///< Stable venue id (registration order in the DB).
+  UhfIndex channel = 0;
+  GeoPoint location;
+  double radius_km = 1.0;
+  bool active = false;
+};
+
+/// A query response.
+struct GeoQueryResult {
+  bool ok = false;  ///< false = shed (overload rejection).
+  /// Timestamp the contour data was computed at (staleness accounting).
+  Us data_time = 0.0;
+  /// Guarded TV-station contours at the query position.
+  SpectrumMap stations;
+  /// Conservative map at the query position (degraded-mode fallback).
+  SpectrumMap conservative;
+  /// Full venue directory with serve-time activity flags.
+  std::vector<GeoVenueInfo> venues;
+};
+
+/// One push notification: a venue protection window opened or closed.
+struct GeoPushUpdate {
+  int venue = -1;
+  UhfIndex channel = 0;
+  GeoPoint location;
+  double radius_km = 1.0;
+  bool active = false;
+};
+
+/// The service node.  Not a Device: the database lives outside the cell
+/// (reached over the backhaul), so it schedules plain simulator events.
+class GeoDbService {
+ public:
+  /// `db` is the ground-truth database (must outlive the service);
+  /// `faults` may be null (no outages / extra staleness).
+  GeoDbService(Simulator& sim, const GeoDatabase& db,
+               const GeoDbServiceParams& params, std::uint64_t seed,
+               FaultInjector* faults, const Observability& obs);
+
+  /// Schedules the venue push timeline (call once, before the run).
+  void Start();
+
+  /// Issues an asynchronous query for the map at `where` with contours
+  /// inflated by `guard_km`.  `done` fires after the (load-dependent)
+  /// latency — or never, when an outage swallows the request or response.
+  void Query(int node, const GeoPoint& where, double guard_km,
+             std::function<void(const GeoQueryResult&)> done);
+
+  /// Registers a push subscriber.  Fan-out iterates in subscription
+  /// order; subscribe nodes in a deterministic order.
+  void Subscribe(int node, std::function<void(const GeoPushUpdate&)> on_push);
+
+  /// The association-time provisioning query: synchronous and always
+  /// served (a device contacts the database over its wired bootstrap
+  /// path before it may transmit at all).  data_time = 0.
+  GeoQueryResult Bootstrap(const GeoPoint& where, double guard_km) const;
+
+  const GeoDatabase& db() const { return db_; }
+  int pending() const { return pending_; }
+  std::uint64_t queries() const { return queries_; }
+  std::uint64_t shed() const { return shed_; }
+  std::uint64_t lost_to_outage() const { return lost_; }
+  std::uint64_t pushes_sent() const { return pushes_; }
+
+ private:
+  struct Subscriber {
+    int node = -1;
+    std::function<void(const GeoPushUpdate&)> on_push;
+  };
+
+  bool Reachable(SimTime now) const;
+  Us ServedTime(Us now) const;
+  GeoQueryResult Compute(const GeoPoint& where, double guard_km, Us data_time,
+                         Us active_at) const;
+  void EmitVenueEvent(int venue_index, bool active);
+
+  Simulator& sim_;
+  const GeoDatabase& db_;
+  GeoDbServiceParams params_;
+  Rng rng_;
+  FaultInjector* faults_;
+  Observability obs_;
+  std::vector<Subscriber> subscribers_;
+  int pending_ = 0;
+  std::uint64_t queries_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t lost_ = 0;
+  std::uint64_t pushes_ = 0;
+};
+
+}  // namespace whitefi

@@ -17,6 +17,7 @@ constexpr const char* kKindNames[kNumTraceEventKinds] = {
     "mac_retry",    "channel_switch", "incumbent_on", "incumbent_off",
     "chirp",        "discovery_probe", "fault_injected", "fault_cleared",
     "invariant_violation", "note", "span_begin", "span_end", "state_enter",
+    "geodb_degraded", "geodb_recovered",
 };
 
 std::string JsonEscape(const std::string& s) {

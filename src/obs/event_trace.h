@@ -43,9 +43,11 @@ enum class TraceEventKind {
   kSpanBegin,        ///< A causal span opened (detail = span name).
   kSpanEnd,          ///< A causal span closed (same span_id as the begin).
   kStateEnter,       ///< A node entered a protocol state (detail = state).
+  kGeoDbDegraded,    ///< A geo-db session fell back to conservative data.
+  kGeoDbRecovered,   ///< A geo-db session returned to fresh data.
 };
 
-inline constexpr int kNumTraceEventKinds = 17;
+inline constexpr int kNumTraceEventKinds = 19;
 
 /// Stable wire name, e.g. "frame_tx".
 const char* TraceEventKindName(TraceEventKind kind);

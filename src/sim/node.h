@@ -73,8 +73,14 @@ class Device : public RadioPort, public MacCallbacks {
   /// The device's current incumbent view: static TV map plus detected mics.
   SpectrumMap ObservedMap() const;
 
-  /// Replaces the device's static TV map (scenario setup).
+  /// Replaces the device's static TV map (scenario setup and the geo-db
+  /// session, whose respected map rides the tv_map slot).
   void SetTvMap(const SpectrumMap& map) { config_.tv_map = map; }
+
+  /// Moves the device (mobility models).  Subsequent propagation reads
+  /// the new position; frames already in flight keep the geometry they
+  /// were launched with.
+  void SetPosition(const Position& position) { config_.position = position; }
 
   Mac& mac() { return mac_; }
   const Mac& mac() const { return mac_; }

@@ -50,6 +50,24 @@ SpectrumMap GeoDatabase::QueryAt(const GeoPoint& where, Us t) const {
   return map;
 }
 
+SpectrumMap GeoDatabase::QueryGuardedAt(const GeoPoint& where, Us t,
+                                        double guard_km) const {
+  SpectrumMap map;
+  for (const TvStation& station : stations_) {
+    if (GeoDistanceKm(where, station.location) <=
+        ProtectedRadiusKm(station) + guard_km) {
+      map.SetOccupied(station.channel);
+    }
+  }
+  for (const ProtectedVenue& venue : venues_) {
+    if (venue.ActiveAt(t) &&
+        GeoDistanceKm(where, venue.location) <= venue.radius_km + guard_km) {
+      map.SetOccupied(venue.channel);
+    }
+  }
+  return map;
+}
+
 SpectrumMap GeoDatabase::QueryConservativeAt(const GeoPoint& where,
                                              double guard_km) const {
   SpectrumMap map;
@@ -67,6 +85,23 @@ SpectrumMap GeoDatabase::QueryConservativeAt(const GeoPoint& where,
     }
   }
   return map;
+}
+
+bool GeoDatabase::ProtectedAt(const GeoPoint& where, UhfIndex channel,
+                              Us t) const {
+  for (const TvStation& station : stations_) {
+    if (station.channel == channel &&
+        GeoDistanceKm(where, station.location) <= ProtectedRadiusKm(station)) {
+      return true;
+    }
+  }
+  for (const ProtectedVenue& venue : venues_) {
+    if (venue.channel == channel && venue.ActiveAt(t) &&
+        GeoDistanceKm(where, venue.location) <= venue.radius_km) {
+      return true;
+    }
+  }
+  return false;
 }
 
 std::vector<TvStation> GeoDatabase::StationsCovering(

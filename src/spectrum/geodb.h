@@ -76,6 +76,14 @@ class GeoDatabase {
   /// `t` (TV contours plus active venue protections).
   SpectrumMap QueryAt(const GeoPoint& where, Us t = 0.0) const;
 
+  /// Movement-tolerant variant of QueryAt: both TV contours and the venues
+  /// active at `t` are inflated by `guard_km`.  A mobile device that
+  /// re-queries whenever it has moved more than `guard_km` from its last
+  /// query point can treat this map as valid at its *current* position:
+  /// any channel the exact query would protect there is already marked.
+  SpectrumMap QueryGuardedAt(const GeoPoint& where, Us t,
+                             double guard_km) const;
+
   /// Conservative variant for degraded operation on stale data: TV
   /// contours are inflated by `guard_km` and every registered venue is
   /// treated as active regardless of its schedule.  A device that cannot
@@ -83,11 +91,24 @@ class GeoDatabase {
   SpectrumMap QueryConservativeAt(const GeoPoint& where,
                                   double guard_km = 10.0) const;
 
+  /// Point query: true iff `channel` is protected at `where` at time `t`
+  /// (a station contour covers it, or an active venue does).  Equivalent
+  /// to QueryAt(where, t).Occupied(channel) without building the map —
+  /// the auditor's per-transmission ground-truth check calls this.
+  bool ProtectedAt(const GeoPoint& where, UhfIndex channel, Us t) const;
+
   /// Stations whose protected contour covers `where`.
   std::vector<TvStation> StationsCovering(const GeoPoint& where) const;
 
   std::size_t NumStations() const { return stations_.size(); }
   std::size_t NumVenues() const { return venues_.size(); }
+
+  /// Registered venues, in registration order (the index is the venue's
+  /// stable identifier for push notifications).
+  const std::vector<ProtectedVenue>& venues() const { return venues_; }
+
+  /// Registered stations, in registration order.
+  const std::vector<TvStation>& stations() const { return stations_; }
 
  private:
   std::vector<TvStation> stations_;
@@ -129,7 +150,10 @@ class GeoDbClient {
   /// Age of the cached data at `now`.
   Us Age(Us now) const { return now - fetched_at_; }
 
-  /// True once the cache has outlived `stale_after`.
+  /// True once the cache has outlived `stale_after`.  The boundary is
+  /// strict: data whose age is exactly `stale_after` is still trusted —
+  /// the FCC-style re-check deadline is "re-query within T", so the cache
+  /// is valid through the whole horizon and flips only one tick past it.
   bool Stale(Us now) const { return Age(now) > params_.stale_after; }
 
   /// The occupancy map a device must respect at `now`: the cached query

@@ -1,0 +1,382 @@
+// Tests for the dynamic geo-db service node (src/geodb/service.h) and the
+// device-side resilient session (src/geodb/session.h): load-dependent
+// latency and overload shedding, the outage -> timeout -> backoff ->
+// circuit-breaker -> half-open -> recovery state machine, staleness
+// degradation, push interleavings across an outage, mobility re-query and
+// blackout, and the observability (trace events + metrics) of every
+// degraded/recovered transition.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/fault.h"
+#include "geodb/service.h"
+#include "geodb/session.h"
+#include "obs/event_trace.h"
+#include "obs/metrics.h"
+#include "sim/world.h"
+#include "spectrum/geodb.h"
+
+namespace whitefi {
+namespace {
+
+GeoDatabase OneStationDb() {
+  GeoDatabase db;
+  db.RegisterStation(TvStation{"WAAA", 7, {0.0, 0.0}, 100.0});  // 60 km.
+  return db;
+}
+
+// ------------------------------------------------------------ service ---
+
+TEST(GeoDbService, LatencyGrowsWithQueueDepth) {
+  World world;
+  const GeoDatabase db = OneStationDb();
+  GeoDbServiceParams params;
+  params.base_latency = 50 * kTicksPerMs;
+  params.per_pending_latency = 20 * kTicksPerMs;
+  params.latency_jitter = 0.0;  // Deterministic latencies for this test.
+  GeoDbService service(world.sim(), db, params, 7, nullptr, {});
+
+  std::vector<SimTime> completed_at;
+  auto issue = [&] {
+    service.Query(1, {0.0, 0.0}, 5.0, [&](const GeoQueryResult& result) {
+      EXPECT_TRUE(result.ok);
+      EXPECT_TRUE(result.stations.Occupied(7));
+      completed_at.push_back(world.sim().Now());
+    });
+  };
+  // Three concurrent queries: 50 ms unloaded, then +20 ms per request
+  // already pending.
+  world.sim().Schedule(0, [&] { issue(); issue(); issue(); });
+  world.RunFor(1.0);
+  ASSERT_EQ(completed_at.size(), 3u);
+  EXPECT_EQ(completed_at[0], 50 * kTicksPerMs);
+  EXPECT_EQ(completed_at[1], 70 * kTicksPerMs);
+  EXPECT_EQ(completed_at[2], 90 * kTicksPerMs);
+  EXPECT_EQ(service.queries(), 3u);
+  EXPECT_EQ(service.shed(), 0u);
+}
+
+TEST(GeoDbService, BoundedQueueShedsFastWithRejection) {
+  World world;
+  const GeoDatabase db = OneStationDb();
+  GeoDbServiceParams params;
+  params.base_latency = 50 * kTicksPerMs;
+  params.latency_jitter = 0.0;
+  params.max_queue = 2;
+  params.shed_latency = 10 * kTicksPerMs;
+  GeoDbService service(world.sim(), db, params, 7, nullptr, {});
+
+  int served = 0, shed = 0;
+  SimTime shed_at = -1;
+  auto issue = [&] {
+    service.Query(1, {0.0, 0.0}, 5.0, [&](const GeoQueryResult& result) {
+      if (result.ok) {
+        ++served;
+      } else {
+        ++shed;
+        shed_at = world.sim().Now();
+      }
+    });
+  };
+  world.sim().Schedule(0, [&] { issue(); issue(); issue(); });
+  world.RunFor(1.0);
+  EXPECT_EQ(served, 2);
+  EXPECT_EQ(shed, 1);
+  // The rejection is a fast-fail, well before any real response.
+  EXPECT_EQ(shed_at, 10 * kTicksPerMs);
+  EXPECT_EQ(service.shed(), 1u);
+}
+
+TEST(GeoDbService, OutageSwallowsRequestsSilently) {
+  World world;
+  const GeoDatabase db = OneStationDb();
+  FaultPlan plan;
+  plan.geodb_outages.push_back({1 * kTicksPerSec, 2 * kTicksPerSec});
+  FaultInjector faults(plan, 99);
+  GeoDbServiceParams params;
+  params.latency_jitter = 0.0;
+  GeoDbService service(world.sim(), db, params, 7, &faults, {});
+
+  int answered = 0;
+  auto issue = [&] {
+    service.Query(1, {0.0, 0.0}, 5.0,
+                  [&](const GeoQueryResult&) { ++answered; });
+  };
+  // Inside the outage window: no reply of any kind, ever.
+  world.sim().Schedule(1500 * kTicksPerMs, issue);
+  // Request lands BEFORE the outage, response due inside it: the
+  // in-flight reply is swallowed too.
+  world.sim().Schedule(980 * kTicksPerMs, issue);
+  // After the outage: served normally.
+  world.sim().Schedule(2500 * kTicksPerMs, issue);
+  world.RunFor(4.0);
+  EXPECT_EQ(answered, 1);
+  EXPECT_EQ(service.lost_to_outage(), 2u);
+}
+
+// ------------------------------------------------------------ session ---
+
+/// A session test rig: one device under a geo-db session, with tight
+/// deterministic timings so full recovery cycles fit in a short run.
+struct SessionRig {
+  explicit SessionRig(const GeoDatabase& db, FaultInjector* faults,
+                      GeoDbServiceParams service_params = {},
+                      GeoDbSessionParams session_params = TightParams(),
+                      WorldConfig world_config = {})
+      : world(world_config),
+        service(world.sim(), db, Deterministic(service_params), 7, faults,
+                world_config.obs),
+        device(world.Create<Device>(DeviceConfig{})),
+        session(world, device, service, {0.0, 0.0}, SpectrumMap{},
+                session_params, 21) {}
+
+  static GeoDbServiceParams Deterministic(GeoDbServiceParams p) {
+    p.latency_jitter = 0.0;
+    p.base_latency = 50 * kTicksPerMs;
+    p.per_pending_latency = 0;
+    return p;
+  }
+
+  static GeoDbSessionParams TightParams() {
+    GeoDbSessionParams p;
+    p.refresh_interval = 500 * kTicksPerMs;
+    p.refresh_jitter = 0.0;
+    p.refresh_timeout = 150 * kTicksPerMs;
+    p.backoff_base = 100 * kTicksPerMs;
+    p.backoff_factor = 2.0;
+    p.backoff_max = 400 * kTicksPerMs;
+    p.backoff_jitter = 0.0;
+    p.breaker_failures = 2;
+    p.breaker_cooldown = 300 * kTicksPerMs;
+    p.stale_after = 30.0 * kSecond;
+    return p;
+  }
+
+  void Start() {
+    service.Start();
+    session.Start();
+  }
+
+  World world;
+  GeoDbService service;
+  Device& device;
+  GeoDbSession session;
+};
+
+TEST(GeoDbSession, BreakerTripsHalfOpensAndResets) {
+  const GeoDatabase db = OneStationDb();
+  FaultPlan plan;
+  plan.geodb_outages.push_back({1200 * kTicksPerMs, 3 * kTicksPerSec});
+  FaultInjector faults(plan, 99);
+  SessionRig rig(db, &faults);
+  rig.Start();
+
+  // Before the outage: fresh, breaker closed, refreshes landing.
+  rig.world.RunFor(1.1);
+  EXPECT_EQ(rig.session.mode(), GeoDbMode::kFresh);
+  EXPECT_EQ(rig.session.breaker(), GeoDbBreaker::kClosed);
+  EXPECT_GE(rig.session.refreshes(), 1);
+
+  // Mid-outage: two consecutive timeouts trip the breaker onto the
+  // conservative map, well before the 30 s stale horizon.
+  rig.world.RunFor(1.4);  // -> 2.5 s
+  EXPECT_EQ(rig.session.mode(), GeoDbMode::kDegraded);
+  EXPECT_EQ(rig.session.breaker(), GeoDbBreaker::kOpen);
+  EXPECT_GE(rig.session.consecutive_failures(), 2);
+  EXPECT_EQ(rig.session.degraded_transitions(), 1);
+  EXPECT_EQ(rig.session.recovered_transitions(), 0);
+  // Only the pre-trip retry used backoff (one failure before the trip):
+  // base * factor^0, unjittered.
+  EXPECT_EQ(rig.session.last_backoff(), 100 * kTicksPerMs);
+
+  // After the outage a half-open probe lands and fully resets the
+  // breaker: fresh mode, zero consecutive failures.
+  rig.world.RunFor(1.5);  // -> 4.0 s
+  EXPECT_EQ(rig.session.mode(), GeoDbMode::kFresh);
+  EXPECT_EQ(rig.session.breaker(), GeoDbBreaker::kClosed);
+  EXPECT_EQ(rig.session.consecutive_failures(), 0);
+  EXPECT_EQ(rig.session.degraded_transitions(), 1);
+  EXPECT_EQ(rig.session.recovered_transitions(), 1);
+}
+
+TEST(GeoDbSession, BackoffIsDeterministicAcrossIdenticalSeeds) {
+  const GeoDatabase db = OneStationDb();
+  GeoDbSessionParams params = SessionRig::TightParams();
+  params.backoff_jitter = 0.3;  // Jitter ON: determinism must come from
+                                // the seeded substream, not from zeroing.
+  auto run = [&](SimTime* backoff, int* failures, int* refreshes) {
+    FaultPlan plan;
+    plan.geodb_outages.push_back({1200 * kTicksPerMs, 3 * kTicksPerSec});
+    FaultInjector faults(plan, 99);
+    SessionRig rig(db, &faults, {}, params);
+    rig.Start();
+    rig.world.RunFor(2.5);
+    *backoff = rig.session.last_backoff();
+    *failures = rig.session.consecutive_failures();
+    *refreshes = rig.session.refreshes();
+  };
+  SimTime backoff_a = 0, backoff_b = 0;
+  int failures_a = 0, failures_b = 0, refreshes_a = 0, refreshes_b = 0;
+  run(&backoff_a, &failures_a, &refreshes_a);
+  run(&backoff_b, &failures_b, &refreshes_b);
+  EXPECT_GT(backoff_a, 0);
+  EXPECT_EQ(backoff_a, backoff_b);
+  EXPECT_EQ(failures_a, failures_b);
+  EXPECT_EQ(refreshes_a, refreshes_b);
+}
+
+TEST(GeoDbSession, ServedStaleDataDegradesDespiteSuccessfulRefresh) {
+  const GeoDatabase db = OneStationDb();
+  GeoDbServiceParams service_params;
+  service_params.staleness = 60.0 * kSecond;  // Everything served is old.
+  GeoDbSessionParams session_params = SessionRig::TightParams();
+  session_params.stale_after = 2.0 * kSecond;
+  SessionRig rig(db, nullptr, service_params, session_params);
+  rig.Start();
+  rig.world.RunFor(3.0);
+  // Refreshes succeed (no outage, no timeouts, breaker closed) yet the
+  // session is degraded: the data itself is beyond the stale horizon.
+  EXPECT_GE(rig.session.refreshes(), 2);
+  EXPECT_EQ(rig.session.breaker(), GeoDbBreaker::kClosed);
+  EXPECT_EQ(rig.session.mode(), GeoDbMode::kDegraded);
+  EXPECT_GE(rig.session.degraded_transitions(), 1);
+  EXPECT_EQ(rig.session.recovered_transitions(), 0);
+}
+
+TEST(GeoDbSession, PushUpdatesApplyWithoutARefreshRoundTrip) {
+  GeoDatabase db;
+  // Venue active during [1 s, 2 s), covering the device at the origin.
+  db.RegisterVenue(ProtectedVenue{"theater", 12, {0.0, 0.0}, 2.0,
+                                  1.0 * kSecond, 2.0 * kSecond});
+  GeoDbServiceParams service_params;
+  service_params.push_latency_min = 20 * kTicksPerMs;
+  service_params.push_latency_max = 30 * kTicksPerMs;
+  GeoDbSessionParams session_params = SessionRig::TightParams();
+  session_params.refresh_interval = 30 * kTicksPerSec;  // No refresh lands.
+  SessionRig rig(db, nullptr, service_params, session_params);
+  rig.Start();
+
+  rig.world.RunFor(0.9);
+  EXPECT_FALSE(rig.session.respected().Occupied(12));
+  rig.world.RunFor(0.6);  // -> 1.5 s: activation push applied.
+  EXPECT_TRUE(rig.session.respected().Occupied(12));
+  rig.world.RunFor(1.0);  // -> 2.5 s: deactivation push applied.
+  EXPECT_FALSE(rig.session.respected().Occupied(12));
+  EXPECT_EQ(rig.service.pushes_sent(), 2u);
+}
+
+TEST(GeoDbSession, VenueActivationMissedDuringOutageResyncsOnRecovery) {
+  GeoDatabase db;
+  // Venue activates at 1.5 s — inside the DB outage, so the activation
+  // push is swallowed.  The recovery refresh must resync it anyway:
+  // venue activity is evaluated at SERVE time, not at the (possibly
+  // stale) contour data time.
+  db.RegisterVenue(ProtectedVenue{"theater", 12, {0.0, 0.0}, 2.0,
+                                  1.5 * kSecond, 10.0 * kSecond});
+  FaultPlan plan;
+  plan.geodb_outages.push_back({1200 * kTicksPerMs, 2500 * kTicksPerMs});
+  FaultInjector faults(plan, 99);
+  SessionRig rig(db, &faults);
+  rig.Start();
+
+  rig.world.RunFor(1.4);
+  EXPECT_FALSE(rig.session.respected().Occupied(12));  // Push was lost.
+  // Past the outage: a successful refresh (direct or half-open probe)
+  // carries the serve-time venue directory.
+  rig.world.RunFor(2.0);  // -> 3.4 s
+  EXPECT_EQ(rig.session.mode(), GeoDbMode::kFresh);
+  EXPECT_TRUE(rig.session.respected().Occupied(12));
+}
+
+TEST(GeoDbSession, MovingPastGuardBlacksOutUntilRequeryLands) {
+  const GeoDatabase db = OneStationDb();
+  GeoDbSessionParams params = SessionRig::TightParams();
+  params.guard_km = 1.0;
+  params.requery_km = 0.2;
+  SessionRig rig(db, nullptr, {}, params);
+  rig.Start();
+  rig.world.RunFor(0.2);
+  EXPECT_EQ(rig.session.mode(), GeoDbMode::kFresh);
+
+  // Teleport 1.5 km: beyond the 1 km guard, the cached map's validity
+  // proof is gone — respect everything until a query at the new position
+  // answers.
+  rig.world.sim().Schedule(rig.world.sim().Now() + kTicksPerMs, [&] {
+    rig.device.SetPosition({1500.0, 0.0});
+    rig.session.OnMoved();
+  });
+  rig.world.RunFor(0.01);
+  EXPECT_EQ(rig.session.mode(), GeoDbMode::kBlackout);
+  EXPECT_EQ(rig.session.respected().NumFree(), 0);  // All channels barred.
+
+  rig.world.RunFor(0.5);  // The re-query lands (50 ms service latency).
+  EXPECT_EQ(rig.session.mode(), GeoDbMode::kFresh);
+  EXPECT_GT(rig.session.respected().NumFree(), 0);
+  EXPECT_EQ(rig.session.degraded_transitions(), 1);
+  EXPECT_EQ(rig.session.recovered_transitions(), 1);
+}
+
+TEST(GeoDbSession, SmallDriftRequeriesWithoutDegrading) {
+  const GeoDatabase db = OneStationDb();
+  GeoDbSessionParams params = SessionRig::TightParams();
+  params.refresh_interval = 30 * kTicksPerSec;  // Scheduled path idle.
+  params.guard_km = 5.0;
+  params.requery_km = 0.2;
+  SessionRig rig(db, nullptr, {}, params);
+  rig.Start();
+  rig.world.RunFor(0.2);
+  const int before = rig.session.refreshes();
+
+  rig.world.sim().Schedule(rig.world.sim().Now() + kTicksPerMs, [&] {
+    rig.device.SetPosition({300.0, 0.0});  // 0.3 km > requery, < guard.
+    rig.session.OnMoved();
+  });
+  rig.world.RunFor(0.5);
+  EXPECT_EQ(rig.session.mode(), GeoDbMode::kFresh);
+  EXPECT_EQ(rig.session.degraded_transitions(), 0);
+  EXPECT_GT(rig.session.refreshes(), before);
+}
+
+TEST(GeoDbSession, DegradeAndRecoverAreTracedAndMetered) {
+  EventTrace trace;
+  MetricsRegistry metrics;
+  WorldConfig world_config;
+  world_config.obs.trace = &trace;
+  world_config.obs.metrics = &metrics;
+
+  const GeoDatabase db = OneStationDb();
+  FaultPlan plan;
+  plan.geodb_outages.push_back({1200 * kTicksPerMs, 3 * kTicksPerSec});
+  FaultInjector faults(plan, 99);
+  SessionRig rig(db, &faults, {}, SessionRig::TightParams(), world_config);
+  rig.Start();
+  rig.world.RunFor(4.0);
+  ASSERT_EQ(rig.session.degraded_transitions(), 1);
+  ASSERT_EQ(rig.session.recovered_transitions(), 1);
+
+  int degraded_events = 0, recovered_events = 0;
+  std::int64_t degraded_span = 0;
+  for (const TraceEvent& event : trace.events()) {
+    if (event.kind == TraceEventKind::kGeoDbDegraded) {
+      ++degraded_events;
+      degraded_span = event.span_id;
+      EXPECT_EQ(event.node, rig.device.NodeId());
+      EXPECT_FALSE(event.detail.empty());  // Carries the reason.
+    }
+    if (event.kind == TraceEventKind::kGeoDbRecovered) {
+      ++recovered_events;
+      // The recovery closes the SAME degraded-episode span it opened.
+      EXPECT_EQ(event.span_id, degraded_span);
+    }
+  }
+  EXPECT_EQ(degraded_events, 1);
+  EXPECT_EQ(recovered_events, 1);
+  EXPECT_EQ(metrics.GetCounter("whitefi.geodb.degraded").value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("whitefi.geodb.recovered").value(), 1u);
+  EXPECT_GE(metrics.GetCounter("whitefi.geodb.queries").value(), 1u);
+  EXPECT_GE(metrics.GetCounter("whitefi.geodb.refresh_failures").value(), 2u);
+}
+
+}  // namespace
+}  // namespace whitefi

@@ -59,6 +59,45 @@ TEST(GeoDb, RejectsBadInput) {
       std::invalid_argument);
 }
 
+TEST(GeoDb, StaleBoundaryIsStrict) {
+  // The staleness boundary is pinned STRICT (Age > stale_after): the
+  // FCC-style contract is "re-query within T", so data whose age is
+  // exactly T is still trusted and the degraded map takes over only one
+  // microsecond past the horizon.  GeoDbSession's stale watchdog
+  // schedules itself one tick past data_time + stale_after for the same
+  // reason — both sides of the protocol must agree on the boundary.
+  GeoDatabase db;
+  db.RegisterStation(TvStation{"WAAA", 7, {0, 0}, 100.0});
+  GeoDbClientParams params;
+  params.stale_after = 10.0 * kSecond;
+  GeoDbClient client(db, {0, 0}, params);  // Initial fetch at t = 0.
+  EXPECT_FALSE(client.Stale(10.0 * kSecond));       // Exactly at: trusted.
+  EXPECT_TRUE(client.Stale(10.0 * kSecond + 1.0));  // One us past: stale.
+  EXPECT_EQ(&client.Map(10.0 * kSecond), &client.FreshMap());
+  EXPECT_EQ(&client.Map(10.0 * kSecond + 1.0), &client.ConservativeMap());
+  // The cache ages from the DATA time, not the fetch time: a refresh that
+  // serves backdated data can leave the client already past the horizon.
+  ASSERT_TRUE(client.Refresh(20.0 * kSecond, true, 9.0 * kSecond));
+  EXPECT_FALSE(client.Stale(19.0 * kSecond));
+  EXPECT_TRUE(client.Stale(19.0 * kSecond + 1.0));
+}
+
+TEST(GeoDb, ProtectedAtPointQuery) {
+  // The point query backing the auditor's position-aware ground truth:
+  // contour membership is inclusive, venue protection is gated on the
+  // activity window.
+  GeoDatabase db;
+  db.RegisterStation(TvStation{"WAAA", 7, {0, 0}, 100.0});  // 60 km.
+  db.RegisterVenue(ProtectedVenue{"theater", 12, {1, 1}, 2.0,
+                                  100.0 * kSecond, 200.0 * kSecond});
+  EXPECT_TRUE(db.ProtectedAt({60, 0}, 7, 0.0));
+  EXPECT_FALSE(db.ProtectedAt({61, 0}, 7, 0.0));
+  EXPECT_FALSE(db.ProtectedAt({60, 0}, 8, 0.0));
+  EXPECT_FALSE(db.ProtectedAt({1, 1}, 12, 50.0 * kSecond));
+  EXPECT_TRUE(db.ProtectedAt({1, 1}, 12, 150.0 * kSecond));
+  EXPECT_FALSE(db.ProtectedAt({10, 10}, 12, 150.0 * kSecond));
+}
+
 TEST(GeoDb, MetroSynthesisShape) {
   Rng rng(42);
   const GeoDatabase db = SynthesizeMetro(MetroModel{}, rng);

@@ -88,6 +88,62 @@ grep -q "bogus_kind" "$TMP/err" || {
 }
 expect_exit 2 "empty trace kind list" "$CLI" --trace-only ,
 
+# [geodb] / [mobility] sections: a valid dynamic geo-db scenario runs to
+# completion (exit 0), misspelled geodb keys are caught by --strict
+# (exit 2), and a parameter that parses but violates the documented
+# relations (queue >= 1, backoff_max >= backoff, ordered venue windows)
+# is a RUNTIME error (exit 1): the file is well-formed, the scenario it
+# describes is impossible.
+cat >"$TMP/geodb.conf" <<EOF
+seed = 7
+seconds = 2
+warmup = 0.5
+network.clients = 1
+geodb.enabled = true
+geodb.venues = 1
+geodb.refresh_s = 0.5
+mobility.enabled = true
+mobility.speed_max_mps = 5.0
+EOF
+expect_exit 0 "valid geodb+mobility config" \
+  "$CLI" --config "$TMP/geodb.conf" --strict
+
+cat >"$TMP/geodb_typo.conf" <<EOF
+seed = 7
+seconds = 1
+geodb.enabled = true
+geodb.refrsh_s = 0.5
+mobility.speed_max_mps = 5.0
+EOF
+expect_exit 0 "unknown geodb key without --strict" \
+  "$CLI" --config "$TMP/geodb_typo.conf"
+expect_exit 2 "unknown geodb key under --strict" \
+  "$CLI" --config "$TMP/geodb_typo.conf" --strict
+grep -q "geodb.refrsh_s" "$TMP/err" || {
+  cat "$TMP/err" >&2
+  fail "--strict error must name the misspelled geodb key"
+}
+
+cat >"$TMP/geodb_bad.conf" <<EOF
+seed = 7
+seconds = 1
+geodb.enabled = true
+geodb.queue = 0
+EOF
+expect_exit 1 "invalid geodb parameter relation" \
+  "$CLI" --config "$TMP/geodb_bad.conf"
+
+cat >"$TMP/mobility_bad.conf" <<EOF
+seed = 7
+seconds = 1
+geodb.enabled = true
+mobility.enabled = true
+mobility.speed_min_mps = 9.0
+mobility.speed_max_mps = 1.0
+EOF
+expect_exit 1 "inverted mobility speed range" \
+  "$CLI" --config "$TMP/mobility_bad.conf"
+
 # Replaying a file with no expect block is a runtime failure (1), not a
 # config error: the file parsed fine, the reproduction just cannot hold.
 expect_exit 1 "replay of a non-bundle" "$CLI" --replay "$TMP/ok.conf"
