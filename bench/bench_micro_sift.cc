@@ -4,8 +4,11 @@
 // chirp-codec costs.
 #include <benchmark/benchmark.h>
 
+#include "flags.h"
 #include "phy/signal.h"
+#include "sift/batch.h"
 #include "sift/chirp.h"
+#include "sift/correlate.h"
 #include "sift/detector.h"
 #include "sift/matcher.h"
 
@@ -30,6 +33,22 @@ void BM_SiftDetector(benchmark::State& state) {
                           static_cast<std::int64_t>(samples.size()));
 }
 BENCHMARK(BM_SiftDetector);
+
+/// The portable scalar kernel, forced regardless of host and flags: the
+/// denominator of the CI speedup gate (compare_bench.py --speedup
+/// BM_SiftDetectorScalar:BM_SiftDetector:MINRATIO).
+void BM_SiftDetectorScalar(benchmark::State& state) {
+  const auto samples = MakeTrace(ChannelWidth::kW20, 50);
+  SiftParams params;
+  params.kernel = SiftKernelChoice::kScalar;
+  for (auto _ : state) {
+    SiftDetector detector{params};
+    benchmark::DoNotOptimize(detector.Detect(samples));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(samples.size()));
+}
+BENCHMARK(BM_SiftDetectorScalar);
 
 void BM_SiftStreamingBlocks(benchmark::State& state) {
   const auto samples = MakeTrace(ChannelWidth::kW10, 50);
@@ -82,6 +101,50 @@ void BM_SiftDetectorGenericWindow(benchmark::State& state) {
                           static_cast<std::int64_t>(samples.size()));
 }
 BENCHMARK(BM_SiftDetectorGenericWindow);
+
+/// N channels through one SiftBatch pass (the multi-channel dwell shape).
+/// Compare against BM_SiftIndependentLanes at the same lane count: the
+/// delta is the batching win (shared dispatch/scratch, hot constants).
+void BM_SiftBatchDetect(benchmark::State& state) {
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<double>> traces;
+  traces.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    traces.push_back(MakeTrace(ChannelWidth::kW20, 10));
+  }
+  std::vector<std::span<const double>> spans(traces.begin(), traces.end());
+  std::int64_t samples = 0;
+  for (const auto& t : traces) samples += static_cast<std::int64_t>(t.size());
+  for (auto _ : state) {
+    SiftBatch batch(SiftParams{}, lanes);
+    benchmark::DoNotOptimize(batch.DetectAll(spans));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          samples);
+}
+BENCHMARK(BM_SiftBatchDetect)->Arg(4)->Arg(16);
+
+/// The unbatched reference: the same N traces through N independent
+/// detectors.
+void BM_SiftIndependentLanes(benchmark::State& state) {
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<double>> traces;
+  traces.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    traces.push_back(MakeTrace(ChannelWidth::kW20, 10));
+  }
+  std::int64_t samples = 0;
+  for (const auto& t : traces) samples += static_cast<std::int64_t>(t.size());
+  for (auto _ : state) {
+    for (const auto& t : traces) {
+      SiftDetector detector{SiftParams{}};
+      benchmark::DoNotOptimize(detector.Detect(t));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          samples);
+}
+BENCHMARK(BM_SiftIndependentLanes)->Arg(4)->Arg(16);
 
 void BM_PatternMatcher(benchmark::State& state) {
   const auto samples = MakeTrace(ChannelWidth::kW20, 100);
@@ -138,16 +201,80 @@ void BM_ChirpCodecDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_ChirpCodecDecode);
 
+/// One synthesized chirp in a dwell-length trace, for the correlation
+/// detectors (bench_ablation_chirp_offset measures their accuracy; this
+/// measures their cost).
+std::vector<double> MakeChirpTrace(Us chirp_duration, Us total) {
+  SignalSynthesizer synth(SignalParams{}, Rng(7));
+  const Burst chirp{5000.0, chirp_duration, false, 1.0};
+  return synth.Synthesize({&chirp, 1}, total);
+}
+
+ChirpCorrelator MakeCorrelator(Us chirp_duration) {
+  ChirpCorrelatorParams params;
+  params.chirp_samples = static_cast<std::size_t>(
+      chirp_duration / SignalParams{}.sample_period);
+  return ChirpCorrelator(params);
+}
+
+void BM_ChirpCorrelateNcc(benchmark::State& state) {
+  const Us duration = ChirpCodec().Encode(21);
+  const auto samples = MakeChirpTrace(duration, 20000.0);
+  const ChirpCorrelator corr = MakeCorrelator(duration);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(corr.DetectNcc(samples));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(samples.size()));
+}
+BENCHMARK(BM_ChirpCorrelateNcc);
+
+void BM_ChirpCorrelateDot(benchmark::State& state) {
+  const Us duration = ChirpCodec().Encode(21);
+  const auto samples = MakeChirpTrace(duration, 20000.0);
+  const ChirpCorrelator corr = MakeCorrelator(duration);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(corr.DetectDot(samples));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(samples.size()));
+}
+BENCHMARK(BM_ChirpCorrelateDot);
+
 }  // namespace
 }  // namespace whitefi
 
 // Custom main (vs BENCHMARK_MAIN) so JSON reports carry the pipeline
 // configuration; bench/compare_bench.py keys its regression gate on the
-// items_per_second counters in that report.
+// items_per_second counters in that report and refuses debug-build
+// baselines via the whitefi_build_type context.
 int main(int argc, char** argv) {
+  // Parse and install --detector, then strip it so google-benchmark's
+  // unrecognized-argument check doesn't trip over it.
+  whitefi::bench::DetectorFromArgs(argc, argv);
+  std::vector<char*> kept;
+  kept.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--detector") {
+      ++i;  // Skip the value too.
+      continue;
+    }
+    if (arg.rfind("--detector=", 0) == 0) continue;
+    kept.push_back(argv[i]);
+  }
+  argc = static_cast<int>(kept.size());
+  argv = kept.data();
+
   benchmark::AddCustomContext("whitefi_detector_path", "block");
   benchmark::AddCustomContext("whitefi_sift_window",
                               std::to_string(whitefi::SiftParams{}.window));
+  benchmark::AddCustomContext(
+      "whitefi_sift_kernel",
+      whitefi::SiftDetector{whitefi::SiftParams{}}.kernel_name());
+#ifdef WHITEFI_BUILD_TYPE
+  benchmark::AddCustomContext("whitefi_build_type", WHITEFI_BUILD_TYPE);
+#endif
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -332,6 +332,9 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext("whitefi_trial_runner", "parallel");
   benchmark::AddCustomContext("whitefi_hardware_jobs",
                               std::to_string(whitefi::HardwareJobs()));
+#ifdef WHITEFI_BUILD_TYPE
+  benchmark::AddCustomContext("whitefi_build_type", WHITEFI_BUILD_TYPE);
+#endif
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

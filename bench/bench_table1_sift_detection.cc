@@ -28,18 +28,15 @@ double MedianDetectionRate(ChannelWidth width, double rate_mbps,
   // 1000-byte packets at `rate_mbps`: inter-packet interval in us.
   const Us interval = 8.0 * kPayloadBytes / rate_mbps;
   Rng rng(seed);
+  // The cell's runs ride the batched scanner: one SiftBatch pass per
+  // flush-group of runs, byte-identical to the old detector-per-run loop.
+  const std::vector<int> detected = BatchedDetectionCounts(
+      width, kRuns, kPacketsPerRun, interval, kPayloadBytes, SignalParams{},
+      rng, /*require_duration_match=*/true);
   std::vector<double> rates;
-  // The multi-megasample trace is synthesized into one scratch buffer
-  // reused across all runs of the cell.
-  SignalRun signal;
-  for (int run = 0; run < kRuns; ++run) {
-    MakeIperfRunInto(width, kPacketsPerRun, interval, kPayloadBytes,
-                     SignalParams{}, rng.Fork(), signal);
-    SiftDetector detector{SiftParams{}};
-    const auto bursts = detector.Detect(signal.samples);
-    const int detected = CountDetected(signal.packets, bursts,
-                                       /*require_duration_match=*/true);
-    rates.push_back(static_cast<double>(detected) / kPacketsPerRun);
+  rates.reserve(detected.size());
+  for (const int count : detected) {
+    rates.push_back(static_cast<double>(count) / kPacketsPerRun);
   }
   return Median(std::move(rates));
 }

@@ -12,6 +12,7 @@
 #include <string>
 #include <string_view>
 
+#include "sift/detector.h"
 #include "util/parallel.h"
 
 namespace whitefi::bench {
@@ -49,6 +50,43 @@ inline int JobsFromArgs(int argc, char** argv) {
     std::exit(2);
   }
   return jobs;
+}
+
+/// Extracts `--detector block|simd|scalar` (or `--detector=...`) and
+/// installs it as the process-wide SIFT kernel override ("block" is the
+/// automatic dispatch, i.e. kAuto; "avx2"/"avx512" force one specific
+/// vector flavor for debugging dispatch differences).  Returns the parsed
+/// choice.  An unknown value — or forcing a vector kernel on a host that
+/// cannot run it — is a clean `error:` exit (2).
+inline SiftKernelChoice DetectorFromArgs(int argc, char** argv) {
+  const std::string value = StringFromArgs(argc, argv, "--detector");
+  SiftKernelChoice choice = SiftKernelChoice::kAuto;
+  if (value.empty() || value == "block") {
+    choice = SiftKernelChoice::kAuto;
+  } else if (value == "simd") {
+    choice = SiftKernelChoice::kSimd;
+  } else if (value == "scalar") {
+    choice = SiftKernelChoice::kScalar;
+  } else if (value == "avx2") {
+    choice = SiftKernelChoice::kAvx2;
+  } else if (value == "avx512") {
+    choice = SiftKernelChoice::kAvx512;
+  } else {
+    std::cerr << "error: unknown --detector value '" << value
+              << "' (expected block, simd, scalar, avx2, or avx512)\n";
+    std::exit(2);
+  }
+  try {
+    SetSiftKernelOverride(choice);
+    // Resolve eagerly so a forced-simd request on a host without AVX2
+    // fails here, not deep inside the first trial.
+    SiftDetector probe{SiftParams{}};
+    (void)probe;
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    std::exit(2);
+  }
+  return choice;
 }
 
 }  // namespace whitefi::bench

@@ -1,6 +1,10 @@
 #include "sift_experiment.h"
 
 #include <cmath>
+#include <span>
+#include <utility>
+
+#include "sift/batch.h"
 
 namespace whitefi::bench {
 
@@ -78,6 +82,48 @@ int CountDetectedByCoverage(const std::vector<SentPacket>& packets,
     detected += covered >= min_coverage * packet.duration ? 1 : 0;
   }
   return detected;
+}
+
+std::vector<int> BatchedDetectionCounts(ChannelWidth width, int runs,
+                                        int count, Us interval_us,
+                                        int payload_bytes,
+                                        const SignalParams& params, Rng& rng,
+                                        bool require_duration_match,
+                                        Us duration_tolerance_us,
+                                        std::size_t sample_budget) {
+  std::vector<int> counts;
+  counts.reserve(static_cast<std::size_t>(runs));
+  std::vector<SignalRun> pending;
+  std::size_t pending_samples = 0;
+
+  const auto flush = [&] {
+    if (pending.empty()) return;
+    SiftBatch batch(SiftParams{}, pending.size());
+    std::vector<std::span<const double>> spans;
+    spans.reserve(pending.size());
+    for (const SignalRun& run : pending) spans.emplace_back(run.samples);
+    const auto bursts = batch.DetectAll(spans);
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      counts.push_back(CountDetected(pending[i].packets, bursts[i],
+                                     require_duration_match,
+                                     duration_tolerance_us));
+    }
+    pending.clear();
+    pending_samples = 0;
+  };
+
+  for (int run = 0; run < runs; ++run) {
+    // Fork in run order regardless of flush boundaries, so the synthesized
+    // traces match the serial loop's draws exactly.
+    SignalRun signal;
+    MakeIperfRunInto(width, count, interval_us, payload_bytes, params,
+                     rng.Fork(), signal);
+    pending_samples += signal.samples.size();
+    pending.push_back(std::move(signal));
+    if (pending_samples >= sample_budget) flush();
+  }
+  flush();
+  return counts;
 }
 
 }  // namespace whitefi::bench

@@ -59,4 +59,20 @@ int CountDetectedByCoverage(const std::vector<SentPacket>& packets,
                             const std::vector<DetectedBurst>& bursts,
                             double min_coverage = 0.3);
 
+/// One experiment cell through the batched scanner: synthesizes `runs`
+/// iperf runs (forking `rng` once per run, in run order — draw-for-draw
+/// identical to the serial synthesize/detect loop) and classifies them
+/// through `SiftBatch` lanes, flushing whenever the pending traces exceed
+/// `sample_budget` samples so a low-rate cell's multi-megasample runs
+/// don't all sit in memory at once.  Returns each run's CountDetected
+/// result, in run order.  Byte-identical to the serial loop by the batch
+/// kernel's identity contract.
+std::vector<int> BatchedDetectionCounts(ChannelWidth width, int runs,
+                                        int count, Us interval_us,
+                                        int payload_bytes,
+                                        const SignalParams& params, Rng& rng,
+                                        bool require_duration_match,
+                                        Us duration_tolerance_us = 100.0,
+                                        std::size_t sample_budget = 32000000);
+
 }  // namespace whitefi::bench

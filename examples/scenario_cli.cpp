@@ -299,6 +299,28 @@ bool ParseOptions(int argc, char** argv, Options& options) {
       }
     }
     else if (flag == "--timeline-csv") options.timeline_csv = next();
+    else if (flag == "--detector") {
+      // SIFT kernel selection for every detector the scenario constructs
+      // ("block" = automatic dispatch).  Forcing simd on a host without
+      // AVX2 throws here, i.e. exits 2 like any other bad flag value.
+      const std::string value = next();
+      if (value == "block") SetSiftKernelOverride(SiftKernelChoice::kAuto);
+      else if (value == "simd") SetSiftKernelOverride(SiftKernelChoice::kSimd);
+      else if (value == "scalar") {
+        SetSiftKernelOverride(SiftKernelChoice::kScalar);
+      }
+      else if (value == "avx2") SetSiftKernelOverride(SiftKernelChoice::kAvx2);
+      else if (value == "avx512") {
+        SetSiftKernelOverride(SiftKernelChoice::kAvx512);
+      }
+      else {
+        throw std::invalid_argument(
+            "--detector: unknown value '" + value +
+            "' (expected block, simd, scalar, avx2, or avx512)");
+      }
+      SiftDetector probe{SiftParams{}};
+      (void)probe;
+    }
     else if (flag == "--profile") options.profile = true;
     else if (flag == "--help" || flag == "-h") return false;
     else throw std::invalid_argument("unknown flag: " + flag);
@@ -419,7 +441,8 @@ int main(int argc, char** argv) {
                    "[--verbose] [--metrics] [--metrics-csv FILE] "
                    "[--metrics-json FILE] [--trace-json FILE] "
                    "[--trace-jsonl FILE] [--trace-only K,K,...] "
-                   "[--timeline-csv FILE] [--profile] [--config FILE] "
+                   "[--timeline-csv FILE] [--profile] "
+                   "[--detector block|simd|scalar|avx2|avx512] [--config FILE] "
                    "[--strict] [--audit] [--audit-budget-ms M] "
                    "[--replay BUNDLE [--minimize OUT]]\n"
                    "exit codes: 0 success / reproduced / invariants held, "

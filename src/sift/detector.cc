@@ -1,9 +1,18 @@
 #include "sift/detector.h"
 
-#include <algorithm>
 #include <stdexcept>
 
+#include "sift/kernel.h"
+
 namespace whitefi {
+
+namespace {
+
+sift_kernel::KernelFn AsKernel(void* fn) {
+  return reinterpret_cast<sift_kernel::KernelFn>(fn);
+}
+
+}  // namespace
 
 SiftDetector::SiftDetector(const SiftParams& params) : params_(params) {
   if (params_.window <= 0) throw std::invalid_argument("window must be > 0");
@@ -14,6 +23,7 @@ SiftDetector::SiftDetector(const SiftParams& params) : params_(params) {
   tail_.assign(window, 0.0);
   inv_window_ = 1.0 / static_cast<double>(window);
   sum_threshold_ = params_.threshold * static_cast<double>(window);
+  kernel_ = reinterpret_cast<void*>(sift_kernel::Resolve(params_.kernel));
 }
 
 void SiftDetector::SetObservability(const Observability& obs) {
@@ -29,164 +39,36 @@ void SiftDetector::SetObservability(const Observability& obs) {
 
 void SiftDetector::Step(double sample) { ProcessBlock({&sample, 1}); }
 
-void SiftDetector::EmitBurst(std::size_t end_sample) {
-  DetectedBurst burst;
-  burst.start =
-      static_cast<double>(burst_start_sample_) * params_.sample_period;
-  burst.end = static_cast<double>(std::max(end_sample, burst_start_sample_)) *
-              params_.sample_period;
-  burst.peak_average = burst_peak_;
-  if (burst.end > burst.start) {
-    WHITEFI_METRIC_COUNT(bursts_counter_, 1);
-    WHITEFI_METRIC_OBSERVE(burst_us_, burst.Duration());
-    completed_.push_back(burst);
-  }
-}
-
-// The kernel processes one block against the detector's streaming state.
-//
-// Every per-sample quantity is defined chunking-independently so any split
-// of a trace into blocks is byte-identical to any other:
-//   * the window sum at global sample g is the left-associated sum, oldest
-//     first, of the W chronological samples ending at g (virtual zeros
-//     before the stream start);
-//   * a burst opens at g when some sample in that window exceeds the
-//     threshold AND sum > threshold * W, and dates its start at the oldest
-//     above-threshold sample still in the window (a strong burst trips the
-//     average from its very first sample, so the naive "window start"
-//     would bias starts early, and SIFS gaps short, by several samples);
-//   * a burst closes at the first g with sum <= threshold * W and ends at
-//     the sample after the last above-threshold one.
-//
-// The "some sample above threshold" gate is what makes the noise floor
-// cheap: out of a burst, a sample more than one window length past the
-// last above-threshold sample cannot trip the average (every window sample
-// is at or below the threshold), so the kernel skips the sum entirely —
-// one compare per quiet sample.
-template <int KW>
-void SiftDetector::RunBlock(const double* x, std::size_t n) {
-  const std::size_t window =
-      KW > 0 ? static_cast<std::size_t>(KW) : tail_.size();
-  const auto wdiff = static_cast<std::ptrdiff_t>(window);
-  const double thr = params_.threshold;
-  const double sum_thr = sum_threshold_;
-  const double inv = inv_window_;
-  const std::size_t base = samples_seen_;
-  std::ptrdiff_t last_above = last_above_sample_;
-  bool in_burst = in_burst_;
-  double peak = burst_peak_;
-
-  // Warmup: the first window-1 samples straddle the previous block (or the
-  // pre-stream zeros), so their windows read from tail_ ++ block.
-  const std::size_t warm = std::min(n, window - 1);
-  if (warm > 0) {
-    merged_.resize(window + warm);
-    std::copy(tail_.begin(), tail_.end(), merged_.begin());
-    std::copy(x, x + warm, merged_.begin() + static_cast<std::ptrdiff_t>(window));
-    const double* m = merged_.data();  // m[j] is global sample base - W + j.
-    for (std::size_t i = 0; i < warm; ++i) {
-      const double s = x[i];
-      const auto g = static_cast<std::ptrdiff_t>(base + i);
-      if (s > thr) last_above = g;
-      const bool gated = g - last_above < wdiff;
-      if (!in_burst && !gated) continue;
-      const double* w = m + i + 1;  // Oldest in-window sample.
-      double sum = w[0];
-      for (std::size_t k = 1; k < window; ++k) sum += w[k];
-      if (!in_burst) {
-        if (sum > sum_thr) {
-          in_burst = true;
-          peak = sum * inv;
-          const std::size_t first =
-              base + i + 1 >= window ? base + i + 1 - window : 0;
-          burst_start_sample_ = first;
-          for (std::size_t k = 0; k < window; ++k) {
-            if (w[k] > thr) {
-              burst_start_sample_ = base + i + 1 - window + k;
-              break;
-            }
-          }
-        }
-      } else {
-        const double average = sum * inv;
-        if (average > peak) peak = average;
-        if (!(sum > sum_thr)) {
-          in_burst = false;
-          burst_peak_ = peak;
-          EmitBurst(static_cast<std::size_t>(last_above + 1));
-        }
-      }
-    }
-  }
-
-  // Main region: the window lies entirely inside the block.
-  for (std::size_t i = warm; i < n; ++i) {
-    const double s = x[i];
-    const auto g = static_cast<std::ptrdiff_t>(base + i);
-    if (s > thr) last_above = g;
-    if (!in_burst && g - last_above >= wdiff) continue;  // Quiet noise floor.
-    const double* w = x + i + 1 - window;
-    double sum;
-    if constexpr (KW > 0) {
-      sum = w[0];
-      for (int k = 1; k < KW; ++k) sum += w[k];  // Fully unrolled.
-    } else {
-      sum = w[0];
-      for (std::size_t k = 1; k < window; ++k) sum += w[k];
-    }
-    if (!in_burst) {
-      if (sum > sum_thr) {
-        in_burst = true;
-        peak = sum * inv;
-        burst_start_sample_ = base + i + 1 - window;
-        for (std::size_t k = 0; k < window; ++k) {
-          if (w[k] > thr) {
-            burst_start_sample_ = base + i + 1 - window + k;
-            break;
-          }
-        }
-      }
-    } else {
-      const double average = sum * inv;
-      if (average > peak) peak = average;
-      if (!(sum > sum_thr)) {
-        in_burst = false;
-        burst_peak_ = peak;
-        EmitBurst(static_cast<std::size_t>(last_above + 1));
-      }
-    }
-  }
-
-  // Persist the streaming state and the chronological tail for the next
-  // block's warmup windows.
-  last_above_sample_ = last_above;
-  in_burst_ = in_burst;
-  burst_peak_ = peak;
-  if (n >= window) {
-    std::copy(x + n - window, x + n, tail_.begin());
-  } else {
-    std::copy(tail_.begin() + static_cast<std::ptrdiff_t>(n), tail_.end(),
-              tail_.begin());
-    std::copy(x, x + n, tail_.end() - static_cast<std::ptrdiff_t>(n));
-  }
-  samples_seen_ = base + n;
-}
-
 void SiftDetector::ProcessBlock(std::span<const double> samples) {
   ScopedPhaseTimer timer(profiler_, "sift.detect");
   if (samples.empty()) return;
-  // The paper's 5-sample window gets the unrolled kernel.
-  if (tail_.size() == 5) {
-    RunBlock<5>(samples.data(), samples.size());
-  } else {
-    RunBlock<0>(samples.data(), samples.size());
-  }
+  const sift_kernel::Config cfg{
+      .window = tail_.size(),
+      .threshold = params_.threshold,
+      .sum_threshold = sum_threshold_,
+      .inv_window = inv_window_,
+      .sample_period = params_.sample_period,
+      .bursts_counter = bursts_counter_,
+      .burst_us = burst_us_,
+  };
+  AsKernel(kernel_)(cfg, core_, tail_.data(), merged_, completed_,
+                    samples.data(), samples.size());
 }
 
 void SiftDetector::Flush() {
-  if (in_burst_) {
-    in_burst_ = false;
-    EmitBurst(/*end_sample=*/samples_seen_);
+  if (core_.in_burst) {
+    core_.in_burst = false;
+    const sift_kernel::Config cfg{
+        .window = tail_.size(),
+        .threshold = params_.threshold,
+        .sum_threshold = sum_threshold_,
+        .inv_window = inv_window_,
+        .sample_period = params_.sample_period,
+        .bursts_counter = bursts_counter_,
+        .burst_us = burst_us_,
+    };
+    sift_kernel::EmitBurst(cfg, core_, completed_,
+                           /*end_sample=*/core_.samples_seen);
   }
 }
 
@@ -201,6 +83,10 @@ std::vector<DetectedBurst> SiftDetector::Detect(
   ProcessBlock(samples);
   Flush();
   return TakeBursts();
+}
+
+const char* SiftDetector::kernel_name() const {
+  return sift_kernel::KernelName(AsKernel(kernel_));
 }
 
 }  // namespace whitefi

@@ -13,18 +13,28 @@
 //
 // Performance: the detector is the real-time core of the scanner — the
 // USRP delivers a continuous ~1 MS/s stream — so ProcessBlock runs a block
-// kernel rather than a per-sample state machine.  The window average is
-// compared in pre-scaled form (sum > threshold * window, no per-sample
-// division), the window sum is formed directly from the raw block (no ring
-// buffer, no modulo indexing), and while the detector is out of a burst
-// whole noise-floor stretches are rejected with a single comparison per
-// sample: the average of a window whose every sample is at or below the
-// threshold cannot exceed it, so the sum is only evaluated within one
-// window length of an above-threshold sample.  The default 5-sample window
-// dispatches to a fully unrolled kernel.  Step() remains as the
-// single-sample compatibility shim and routes through the same kernel, so
-// any chunking of a trace — per-sample, USRP 2048-sample blocks, or one
-// shot — produces byte-identical bursts.
+// kernel rather than a per-sample state machine, and the block kernel
+// itself ships in two flavors behind compile-time *and* runtime dispatch
+// (src/util/cpu feature probe):
+//
+//  * a portable scalar kernel: pre-scaled threshold compare (sum >
+//    threshold * window, no per-sample division), window sums formed
+//    directly from the raw block, whole noise-floor stretches rejected
+//    with one comparison per sample, fully unrolled for the default
+//    5-sample window;
+//  * vector kernels (x86 hosts): an AVX2 flavor (four window sums per
+//    step) and an AVX-512 flavor (eight), both forming each lane's sum by
+//    lane-wise left-associated vector adds — added in exactly the scalar
+//    order, so the burst stream is byte-identical — with noise-floor
+//    stretches skipped a cache line at a time and whole groups of the
+//    burst state machine collapsed when no lane can flip the state.
+//
+// Dispatch resolves per detector: an explicit SiftParams::kernel wins,
+// then the process-wide override (SetSiftKernelOverride, the benches'
+// --detector flag), then the WHITEFI_SIFT_KERNEL environment variable,
+// then the CPU probe.  Every path produces byte-identical bursts under
+// any chunking of the stream — per-sample Step(), USRP 2048-sample
+// blocks, or one shot (see sift_block_test and sift_simd_property_test).
 #pragma once
 
 #include <cstddef>
@@ -35,6 +45,22 @@
 #include "util/units.h"
 
 namespace whitefi {
+
+/// Which block kernel a detector runs.
+enum class SiftKernelChoice {
+  kAuto,    ///< Resolve via override, environment, then CPU probe.
+  kSimd,    ///< Best vector kernel for the host (throws where unsupported).
+  kScalar,  ///< Force the portable scalar kernel.
+  kAvx2,    ///< Force the 256-bit AVX2 kernel specifically.
+  kAvx512,  ///< Force the 512-bit AVX-512 kernel specifically.
+};
+
+/// Process-wide kernel override consulted when a detector's params say
+/// kAuto — the `--detector=block|simd|scalar` flag sets this ("block" is
+/// the default automatic dispatch).  Thread-safety: set it before
+/// spawning workers; detectors read it at construction.
+void SetSiftKernelOverride(SiftKernelChoice choice);
+SiftKernelChoice GetSiftKernelOverride();
 
 /// SIFT detector configuration.
 struct SiftParams {
@@ -49,6 +75,9 @@ struct SiftParams {
 
   /// Sample period of the input stream (USRP: 1.024 us).
   Us sample_period = 1.024;
+
+  /// Kernel selection for this detector (kAuto = dispatch).
+  SiftKernelChoice kernel = SiftKernelChoice::kAuto;
 };
 
 /// One detected on-air burst.
@@ -59,6 +88,20 @@ struct DetectedBurst {
 
   /// Burst length (us).
   Us Duration() const { return end - start; }
+};
+
+/// Streaming per-lane state of the SIFT edge machine.  One lane per
+/// detector; `SiftBatch` keeps a structure-of-arrays of these so N
+/// channels share one pass.  The chronological `tail` buffer (last
+/// `window` samples, zero-filled before the stream starts) lives with the
+/// owner so a batch can pack all lanes' tails into one flat array.
+struct SiftCoreState {
+  std::size_t samples_seen = 0;
+  bool in_burst = false;
+  std::size_t burst_start_sample = 0;
+  /// Index of the last above-threshold sample (-1 = none yet).
+  std::ptrdiff_t last_above_sample = -1;
+  double burst_peak = 0.0;
 };
 
 /// Streaming SIFT edge detector.
@@ -89,32 +132,27 @@ class SiftDetector {
   /// The configuration in use.
   const SiftParams& params() const { return params_; }
 
+  /// Name of the kernel this detector resolved to ("simd-avx512",
+  /// "simd-avx2", or "scalar").
+  const char* kernel_name() const;
+
   /// Attaches metrics/profiler sinks (pointers may be null): ProcessBlock
   /// runs under the "sift.detect" phase, completed bursts feed
   /// whitefi.sift.bursts and the whitefi.sift.burst_us histogram.
   void SetObservability(const Observability& obs);
 
  private:
-  /// Block kernel.  KW is the compile-time window length for the unrolled
-  /// fast path (KW == 0 selects the runtime-window generic path).
-  template <int KW>
-  void RunBlock(const double* x, std::size_t n);
-
-  void EmitBurst(std::size_t end_sample);
-
   SiftParams params_;
+  /// Resolved block kernel (see sift/kernel.h); type-erased here to keep
+  /// the kernel machinery out of this header.
+  void* kernel_ = nullptr;
   /// The last `window` samples in chronological order (zero-filled before
   /// the stream starts), so a block can seed its first window sums.
   std::vector<double> tail_;
   std::vector<double> merged_;  ///< Warmup scratch: tail_ ++ block head.
-  std::size_t samples_seen_ = 0;
+  SiftCoreState core_;
   double inv_window_ = 0.0;      ///< 1 / window, hoisted out of the kernel.
   double sum_threshold_ = 0.0;   ///< threshold * window (pre-scaled compare).
-  bool in_burst_ = false;
-  std::size_t burst_start_sample_ = 0;
-  /// Index of the last above-threshold sample (-1 = none yet).
-  std::ptrdiff_t last_above_sample_ = -1;
-  double burst_peak_ = 0.0;
   std::vector<DetectedBurst> completed_;
 
   // Observability (optional).

@@ -1,0 +1,45 @@
+#include "util/cpu.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace whitefi {
+
+bool CpuSupportsAvx2() {
+#if defined(__AVX2__)
+  // Compiled with -mavx2: the whole binary assumes AVX2 anyway.
+  return true;
+#elif defined(__x86_64__) || defined(__i386__)
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+bool CpuSupportsAvx512() {
+#if defined(__AVX512F__)
+  return true;
+#elif defined(__x86_64__) || defined(__i386__)
+  static const bool supported = __builtin_cpu_supports("avx512f");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+int SiftKernelEnvOverride() {
+  static const int parsed = [] {
+    const char* env = std::getenv("WHITEFI_SIFT_KERNEL");
+    if (env == nullptr) return 0;
+    const std::string value(env);
+    if (value == "simd") return 1;
+    if (value == "scalar") return 2;
+    if (value == "avx2") return 3;
+    if (value == "avx512") return 4;
+    return 0;  // "auto" and anything unrecognized fall back to dispatch.
+  }();
+  return parsed;
+}
+
+}  // namespace whitefi

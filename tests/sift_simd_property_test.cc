@@ -1,0 +1,255 @@
+// Property tests for the SIFT kernel byte-identity contract
+// (src/sift/kernel.h): for any input trace, any chunking, and any window,
+// the scalar kernel, the AVX2 kernel, and the batched scanner produce
+// bit-equal DetectedBurst vectors.
+//
+// The traces deliberately include the kernel's worst corners: samples
+// exactly at the threshold (the > compare's edge), denormal and zero
+// stretches (FTZ/DAZ would break identity if anything set them), quiet
+// noise-floor runs (the SIMD group/deep-quiet skips), and dense bursts.
+// Runs under ASan/UBSan in CI like every other test.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "sift/batch.h"
+#include "sift/detector.h"
+#include "util/cpu.h"
+#include "util/rng.h"
+
+namespace whitefi {
+namespace {
+
+/// Exact comparison: the contract is byte-identity, not tolerance.
+void ExpectIdentical(const std::vector<DetectedBurst>& a,
+                     const std::vector<DetectedBurst>& b,
+                     const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start, b[i].start) << label << " burst " << i;
+    EXPECT_EQ(a[i].end, b[i].end) << label << " burst " << i;
+    EXPECT_EQ(a[i].peak_average, b[i].peak_average)
+        << label << " burst " << i;
+  }
+}
+
+/// A randomized trace exercising the kernel's decision edges: quiet
+/// stretches, dense bursts, threshold-edge samples, zeros, denormals.
+std::vector<double> AdversarialTrace(Rng& rng, std::size_t length,
+                                     double threshold) {
+  std::vector<double> trace;
+  trace.reserve(length);
+  while (trace.size() < length) {
+    const int mode = rng.UniformInt(0, 5);
+    const int span = rng.UniformInt(1, 40);
+    for (int i = 0; i < span && trace.size() < length; ++i) {
+      switch (mode) {
+        case 0:  // Quiet noise floor (exercises the group/deep skips).
+          trace.push_back(rng.Uniform(0.0, threshold * 0.5));
+          break;
+        case 1:  // Strong burst.
+          trace.push_back(rng.Uniform(threshold * 2.0, threshold * 50.0));
+          break;
+        case 2:  // Hovering around the threshold, including exactly at it
+                 // (the > compare must break ties identically).
+          trace.push_back(rng.Bernoulli(0.3)
+                              ? threshold
+                              : rng.Uniform(threshold * 0.9, threshold * 1.1));
+          break;
+        case 3:  // Zeros.
+          trace.push_back(0.0);
+          break;
+        case 4:  // Denormals (identity requires FTZ/DAZ stay off).
+          trace.push_back(4.9e-324 * (1 + rng.UniformInt(0, 7)));
+          break;
+        default:  // Single spike then silence.
+          trace.push_back(threshold * 10.0);
+          for (int j = 0; j < 8 && trace.size() < length; ++j) {
+            trace.push_back(0.0);
+          }
+          break;
+      }
+    }
+  }
+  return trace;
+}
+
+/// Runs `trace` through a detector in random chunks.
+std::vector<DetectedBurst> DetectChunked(SiftDetector& detector,
+                                         const std::vector<double>& trace,
+                                         Rng& rng) {
+  std::size_t i = 0;
+  while (i < trace.size()) {
+    const auto n = std::min<std::size_t>(
+        static_cast<std::size_t>(rng.UniformInt(1, 3000)), trace.size() - i);
+    detector.ProcessBlock({trace.data() + i, n});
+    i += n;
+  }
+  detector.Flush();
+  return detector.TakeBursts();
+}
+
+/// The vector kernels this host can execute (kSimd resolves to the widest
+/// one; forcing each narrower flavor keeps them all covered).
+std::vector<SiftKernelChoice> HostVectorKernels() {
+  std::vector<SiftKernelChoice> kernels;
+  if (CpuSupportsAvx2()) kernels.push_back(SiftKernelChoice::kAvx2);
+  if (CpuSupportsAvx512()) kernels.push_back(SiftKernelChoice::kAvx512);
+  return kernels;
+}
+
+TEST(SiftSimdProperty, ScalarAndSimdAreByteIdentical) {
+  const auto kernels = HostVectorKernels();
+  if (kernels.empty()) GTEST_SKIP() << "host lacks AVX2";
+  Rng rng(20260808);
+  for (int round = 0; round < 40; ++round) {
+    SiftParams params;
+    params.window = rng.UniformInt(2, 9);
+    const auto trace = AdversarialTrace(
+        rng, static_cast<std::size_t>(rng.UniformInt(100, 20000)),
+        params.threshold);
+
+    SiftParams scalar_params = params;
+    scalar_params.kernel = SiftKernelChoice::kScalar;
+    const Rng chunk_rng_base = rng.Fork();
+    for (const SiftKernelChoice kernel : kernels) {
+      SiftParams simd_params = params;
+      simd_params.kernel = kernel;
+      const std::string label = std::string("kernel ") +
+                                SiftDetector{simd_params}.kernel_name() +
+                                " round " + std::to_string(round);
+
+      // One-shot comparison.
+      SiftDetector scalar_one{scalar_params};
+      SiftDetector simd_one{simd_params};
+      ExpectIdentical(scalar_one.Detect(trace), simd_one.Detect(trace),
+                      "one-shot " + label);
+
+      // Random (different) chunkings on each side.
+      SiftDetector scalar_chunked{scalar_params};
+      SiftDetector simd_chunked{simd_params};
+      Rng chunk_rng_a = chunk_rng_base;
+      Rng chunk_rng_b = chunk_rng_a.Fork();
+      ExpectIdentical(DetectChunked(scalar_chunked, trace, chunk_rng_a),
+                      DetectChunked(simd_chunked, trace, chunk_rng_b),
+                      "chunked " + label);
+    }
+  }
+}
+
+TEST(SiftSimdProperty, BatchMatchesIndependentDetectors) {
+  Rng rng(424242);
+  for (int round = 0; round < 10; ++round) {
+    SiftParams params;
+    params.window = rng.UniformInt(2, 9);
+    const auto lanes = static_cast<std::size_t>(rng.UniformInt(1, 6));
+
+    std::vector<std::vector<double>> traces;
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      traces.push_back(AdversarialTrace(
+          rng, static_cast<std::size_t>(rng.UniformInt(100, 8000)),
+          params.threshold));
+    }
+
+    // Feed the batch and the independent detectors the same per-lane
+    // random chunkings, interleaved across lanes for the batch.
+    SiftBatch batch(params, lanes);
+    std::vector<SiftDetector> independent;
+    independent.reserve(lanes);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      independent.emplace_back(params);
+    }
+
+    std::vector<std::size_t> cursor(lanes, 0);
+    Rng chunk_rng = rng.Fork();
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        if (cursor[lane] >= traces[lane].size()) continue;
+        const auto n = std::min<std::size_t>(
+            static_cast<std::size_t>(chunk_rng.UniformInt(1, 2000)),
+            traces[lane].size() - cursor[lane]);
+        const std::span<const double> block{
+            traces[lane].data() + cursor[lane], n};
+        batch.ProcessBlock(lane, block);
+        independent[lane].ProcessBlock(block);
+        cursor[lane] += n;
+        progress = true;
+      }
+    }
+    batch.FlushAll();
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      independent[lane].Flush();
+      ExpectIdentical(batch.TakeBursts(lane), independent[lane].TakeBursts(),
+                      "round " + std::to_string(round) + " lane " +
+                          std::to_string(lane));
+    }
+  }
+}
+
+TEST(SiftSimdProperty, BatchDetectAllMatchesOneShotDetectors) {
+  Rng rng(5150);
+  SiftParams params;
+  const auto lanes = static_cast<std::size_t>(4);
+  std::vector<std::vector<double>> traces;
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    traces.push_back(AdversarialTrace(rng, 12000, params.threshold));
+  }
+  std::vector<std::span<const double>> spans(traces.begin(), traces.end());
+
+  SiftBatch batch(params, lanes);
+  const auto batched = batch.DetectAll(spans);
+  ASSERT_EQ(batched.size(), lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    SiftDetector detector{params};
+    ExpectIdentical(batched[lane], detector.Detect(traces[lane]),
+                    "lane " + std::to_string(lane));
+  }
+}
+
+TEST(SiftSimdProperty, ForcedVectorKernelsThrowWhereUnsupported) {
+  SiftParams params;
+  params.kernel = SiftKernelChoice::kSimd;
+  if (CpuSupportsAvx2()) {
+    EXPECT_NO_THROW(SiftDetector{params});
+  } else {
+    EXPECT_THROW(SiftDetector{params}, std::invalid_argument);
+  }
+  params.kernel = SiftKernelChoice::kAvx2;
+  if (CpuSupportsAvx2()) {
+    EXPECT_NO_THROW(SiftDetector{params});
+  } else {
+    EXPECT_THROW(SiftDetector{params}, std::invalid_argument);
+  }
+  params.kernel = SiftKernelChoice::kAvx512;
+  if (CpuSupportsAvx512()) {
+    EXPECT_NO_THROW(SiftDetector{params});
+  } else {
+    EXPECT_THROW(SiftDetector{params}, std::invalid_argument);
+  }
+}
+
+TEST(SiftSimdProperty, KernelNameReflectsChoice) {
+  SiftParams scalar;
+  scalar.kernel = SiftKernelChoice::kScalar;
+  EXPECT_STREQ(SiftDetector{scalar}.kernel_name(), "scalar");
+  if (CpuSupportsAvx2()) {
+    // kSimd is the widest vector kernel the host can execute.
+    SiftParams simd;
+    simd.kernel = SiftKernelChoice::kSimd;
+    const char* expected =
+        CpuSupportsAvx512() ? "simd-avx512" : "simd-avx2";
+    EXPECT_STREQ(SiftDetector{simd}.kernel_name(), expected);
+    SiftBatch batch(simd, 2);
+    EXPECT_STREQ(batch.kernel_name(), expected);
+
+    SiftParams avx2;
+    avx2.kernel = SiftKernelChoice::kAvx2;
+    EXPECT_STREQ(SiftDetector{avx2}.kernel_name(), "simd-avx2");
+  }
+}
+
+}  // namespace
+}  // namespace whitefi
