@@ -215,6 +215,73 @@ ScenarioConfig LoadScenarioFile(const std::string& path) {
   return LoadScenario(ConfigFile::Load(path));
 }
 
+bool IsCityScenario(const ConfigFile& config) {
+  // Any [city] key marks the file; city.aps alone is enough to ask for
+  // the default city.  Has() does not consume, so a false answer leaves
+  // the unknown-key report untouched.
+  for (const std::string& key : config.Keys()) {
+    if (key.rfind("city.", 0) == 0) return true;
+  }
+  return false;
+}
+
+CityScenario LoadCityScenario(const ConfigFile& config) {
+  CityScenario scenario;
+  shard::CityParams& city = scenario.city;
+  city.seed = static_cast<std::uint64_t>(config.GetInt("seed", 1));
+  scenario.seconds = config.GetDouble("seconds", 5.0);
+  if (scenario.seconds <= 0.0) {
+    throw std::invalid_argument("seconds must be positive");
+  }
+
+  // [city] — the generator parameters (see shard/city.h for semantics).
+  city.width_m = config.GetDouble("city.width_m", city.width_m);
+  city.height_m = config.GetDouble("city.height_m", city.height_m);
+  city.tile_m = config.GetDouble("city.tile_m", city.tile_m);
+  const std::string placement = config.Get("city.placement", "grid");
+  if (placement == "grid") {
+    city.placement = shard::ApPlacement::kGrid;
+  } else if (placement == "poisson") {
+    city.placement = shard::ApPlacement::kPoisson;
+  } else {
+    throw std::invalid_argument("unknown city.placement: " + placement +
+                                " (expected grid or poisson)");
+  }
+  city.num_aps = static_cast<int>(config.GetInt("city.aps", city.num_aps));
+  city.clients_per_ap = static_cast<int>(
+      config.GetInt("city.clients_per_ap", city.clients_per_ap));
+  city.cell_radius_m =
+      config.GetDouble("city.cell_radius_m", city.cell_radius_m);
+  city.tx_power_dbm = config.GetDouble("city.tx_power_dbm", city.tx_power_dbm);
+  city.traffic = config.Get("city.traffic", city.traffic);
+  city.payload_bytes =
+      static_cast<int>(config.GetInt("city.payload", city.payload_bytes));
+  city.cbr_interval = config.GetInt("city.cbr_interval_ms",
+                                    city.cbr_interval / kTicksPerMs) *
+                      kTicksPerMs;
+  city.num_mics = static_cast<int>(config.GetInt("city.mics", city.num_mics));
+  city.mic_start_s = config.GetDouble("city.mic_start_s", city.mic_start_s);
+  city.mic_period_s = config.GetDouble("city.mic_period_s", city.mic_period_s);
+  city.mic_duration_s =
+      config.GetDouble("city.mic_duration_s", city.mic_duration_s);
+  city.num_roams = static_cast<int>(config.GetInt("city.roams", city.num_roams));
+  city.roam_start_s = config.GetDouble("city.roam_start_s", city.roam_start_s);
+  city.roam_period_s =
+      config.GetDouble("city.roam_period_s", city.roam_period_s);
+  shard::ValidateCityParams(city);
+
+  // [shards] — federation knobs.  Deliberately no shard *count* key: the
+  // count maps tiles onto threads, so it lives on the command line with
+  // the other execution knobs (--jobs style), never in the science.
+  scenario.engine.horizon = config.GetInt("shards.horizon_us", 0);
+  if (scenario.engine.horizon < 0) {
+    throw std::invalid_argument("shards.horizon_us must be >= 0");
+  }
+  scenario.engine.trace = config.GetBool("shards.trace", false);
+  scenario.engine.audit = config.GetBool("shards.audit", false);
+  return scenario;
+}
+
 std::vector<std::string> UnknownScenarioKeys(const ConfigFile& config) {
   return config.UnconsumedKeys();
 }

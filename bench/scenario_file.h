@@ -31,6 +31,8 @@
 #pragma once
 
 #include "scenario.h"
+#include "shard/city.h"
+#include "shard/engine.h"
 #include "util/config.h"
 
 namespace whitefi::bench {
@@ -38,6 +40,26 @@ namespace whitefi::bench {
 /// Builds a ScenarioConfig from a parsed description.  Throws
 /// std::runtime_error on unknown map names or invalid values.
 ScenarioConfig LoadScenario(const ConfigFile& config);
+
+/// True iff the description declares a [city] section — a city-scale
+/// sharded scenario run through shard::ShardEngine instead of the
+/// single-world RunScenario path.
+bool IsCityScenario(const ConfigFile& config);
+
+/// A parsed city-scale description.  `engine.shards` stays at its
+/// default (1); the shard count is an execution knob supplied by the
+/// caller (scenario_cli --shards), never by the file — the science must
+/// not depend on it.
+struct CityScenario {
+  shard::CityParams city;
+  shard::ShardEngineConfig engine;
+  double seconds = 5.0;
+};
+
+/// Builds a CityScenario from a description with a [city] section
+/// (optionally a [shards] section for horizon/trace overrides).  Throws
+/// std::invalid_argument on out-of-range values.
+CityScenario LoadCityScenario(const ConfigFile& config);
 
 /// Convenience: parse a file then load.
 ScenarioConfig LoadScenarioFile(const std::string& path);

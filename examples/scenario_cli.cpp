@@ -10,6 +10,12 @@
 //                [--trace-json FILE] [--trace-jsonl FILE] [--profile]
 //   scenario_cli --config FILE.conf   (QualNet-style scenario file; see
 //                                      examples/configs/)
+//   scenario_cli --config CITY.conf --shards N
+//                                     (city-scale [city] scenario on the
+//                                      sharded engine; N worker threads.
+//                                      Output is byte-identical for every
+//                                      N — the count is an execution knob,
+//                                      never part of the science)
 //   scenario_cli --config FILE.conf --audit [--audit-budget-ms M]
 //                                     (run under the invariant auditor)
 //   scenario_cli --replay BUNDLE      (re-run a fuzz repro bundle and check
@@ -76,6 +82,9 @@ struct Options {
   bool audit = false;
   /// Incumbent-safety budget override in ms (0 = auditor default).
   long long audit_budget_ms = 0;
+  /// City-scale config-file mode: worker threads for the shard engine.
+  /// Purely an execution knob — results are byte-identical for any value.
+  int shards = 1;
   std::string replay_bundle;  ///< Non-empty: replay mode.
   std::string minimize_out;   ///< Replay mode: minimize first, write here.
 
@@ -268,6 +277,14 @@ bool ParseOptions(int argc, char** argv, Options& options) {
     else if (flag == "--strict") options.strict = true;
     else if (flag == "--audit") options.audit = true;
     else if (flag == "--audit-budget-ms") options.audit_budget_ms = as_ll();
+    else if (flag == "--shards") {
+      const long long shards = as_ll();
+      if (shards < 1) {
+        throw std::invalid_argument("--shards: expected a count >= 1, got " +
+                                    std::to_string(shards));
+      }
+      options.shards = static_cast<int>(shards);
+    }
     else if (flag == "--replay") options.replay_bundle = next();
     else if (flag == "--minimize") options.minimize_out = next();
     else if (flag == "--metrics") options.metrics = true;
@@ -328,9 +345,64 @@ bool ParseOptions(int argc, char** argv, Options& options) {
   return true;
 }
 
+/// Shared unknown-key policy for both config-file paths: typos warn by
+/// default and reject the file under --strict.
+void ReportUnknownKeys(const Options& options, const ConfigFile& config) {
+  const std::vector<std::string> unknown = bench::UnknownScenarioKeys(config);
+  if (unknown.empty()) return;
+  if (options.strict) {
+    throw ConfigError("unknown key '" + unknown.front() + "'",
+                      config.source(), config.LineOf(unknown.front()));
+  }
+  for (const std::string& key : unknown) {
+    std::cerr << "warning: " << options.config_file << " line "
+              << config.LineOf(key) << ": unknown key '" << key
+              << "' (ignored)\n";
+  }
+}
+
+/// City-scale config-file mode ([city] section): run the sharded
+/// federation and print its deterministic summary.  The summary is
+/// byte-identical for every --shards value — CI diffs it across counts.
+int RunCityFromConfigFile(const Options& options, const ConfigFile& config) {
+  bench::CityScenario scenario = bench::LoadCityScenario(config);
+  scenario.engine.shards = options.shards;
+  if (options.audit) scenario.engine.audit = true;
+  // audit.* is scenario vocabulary here too, consumed whether or not the
+  // auditor is on.
+  scenario.engine.audit_config = bench::LoadAuditConfig(config);
+  if (options.audit_budget_ms > 0) {
+    scenario.engine.audit_config.safety_budget =
+        options.audit_budget_ms * kTicksPerMs;
+  }
+  ReportUnknownKeys(options, config);
+  shard::ShardEngine engine(scenario.city, scenario.engine);
+  // Shard count goes to stderr: stdout must be byte-identical across
+  // --shards values so scripts can diff it directly.
+  std::cout << "city scenario " << options.config_file << ": "
+            << engine.NumTiles() << " tiles, "
+            << engine.layout().cells.size() << " cells\n";
+  std::cerr << "shards: " << options.shards << " worker thread(s)\n";
+  engine.Run(scenario.seconds);
+  std::cout << engine.SummaryText();
+  if (scenario.engine.audit) {
+    if (engine.audit_ok()) {
+      std::cout << "audit: all invariants held\n";
+    } else {
+      std::cout << "audit: " << engine.audit_violations()
+                << " violation(s)\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int RunFromConfigFile(const Options& options) {
   if (options.verbose) SetLogLevel(LogLevel::kInfo);
   const ConfigFile config = ConfigFile::Load(options.config_file);
+  if (bench::IsCityScenario(config)) {
+    return RunCityFromConfigFile(options, config);
+  }
   bench::ScenarioConfig scenario = bench::LoadScenario(config);
   // The auditor knobs are part of the scenario vocabulary whether or not
   // --audit is on (a repro bundle run under plain --config must not warn
@@ -342,18 +414,7 @@ int RunFromConfigFile(const Options& options) {
   (void)bench::BundleExpectation(config);  // expect.* is vocabulary too.
   // Surface keys no loader consumed: silently-ignored typos waste whole
   // experiment runs.  A warning by default; fatal under --strict.
-  const std::vector<std::string> unknown = bench::UnknownScenarioKeys(config);
-  if (!unknown.empty()) {
-    if (options.strict) {
-      throw ConfigError("unknown key '" + unknown.front() + "'",
-                        config.source(), config.LineOf(unknown.front()));
-    }
-    for (const std::string& key : unknown) {
-      std::cerr << "warning: " << options.config_file << " line "
-                << config.LineOf(key) << ": unknown key '" << key
-                << "' (ignored)\n";
-    }
-  }
+  ReportUnknownKeys(options, config);
   std::cout << "scenario " << options.config_file << ": map "
             << scenario.base_map.ToString() << ", " << scenario.num_clients
             << " clients, " << scenario.background.size()
@@ -444,7 +505,7 @@ int main(int argc, char** argv) {
                    "[--timeline-csv FILE] [--profile] "
                    "[--detector block|simd|scalar|avx2|avx512] [--config FILE] "
                    "[--strict] [--audit] [--audit-budget-ms M] "
-                   "[--replay BUNDLE [--minimize OUT]]\n"
+                   "[--shards N] [--replay BUNDLE [--minimize OUT]]\n"
                    "exit codes: 0 success / reproduced / invariants held, "
                    "1 runtime failure / violation / divergence, "
                    "2 configuration error\n";

@@ -36,14 +36,14 @@ std::optional<SiftDetection> SimulatedScanEnvironment::SiftScan(UhfIndex c) {
   }
   // The secondary radio samples channel `c` for one dwell; SIFT detects
   // any WhiteFi transmission overlapping it without decoding.
-  const AirtimeBooks before = world_.medium().SnapshotBooks();
+  const ChannelBooks before = world_.medium().ChannelBooksAt(c);
   world_.RunFor(ToSeconds(sift_dwell_));
   spent_ += sift_dwell_;
-  const AirtimeBooks after = world_.medium().SnapshotBooks();
+  const ChannelBooks& after = world_.medium().ChannelBooksAt(c);
 
   const std::vector<int> members = world_.NodesInSsid(target_ssid_);
-  const auto& b = before[static_cast<std::size_t>(c)].per_node;
-  const auto& a = after[static_cast<std::size_t>(c)].per_node;
+  const auto& b = before.per_node;
+  const auto& a = after.per_node;
   for (int id : members) {
     const auto bt = b.find(id);
     const auto at = a.find(id);
@@ -101,14 +101,18 @@ SimulatedScanEnvironment::SiftScanBatch(std::span<const UhfIndex> channels) {
   }
 
   // One dwell covers every requested channel.
-  const AirtimeBooks before = world_.medium().SnapshotBooks();
+  // Freeze only the dwelt channels (one ChannelBooks per lane) instead of
+  // a full 30-channel SnapshotBooks copy.
+  std::vector<ChannelBooks> before(channels.size());
+  for (std::size_t lane = 0; lane < channels.size(); ++lane) {
+    before[lane] = world_.medium().ChannelBooksAt(channels[lane]);
+  }
   batch_heard_.clear();
   batch_dwelling_ = true;
   batch_dwell_started_ = world_.sim().Now();
   world_.RunFor(ToSeconds(sift_dwell_));
   batch_dwelling_ = false;
   spent_ += sift_dwell_;
-  const AirtimeBooks after = world_.medium().SnapshotBooks();
 
   // Per-lane burst schedules from the tapped frames.
   const Us window = ToUs(sift_dwell_);
@@ -146,8 +150,9 @@ SimulatedScanEnvironment::SiftScanBatch(std::span<const UhfIndex> channels) {
   const std::vector<int> members = world_.NodesInSsid(target_ssid_);
   for (std::size_t lane = 0; lane < channels.size(); ++lane) {
     if (detected[lane].empty()) continue;
-    const auto& b = before[static_cast<std::size_t>(channels[lane])].per_node;
-    const auto& a = after[static_cast<std::size_t>(channels[lane])].per_node;
+    const auto& b = before[lane].per_node;
+    const auto& a =
+        world_.medium().ChannelBooksAt(channels[lane]).per_node;
     for (int id : members) {
       const auto bt = b.find(id);
       const auto at = a.find(id);

@@ -1,0 +1,61 @@
+#include "shard/audit_fanout.h"
+
+namespace whitefi::shard {
+
+InvariantAuditor& AuditFanout::Add(const AuditConfig& config) {
+  auditors_.push_back(std::make_unique<InvariantAuditor>(config));
+  return *auditors_.back();
+}
+
+void AuditFanout::AttachAll(World& world) {
+  for (auto& auditor : auditors_) auditor->Attach(world);
+}
+
+bool AuditFanout::ok() const {
+  for (const auto& auditor : auditors_) {
+    if (!auditor->ok()) return false;
+  }
+  return true;
+}
+
+std::uint64_t AuditFanout::violation_count() const {
+  std::uint64_t total = 0;
+  for (const auto& auditor : auditors_) total += auditor->violation_count();
+  return total;
+}
+
+const Violation* AuditFanout::first_violation() const {
+  for (const auto& auditor : auditors_) {
+    if (const Violation* v = auditor->first_violation(); v != nullptr) {
+      return v;
+    }
+  }
+  return nullptr;
+}
+
+void AuditFanout::OnTransmitStart(SimTime now, const RadioPort& tx,
+                                  const Channel& channel, SimTime duration) {
+  for (auto& a : auditors_) a->OnTransmitStart(now, tx, channel, duration);
+}
+
+void AuditFanout::OnMacTiming(const RadioPort& radio, const PhyTiming& timing) {
+  for (auto& a : auditors_) a->OnMacTiming(radio, timing);
+}
+
+void AuditFanout::OnNodeTuned(SimTime now, int node, const Channel& channel) {
+  for (auto& a : auditors_) a->OnNodeTuned(now, node, channel);
+}
+
+void AuditFanout::OnClientDisconnected(SimTime now, int node) {
+  for (auto& a : auditors_) a->OnClientDisconnected(now, node);
+}
+
+void AuditFanout::OnClientReconnected(SimTime now, int node) {
+  for (auto& a : auditors_) a->OnClientReconnected(now, node);
+}
+
+void AuditFanout::OnChirp(SimTime now, int node) {
+  for (auto& a : auditors_) a->OnChirp(now, node);
+}
+
+}  // namespace whitefi::shard

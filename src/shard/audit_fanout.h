@@ -1,0 +1,55 @@
+// AuditFanout — one auditor per AP cell behind a single AuditHooks seam.
+//
+// The Observability bundle carries exactly one AuditHooks pointer, and an
+// InvariantAuditor audits exactly one AP (its convergence reference).  A
+// city tile hosts many AP cells, so the fanout multiplexes: every hook
+// fires on every per-cell auditor (each one keeps its own full
+// book-conservation union — hooks are cheap and unfiltered by design,
+// matching the single-auditor semantics), while the per-cell registration
+// (RegisterAp / RegisterClient) scopes the protocol invariants to that
+// cell's nodes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "audit/audit.h"
+
+namespace whitefi::shard {
+
+/// Fans AuditHooks out to one InvariantAuditor per AP cell.
+class AuditFanout : public AuditHooks {
+ public:
+  /// Adds (and owns) a fresh per-cell auditor.
+  InvariantAuditor& Add(const AuditConfig& config);
+
+  /// Attaches every auditor to `world` (after World construction).
+  void AttachAll(World& world);
+
+  const std::vector<std::unique_ptr<InvariantAuditor>>& auditors() const {
+    return auditors_;
+  }
+
+  /// True iff every per-cell auditor is clean.
+  bool ok() const;
+
+  /// Total violations across cells.
+  std::uint64_t violation_count() const;
+
+  /// The first violation in cell order, or nullptr when clean.
+  const Violation* first_violation() const;
+
+  // -- AuditHooks ----------------------------------------------------------
+  void OnTransmitStart(SimTime now, const RadioPort& tx,
+                       const Channel& channel, SimTime duration) override;
+  void OnMacTiming(const RadioPort& radio, const PhyTiming& timing) override;
+  void OnNodeTuned(SimTime now, int node, const Channel& channel) override;
+  void OnClientDisconnected(SimTime now, int node) override;
+  void OnClientReconnected(SimTime now, int node) override;
+  void OnChirp(SimTime now, int node) override;
+
+ private:
+  std::vector<std::unique_ptr<InvariantAuditor>> auditors_;
+};
+
+}  // namespace whitefi::shard

@@ -1,0 +1,39 @@
+#include "shard/boundary.h"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+namespace whitefi::shard {
+
+bool CanonicalBefore(const CrossShardEvent& a, const CrossShardEvent& b) {
+  return std::tie(a.time, a.src_tile, a.node, a.seq) <
+         std::tie(b.time, b.src_tile, b.node, b.seq);
+}
+
+void CanonicalSort(std::vector<CrossShardEvent>& events) {
+  // Stable: events are collected in deterministic tile order, so a key
+  // tie (possible only across kinds) falls back to collection order.
+  std::stable_sort(events.begin(), events.end(), CanonicalBefore);
+}
+
+bool EnergyCrossesBoundary(const PropagationModel& prop, Dbm tx_power,
+                           const Position& from, const TileRect& dst,
+                           Dbm floor_dbm) {
+  const double meters = DistanceToRect(from, dst);
+  return prop.ReceivedPower(tx_power, meters) >= floor_dbm;
+}
+
+void ShardOutbox::Push(CrossShardEvent event) {
+  event.src_tile = src_tile_;
+  event.seq = next_seq_++;
+  events_.push_back(std::move(event));
+}
+
+std::vector<CrossShardEvent> ShardOutbox::Take() {
+  std::vector<CrossShardEvent> out;
+  out.swap(events_);
+  return out;
+}
+
+}  // namespace whitefi::shard

@@ -1,0 +1,101 @@
+// City-scale scenario generator.
+//
+// Produces a deterministic city layout — AP cells on a grid or Poisson
+// scatter, clients clustered around their AP, scripted mic activations
+// and client roams — as pure data, before any World exists.  Everything
+// derives from the scenario seed through labeled DeriveSeed streams
+// ("city.placement", "city.clients", ...), so the layout is a function of
+// (params, seed) alone and in particular independent of the shard count.
+//
+// Cells are tile-local by construction: an AP and its clients all live
+// inside the AP's tile (ghost frames crossing a seam are energy only —
+// a client could never decode an AP in another tile).  Roaming moves a
+// client's *session* between cells at a barrier tick instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/medium.h"
+#include "sim/propagation.h"
+#include "spectrum/incumbents.h"
+#include "util/units.h"
+
+#include "shard/partition.h"
+
+namespace whitefi::shard {
+
+/// AP placement patterns.
+enum class ApPlacement { kGrid, kPoisson };
+
+/// City generator parameters.
+struct CityParams {
+  std::uint64_t seed = 1;
+  double width_m = 20000.0;       ///< City extent (meters).
+  double height_m = 20000.0;
+  /// Tile edge; 0 derives the minimum legal edge (the interference
+  /// cutoff) from the medium.  An explicit value below the cutoff is
+  /// rejected — it would break the 8-neighborhood confinement argument.
+  double tile_m = 0.0;
+  ApPlacement placement = ApPlacement::kGrid;
+  int num_aps = 200;
+  int clients_per_ap = 2;
+  double cell_radius_m = 150.0;   ///< Client scatter radius around the AP.
+  Dbm tx_power_dbm = 16.0;
+  /// Traffic shape: "cbr" (per-client uplink CBR) or "saturated"
+  /// (backlogged uplink).  Roams require "cbr" (sessions pause/resume).
+  std::string traffic = "cbr";
+  int payload_bytes = 1000;
+  SimTime cbr_interval = 20 * kTicksPerMs;
+  /// Scripted mic activations: mic k lands on cell (k mod cells)'s main
+  /// channel at mic_start_s + k * mic_period_s for mic_duration_s.
+  int num_mics = 0;
+  double mic_start_s = 2.0;
+  double mic_period_s = 10.0;
+  double mic_duration_s = 3.0;
+  /// Scripted roams: roam k moves client (k mod clients_per_ap) of cell
+  /// (k mod cells) to the nearest cell in a different tile, at
+  /// roam_start_s + k * roam_period_s (applied at the following barrier).
+  int num_roams = 0;
+  double roam_start_s = 1.0;
+  double roam_period_s = 2.0;
+};
+
+/// Throws std::invalid_argument on out-of-range parameters (non-positive
+/// extents/counts, unknown traffic shape, roams without cbr, ...).
+void ValidateCityParams(const CityParams& params);
+
+/// One AP cell: the AP, its clients, its network identity and channels.
+struct CellPlan {
+  Position ap;
+  std::vector<Position> clients;
+  int ssid = 0;
+  int tile = 0;
+  Channel main{0, ChannelWidth::kW5};
+  Channel backup{0, ChannelWidth::kW5};
+};
+
+/// One scripted roam, precomputed (shard-count independent).
+struct RoamPlan {
+  SimTime at = 0;        ///< Scenario time; applied at the next barrier.
+  int from_cell = 0;
+  int to_cell = 0;
+  int client_slot = 0;   ///< Which of from_cell's clients roams.
+  Position arrive;       ///< Where the session lands in to_cell's tile.
+};
+
+/// The generated city.
+struct CityLayout {
+  Partition partition;
+  std::vector<CellPlan> cells;
+  std::vector<MicActivation> mics;
+  std::vector<int> mic_tile;     ///< Owning tile per mic (parallel array).
+  std::vector<RoamPlan> roams;
+};
+
+/// Generates the layout.  `medium` supplies the propagation model and
+/// carrier-sense floors the tile-edge derivation needs.
+CityLayout GenerateCity(const CityParams& params, const MediumParams& medium);
+
+}  // namespace whitefi::shard

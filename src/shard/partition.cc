@@ -1,0 +1,92 @@
+#include "shard/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "phy/timing.h"
+
+namespace whitefi::shard {
+
+double InterferenceCutoffMeters(Dbm tx_power_dbm, Dbm floor_dbm,
+                                const PropagationParams& prop) {
+  // Invert tx - (ref + 10 n log10 d) = floor for d.
+  const double margin_db = tx_power_dbm - floor_dbm - prop.reference_loss_db;
+  const double d = std::pow(10.0, margin_db / (10.0 * prop.exponent));
+  return std::max(d, prop.min_distance);
+}
+
+double MinTileEdgeMeters(const MediumParams& medium, Dbm max_tx_power_dbm) {
+  // Same-channel preamble detection is the most sensitive listener the
+  // medium models; energy below it is below every decode/sense threshold.
+  const Dbm floor = std::min(medium.same_channel_cs_dbm,
+                             medium.energy_detect_cs_dbm);
+  return InterferenceCutoffMeters(max_tx_power_dbm, floor,
+                                  medium.propagation);
+}
+
+SimTime PhysicalLookaheadBound() {
+  // The longest transmission the medium can carry: a maximum-size data
+  // frame at the narrowest width.  Ghost energy shipped at barriers is
+  // then stale by at most one frame air time.
+  const PhyTiming timing = PhyTiming::ForWidth(ChannelWidth::kW5);
+  const Us longest = timing.FrameDuration(1500);
+  return static_cast<SimTime>(std::ceil(longest));
+}
+
+double DistanceToRect(const Position& p, const TileRect& rect) {
+  const double dx = std::max({rect.x0 - p.x, 0.0, p.x - rect.x1});
+  const double dy = std::max({rect.y0 - p.y, 0.0, p.y - rect.y1});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Partition::Partition(double width_m, double height_m, double tile_m)
+    : width_m_(width_m), height_m_(height_m) {
+  if (!(width_m > 0.0) || !(height_m > 0.0)) {
+    throw std::invalid_argument("partition dimensions must be positive");
+  }
+  if (!(tile_m > 0.0)) {
+    throw std::invalid_argument("partition tile edge must be positive");
+  }
+  // Largest grid whose edges stay >= tile_m (the interference cutoff).
+  cols_ = std::max(1, static_cast<int>(std::floor(width_m / tile_m)));
+  rows_ = std::max(1, static_cast<int>(std::floor(height_m / tile_m)));
+}
+
+int Partition::TileOf(const Position& p) const {
+  const double tw = tile_width_m();
+  const double th = tile_height_m();
+  int col = static_cast<int>(std::floor(p.x / tw));
+  int row = static_cast<int>(std::floor(p.y / th));
+  col = std::clamp(col, 0, cols_ - 1);
+  row = std::clamp(row, 0, rows_ - 1);
+  return row * cols_ + col;
+}
+
+TileRect Partition::Rect(int tile) const {
+  const int row = tile / cols_;
+  const int col = tile % cols_;
+  const double tw = tile_width_m();
+  const double th = tile_height_m();
+  return TileRect{col * tw, row * th, (col + 1) * tw, (row + 1) * th};
+}
+
+std::vector<int> Partition::Neighbors(int tile) const {
+  const int row = tile / cols_;
+  const int col = tile % cols_;
+  std::vector<int> out;
+  out.reserve(8);
+  for (int dr = -1; dr <= 1; ++dr) {
+    for (int dc = -1; dc <= 1; ++dc) {
+      if (dr == 0 && dc == 0) continue;
+      const int r = row + dr;
+      const int c = col + dc;
+      if (r < 0 || r >= rows_ || c < 0 || c >= cols_) continue;
+      out.push_back(r * cols_ + c);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace whitefi::shard

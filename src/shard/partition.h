@@ -1,0 +1,95 @@
+// Spatial partition for the city-scale sharded simulation.
+//
+// The deployment plane is cut into a fixed rectangular grid of tiles.
+// Each tile owns its own Simulator + Medium + nodes and advances on its
+// own thread between conservative barriers (src/shard/engine.h).  The
+// grid is a function of the scenario geometry ONLY — never of the shard
+// (thread) count — which is what makes `--shards N` byte-identical to
+// `--shards 1`: shards merely map tiles onto threads.
+//
+// The conservative-lookahead argument rests on the attenuation model:
+// log-distance path loss is monotone in distance, so a transmission at
+// `tx_power` is below the carrier-sense floor everywhere beyond the
+// interference cutoff distance.  With a tile edge of at least that
+// cutoff, a transmitter can only be heard inside its own tile and the
+// eight surrounding tiles, so cross-tile influence is confined to the
+// neighbor seam the boundary ships messages across.
+#pragma once
+
+#include <vector>
+
+#include "sim/medium.h"
+#include "sim/propagation.h"
+#include "util/units.h"
+
+namespace whitefi::shard {
+
+/// Distance beyond which a transmission at `tx_power_dbm` is received
+/// below `floor_dbm` under `prop` (inverse of the log-distance path-loss
+/// model; never less than the near-field clamp).
+double InterferenceCutoffMeters(Dbm tx_power_dbm, Dbm floor_dbm,
+                                const PropagationParams& prop);
+
+/// The widest cutoff the medium can produce for transmitters up to
+/// `max_tx_power_dbm`: evaluated against the most sensitive carrier-sense
+/// floor (same-channel preamble detection).  The minimum legal tile edge.
+double MinTileEdgeMeters(const MediumParams& medium, Dbm max_tx_power_dbm);
+
+/// Conservative lookahead: how much simulated time a tile may advance
+/// past the last barrier before it must observe its neighbors' energy.
+/// Derived from the air interface, not the shard count: the air time of
+/// a maximum-size frame at the narrowest (slowest) channel width, i.e.
+/// the longest single transmission the medium can carry.  Energy shipped
+/// at barriers is then stale by at most one frame's air time.
+SimTime PhysicalLookaheadBound();
+
+/// One tile's rectangle, [x0, x1) x [y0, y1) in meters.
+struct TileRect {
+  double x0 = 0.0;
+  double y0 = 0.0;
+  double x1 = 0.0;
+  double y1 = 0.0;
+};
+
+/// Distance from a point to the nearest point of `rect` (0 inside).
+double DistanceToRect(const Position& p, const TileRect& rect);
+
+/// The fixed tile grid over a width_m x height_m city.
+///
+/// Tiles are row-major: tile = row * cols + col.  The requested edge
+/// `tile_m` is a floor — the grid uses the largest column/row count whose
+/// resulting edges are still >= tile_m, so every tile edge satisfies the
+/// cutoff precondition.
+class Partition {
+ public:
+  /// Throws std::invalid_argument on non-positive dimensions or when
+  /// `tile_m` is not positive.
+  Partition(double width_m, double height_m, double tile_m);
+
+  int cols() const { return cols_; }
+  int rows() const { return rows_; }
+  int NumTiles() const { return cols_ * rows_; }
+  double width_m() const { return width_m_; }
+  double height_m() const { return height_m_; }
+  /// Actual tile edges (>= the constructor's tile_m).
+  double tile_width_m() const { return width_m_ / cols_; }
+  double tile_height_m() const { return height_m_ / rows_; }
+
+  /// Tile owning position `p`; positions outside the city clamp to the
+  /// nearest edge tile.
+  int TileOf(const Position& p) const;
+
+  /// The rectangle of tile `tile`.
+  TileRect Rect(int tile) const;
+
+  /// The 8-neighborhood of `tile` (existing tiles only), ascending ids.
+  std::vector<int> Neighbors(int tile) const;
+
+ private:
+  double width_m_;
+  double height_m_;
+  int cols_;
+  int rows_;
+};
+
+}  // namespace whitefi::shard

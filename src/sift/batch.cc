@@ -1,5 +1,6 @@
 #include "sift/batch.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "sift/kernel.h"
@@ -122,6 +123,14 @@ void SiftBatch::Reset() {
   for (auto& core : cores_) core = SiftCoreState{};
   tails_.assign(tails_.size(), 0.0);
   for (auto& lane : completed_) lane.clear();
+}
+
+void SiftBatch::ResetLane(std::size_t lane) {
+  cores_.at(lane) = SiftCoreState{};
+  std::fill(tails_.begin() + static_cast<std::ptrdiff_t>(lane * window_),
+            tails_.begin() + static_cast<std::ptrdiff_t>((lane + 1) * window_),
+            0.0);
+  completed_.at(lane).clear();
 }
 
 const char* SiftBatch::kernel_name() const {

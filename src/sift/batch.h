@@ -64,6 +64,11 @@ class SiftBatch {
   /// kernel resolution, and observability sinks).
   void Reset();
 
+  /// Resets one lane to the start-of-stream state, leaving the other lanes'
+  /// streams untouched — the persistent-batch idiom for sweeps where each
+  /// dwell restarts only the lane of the channel it sits on.
+  void ResetLane(std::size_t lane);
+
   /// Name of the kernel the batch resolved to ("simd-avx2" or "scalar").
   const char* kernel_name() const;
 

@@ -56,10 +56,35 @@ void Medium::AccrueChannel(std::size_t c) {
 void Medium::Transmit(RadioPort* tx, const Channel& channel,
                       const Frame& frame, Dbm tx_power, SimTime duration,
                       std::function<void()> on_end) {
+  StartTransmission(tx, channel, frame, tx_power, duration, /*foreign=*/false,
+                    std::move(on_end));
+}
+
+void Medium::InjectForeignEnergy(int node_id, bool is_ap,
+                                 const Position& position,
+                                 const Channel& channel, const Frame& frame,
+                                 Dbm tx_power, SimTime duration) {
+  auto& source = foreign_sources_[node_id];
+  if (source == nullptr) source = std::make_unique<ForeignSource>();
+  source->id = node_id;
+  source->ap = is_ap;
+  source->pos = position;
+  StartTransmission(source.get(), channel, frame, tx_power, duration,
+                    /*foreign=*/true, {});
+}
+
+void Medium::StartTransmission(RadioPort* tx, const Channel& channel,
+                               const Frame& frame, Dbm tx_power,
+                               SimTime duration, bool foreign,
+                               std::function<void()> on_end) {
   const std::uint64_t id = next_tx_id_++;
   const auto type_index = static_cast<std::size_t>(frame.type);
-  WHITEFI_METRIC_COUNT(tx_counters_[type_index], 1);
-  if (obs_.trace != nullptr) {
+  if (foreign) {
+    WHITEFI_METRIC_COUNT(foreign_counter_, 1);
+  } else {
+    WHITEFI_METRIC_COUNT(tx_counters_[type_index], 1);
+  }
+  if (!foreign && obs_.trace != nullptr) {
     if (obs_.trace->Wants(TraceEventKind::kFrameTx)) {
       TraceEvent event;
       event.at_us = sim_.Now();
@@ -77,7 +102,7 @@ void Medium::Transmit(RadioPort* tx, const Channel& channel,
   }
   ActiveTx record{id,      tx,  channel, frame,
                   tx_power, sim_.Now(), sim_.Now() + duration,
-                  {}};
+                  {}, foreign};
   // Record mutual interference with every time-overlapping transmission on
   // overlapping spectrum: only transmissions indexed on the channels this
   // frame spans can overlap it.  Each is visited once (at the first spanned
@@ -138,6 +163,10 @@ void Medium::EndTransmission(std::uint64_t tx_id,
   const Channel channel = tx.channel;
   const Frame frame = tx.frame;
   RadioPort* const tx_radio = tx.tx;
+  const Dbm tx_power = tx.power;
+  const SimTime tx_start = tx.start;
+  const SimTime tx_end = tx.end;
+  const bool foreign = tx.foreign;
   recently_ended_.emplace(tx_id, std::move(tx));
   ended_order_.push_back(tx_id);
   ResolveReceptions(recently_ended_.at(tx_id));
@@ -165,18 +194,30 @@ void Medium::EndTransmission(std::uint64_t tx_id,
   if (on_end) on_end();
   NotifyOverlapping(channel);
   for (const FrameTap& tap : taps_) tap(channel, frame, *tx_radio);
+  if (!foreign) {
+    const EnergyTapInfo info{channel, frame, *tx_radio, tx_power, tx_start,
+                             tx_end};
+    for (const EnergyTap& tap : energy_taps_) tap(info);
+  }
 }
 
 void Medium::AddFrameTap(FrameTap tap) { taps_.push_back(std::move(tap)); }
 
+void Medium::AddEnergyTap(EnergyTap tap) {
+  energy_taps_.push_back(std::move(tap));
+}
+
 void Medium::SetObservability(const Observability& obs) {
   obs_ = obs;
   if (obs_.metrics == nullptr) {
+    foreign_counter_ = nullptr;
     tx_counters_.fill(nullptr);
     rx_counters_.fill(nullptr);
     drop_counters_.fill(nullptr);
     return;
   }
+  foreign_counter_ =
+      &obs_.metrics->GetCounter("whitefi.medium.foreign_energy");
   for (int i = 0; i < kNumFrameTypes; ++i) {
     const std::string type = FrameTypeName(static_cast<FrameType>(i));
     tx_counters_[i] = &obs_.metrics->GetCounter("whitefi.medium.tx." + type);
@@ -213,6 +254,11 @@ double Medium::InterferencePowerMw(const ActiveTx& tx,
 }
 
 void Medium::ResolveReceptions(const ActiveTx& tx) {
+  // Ghost energy is sensed, booked, and tapped but never decodable here:
+  // its frames are delivered (or dropped) in the shard that owns the
+  // transmitter.  Skipping before the radio walk keeps rx/drop counters
+  // clean of cross-shard duplicates.
+  if (tx.foreign) return;
   ScopedPhaseTimer timer(obs_.profiler, "medium.deliver");
   // Half-duplex: a radio that transmitted during this frame cannot have
   // received it.  Any such transmission on the same channel is recorded in
@@ -369,13 +415,26 @@ AirtimeBooks Medium::SnapshotBooks() {
   return books_;
 }
 
+const ChannelBooks& Medium::ChannelBooksAt(UhfIndex c) {
+  const auto index = static_cast<std::size_t>(c);
+  AccrueChannel(index);
+  return books_[index];
+}
+
 std::vector<int> Medium::ActiveApsBetween(const AirtimeBooks& before,
                                           const AirtimeBooks& after,
                                           UhfIndex c,
                                           const std::vector<int>& ap_ids) {
+  return ActiveApsBetween(before[static_cast<std::size_t>(c)],
+                          after[static_cast<std::size_t>(c)], ap_ids);
+}
+
+std::vector<int> Medium::ActiveApsBetween(const ChannelBooks& before,
+                                          const ChannelBooks& after,
+                                          const std::vector<int>& ap_ids) {
   std::vector<int> active;
-  const auto& b = before[static_cast<std::size_t>(c)].per_node;
-  const auto& a = after[static_cast<std::size_t>(c)].per_node;
+  const auto& b = before.per_node;
+  const auto& a = after.per_node;
   for (int id : ap_ids) {
     const auto bt = b.find(id);
     const auto at = a.find(id);
@@ -390,6 +449,12 @@ std::vector<int> Medium::ApIds() const {
   std::vector<int> ids;
   for (const RadioPort* radio : radios_) {
     if (radio->IsAp()) ids.push_back(radio->NodeId());
+  }
+  // Cross-shard APs whose ghost energy lands here count as interfering
+  // APs too: a scanner's B_c must see a foreign AP across a shard seam
+  // exactly as it would in a flat world.
+  for (const auto& [id, source] : foreign_sources_) {
+    if (source->ap) ids.push_back(id);
   }
   return ids;
 }

@@ -29,6 +29,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -123,6 +124,19 @@ class Medium {
   void Transmit(RadioPort* tx, const Channel& channel, const Frame& frame,
                 Dbm tx_power, SimTime duration, std::function<void()> on_end);
 
+  /// Injects cross-shard "ghost" energy: a transmission by `node_id`, a
+  /// node that lives in another shard, radiating from `position` at
+  /// `tx_power` for `duration` starting now.  The ghost participates in
+  /// carrier sense, SINR interference, the airtime books, and the frame
+  /// taps exactly like a local transmission — so scanners measure it and
+  /// chirp watches hear it — but it is never delivered to any radio (its
+  /// frames terminate in the owning shard) and it never re-fires the
+  /// energy taps (a ghost must not be re-exported across a boundary).
+  /// See src/shard for the boundary that feeds this.
+  void InjectForeignEnergy(int node_id, bool is_ap, const Position& position,
+                           const Channel& channel, const Frame& frame,
+                           Dbm tx_power, SimTime duration);
+
   /// True iff energy above the CS threshold from a foreign transmission is
   /// present on any UHF channel spanned by `channel`, as seen at `radio`.
   bool CarrierSensed(const RadioPort& radio, const Channel& channel) const;
@@ -133,11 +147,24 @@ class Medium {
   /// Brings the airtime books current and returns a copy.
   AirtimeBooks SnapshotBooks();
 
+  /// Brings one channel's books current and returns a reference — the
+  /// no-copy path for per-dwell B_c estimation, bit-equal to
+  /// `SnapshotBooks()[c]`.  The reference stays valid until the medium is
+  /// destroyed but its contents advance with simulated time; copy the
+  /// single ChannelBooks (not all 30) to freeze a "before" point.
+  const ChannelBooks& ChannelBooksAt(UhfIndex c);
+
   /// Set of AP node ids with non-zero air time on UHF channel `c` between
   /// two snapshots (helper for B_c estimation).
   static std::vector<int> ActiveApsBetween(const AirtimeBooks& before,
                                            const AirtimeBooks& after,
                                            UhfIndex c,
+                                           const std::vector<int>& ap_ids);
+
+  /// Single-channel overload over per-channel snapshots (see
+  /// ChannelBooksAt); identical results to the all-channel form.
+  static std::vector<int> ActiveApsBetween(const ChannelBooks& before,
+                                           const ChannelBooks& after,
                                            const std::vector<int>& ap_ids);
 
   /// Number of transmissions started since construction.
@@ -154,6 +181,27 @@ class Medium {
 
   /// Registers a tap (never removed; keep captured objects alive).
   void AddFrameTap(FrameTap tap);
+
+  /// Everything a shard boundary needs to re-emit a transmission remotely.
+  /// References are valid only for the duration of the tap call.
+  struct EnergyTapInfo {
+    const Channel& channel;
+    const Frame& frame;
+    const RadioPort& tx;
+    Dbm power;
+    SimTime start;
+    SimTime end;
+  };
+
+  /// A tap invoked after every completed LOCAL transmission with the full
+  /// energy description (power, interval, transmitter position via `tx`).
+  /// Ghost transmissions injected with InjectForeignEnergy never fire it,
+  /// so a sharded federation cannot echo energy back and forth.  Like
+  /// frame taps, energy taps must not call Transmit synchronously.
+  using EnergyTap = std::function<void(const EnergyTapInfo&)>;
+
+  /// Registers an energy tap (never removed).
+  void AddEnergyTap(EnergyTap tap);
 
   /// Attaches metrics/trace/profiler sinks (any pointer may be null).
   /// Counter handles are resolved here, once, so the per-frame cost is a
@@ -178,8 +226,31 @@ class Medium {
     SimTime end;
     /// Transmissions that overlapped this one in time AND spectrum.
     std::vector<std::uint64_t> interferers;
+    /// Cross-shard ghost energy: sensed and booked, never delivered.
+    bool foreign = false;
   };
 
+  /// Medium-side stand-in for a transmitter that lives in another shard:
+  /// it radiates (ghost transmissions reference it for position/id) but
+  /// never receives, so it is kept out of `radios_`.
+  struct ForeignSource final : RadioPort {
+    int id = 0;
+    bool ap = false;
+    Position pos;
+    Channel tuned{0, ChannelWidth::kW5};
+
+    int NodeId() const override { return id; }
+    Position Location() const override { return pos; }
+    const Channel& TunedChannel() const override { return tuned; }
+    bool RxEnabled() const override { return false; }
+    bool IsAp() const override { return ap; }
+    void DeliverFrame(const Frame&, Dbm) override {}
+    void MediumChanged() override {}
+  };
+
+  void StartTransmission(RadioPort* tx, const Channel& channel,
+                         const Frame& frame, Dbm tx_power, SimTime duration,
+                         bool foreign, std::function<void()> on_end);
   void EndTransmission(std::uint64_t tx_id, std::function<void()> on_end);
   void ResolveReceptions(const ActiveTx& tx);
   void NotifyOverlapping(const Channel& channel);
@@ -192,7 +263,10 @@ class Medium {
   MediumParams params_;
   PropagationModel prop_;
   std::vector<RadioPort*> radios_;
+  /// Cross-shard transmitters by node id (ordered so ApIds is stable).
+  std::map<int, std::unique_ptr<ForeignSource>> foreign_sources_;
   std::vector<FrameTap> taps_;
+  std::vector<EnergyTap> energy_taps_;
   std::unordered_map<std::uint64_t, ActiveTx> active_;
   /// Finished transmissions kept until no active transmission references
   /// them as interferers.
@@ -226,6 +300,9 @@ class Medium {
   // pre-resolved: whitefi.medium.{tx,rx,drop}.<Type>.
   Observability obs_;
   FaultInjector* faults_ = nullptr;
+  /// Ghost transmissions injected (kept out of the per-type tx counters so
+  /// aggregate medium stats never double-count a cross-shard frame).
+  Counter* foreign_counter_ = nullptr;
   std::array<Counter*, kNumFrameTypes> tx_counters_{};
   std::array<Counter*, kNumFrameTypes> rx_counters_{};
   std::array<Counter*, kNumFrameTypes> drop_counters_{};

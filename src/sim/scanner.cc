@@ -79,7 +79,7 @@ void Scanner::BeginDwell() {
     break;
   }
   MetricsRegistry::Count(world.metrics(), "whitefi.scanner.dwells");
-  dwell_start_books_ = world.medium().SnapshotBooks();
+  dwell_start_books_ = world.medium().ChannelBooksAt(cursor_);
   world.sim().ScheduleAfter(params_.dwell, [this] { EndDwell(); });
 }
 
@@ -104,9 +104,8 @@ void Scanner::EndDwell() {
     }
   }
   const auto idx = static_cast<std::size_t>(cursor_);
-  const AirtimeBooks books = world.medium().SnapshotBooks();
-  const auto& before = dwell_start_books_[idx];
-  const auto& after = books[idx];
+  const ChannelBooks& before = dwell_start_books_;
+  const ChannelBooks& after = world.medium().ChannelBooksAt(cursor_);
 
   // Busy fraction of *foreign* traffic (SIFT can filter the network's own
   // transmissions by width/pattern).  Summing foreign transmitters' own
@@ -137,9 +136,8 @@ void Scanner::EndDwell() {
                                        own.end();
                               }),
                ap_ids.end());
-  observation_[idx].ap_count = static_cast<int>(
-      Medium::ActiveApsBetween(dwell_start_books_, books, cursor_, ap_ids)
-          .size());
+  observation_[idx].ap_count =
+      static_cast<int>(Medium::ActiveApsBetween(before, after, ap_ids).size());
 
   // Incumbents may have appeared or vanished during the dwell.
   bool mic = world.MicAudible(cursor_, device_.NodeId());

@@ -58,11 +58,6 @@ class Scanner {
   /// Number of completed full sweeps of the band.
   int SweepsCompleted() const { return sweeps_; }
 
-  /// Primes all channels' observations from an instantaneous measurement
-  /// over `window` ending now (used to bootstrap before the first sweep
-  /// finishes; exercises the same accounting as the sweep).
-  void PrimeFromBooks(SimTime window);
-
   // -- Chirp watch ---------------------------------------------------------
 
   /// Callback for heard chirps: payload plus the channel it was heard on.
@@ -109,7 +104,10 @@ class Scanner {
   UhfIndex cursor_ = 0;
   int sweeps_ = 0;
   bool sweeping_ = false;
-  AirtimeBooks dwell_start_books_;
+  /// Books of the dwelt channel at dwell start — a dwell only ever reads
+  /// the channel it sits on, so freezing one ChannelBooks (instead of a
+  /// full 30-channel SnapshotBooks copy) is the whole "before" state.
+  ChannelBooks dwell_start_books_;
 
   bool chirp_watch_ = false;
   bool chirp_dwelling_ = false;

@@ -11,8 +11,10 @@ SignalLevelScanner::SignalLevelScanner(Device& device,
                                        const SignalScannerParams& params)
     : device_(device),
       params_(params),
+      batch_(params.sift, static_cast<std::size_t>(kNumUhfChannels)),
       rng_(device.world().NewRng()),
       observation_(EmptyBandObservation()) {
+  batch_.SetObservability(device_.world().obs());
   device_.world().medium().AddFrameTap(
       [this](const Channel& channel, const Frame& frame, const RadioPort& tx) {
         OnTap(channel, frame, tx);
@@ -101,10 +103,14 @@ void SignalLevelScanner::EndDwell() {
   // lands in a reused scratch buffer instead of a fresh allocation.
   SignalSynthesizer synth(params_.signal, rng_.Fork());
   synth.SetProfiler(world.obs().profiler);
-  SiftDetector detector(params_.sift);
-  detector.SetObservability(world.obs());
   synth.SynthesizeInto(bursts, window, trace_scratch_);
-  const auto detected = detector.Detect(trace_scratch_);
+  // One persistent lane per channel: restart this channel's stream, run
+  // the shared batch kernel over the dwell trace, and collect its bursts.
+  const auto lane = static_cast<std::size_t>(cursor_);
+  batch_.ResetLane(lane);
+  batch_.ProcessBlock(lane, trace_scratch_);
+  batch_.Flush(lane);
+  const auto detected = batch_.TakeBursts(lane);
 
   observation_[idx].airtime = BusyAirtimeFraction(detected, 0.0, window);
 

@@ -17,6 +17,7 @@
 
 #include "phy/signal.h"
 #include "sift/airtime.h"
+#include "sift/batch.h"
 #include "sift/detector.h"
 #include "sift/matcher.h"
 #include "sim/node.h"
@@ -65,6 +66,14 @@ class SignalLevelScanner {
 
   Device& device_;
   SignalScannerParams params_;
+  /// Persistent multi-lane SIFT classifier — one lane per UHF channel.
+  /// Each dwell resets only its channel's lane and streams the synthesized
+  /// trace through the shared batch kernel, so the kernel dispatch, the
+  /// threshold constants, and the tail buffers stay hot across the sweep
+  /// instead of paying a fresh SiftDetector (allocation + dispatch
+  /// resolution) per dwell.  Bit-equal to the per-dwell detector by the
+  /// batch semantics contract (sift_simd_property_test).
+  SiftBatch batch_;
   Rng rng_;
   BandObservation observation_;
   UhfIndex cursor_ = 0;

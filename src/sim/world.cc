@@ -8,7 +8,10 @@
 namespace whitefi {
 
 World::World(const WorldConfig& config)
-    : config_(config), rng_(config.seed), medium_(sim_, config.medium) {
+    : config_(config),
+      rng_(config.seed),
+      medium_(sim_, config.medium),
+      next_id_(config.first_node_id) {
   medium_.SetObservability(config_.obs);
   medium_.SetFaultInjector(config_.faults);
   if (config_.faults != nullptr) {

@@ -36,6 +36,11 @@ struct WorldConfig {
   /// by default: every injection point is a dead branch and the
   /// simulation is bit-identical to a world without the fault subsystem.
   FaultInjector* faults = nullptr;
+  /// First node id handed out by Create<T>().  Sharded runs give each
+  /// tile's world a disjoint id range so node ids stay globally unique
+  /// across tiles (cross-shard ghost energy is booked under the sender's
+  /// real id).
+  int first_node_id = 1;
 };
 
 /// One simulation scenario.
@@ -183,7 +188,7 @@ class World {
   Rng rng_;
   Simulator sim_;
   Medium medium_;
-  int next_id_ = 1;
+  int next_id_;
   std::int64_t next_trace_id_ = 0;
   std::vector<std::unique_ptr<Device>> devices_;
   std::vector<WorldMic> mics_;

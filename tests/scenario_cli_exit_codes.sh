@@ -144,6 +144,90 @@ EOF
 expect_exit 1 "inverted mobility speed range" \
   "$CLI" --config "$TMP/mobility_bad.conf"
 
+# [city] / [shards] sections: a valid city-scale scenario runs on the
+# sharded engine (exit 0, any --shards), misspelled city/shards keys are
+# caught by --strict (exit 2), a bad --shards value is a flag error
+# naming the flag (exit 2), and a parameter that parses but violates the
+# city generator's documented relations (placement name, roams without
+# cbr, tile edge below the interference cutoff) is a configuration
+# error (exit 2): the scenario it describes cannot be built.
+cat >"$TMP/city.conf" <<EOF
+seed = 5
+seconds = 1
+city.aps = 9
+city.clients_per_ap = 1
+city.width_m = 7000
+city.height_m = 7000
+EOF
+expect_exit 0 "valid city config" "$CLI" --config "$TMP/city.conf" --strict
+expect_exit 0 "valid city config, sharded" \
+  "$CLI" --config "$TMP/city.conf" --strict --shards 4
+expect_exit 0 "valid city config under audit" \
+  "$CLI" --config "$TMP/city.conf" --strict --shards 2 --audit
+grep -q "shards: 4" "$TMP/out" && fail "shard count must not reach stdout"
+
+cat >"$TMP/city_typo.conf" <<EOF
+seed = 5
+seconds = 1
+city.aps = 4
+city.clents_per_ap = 1
+shards.trce = true
+EOF
+expect_exit 0 "unknown city key without --strict" \
+  "$CLI" --config "$TMP/city_typo.conf"
+grep -q "city.clents_per_ap" "$TMP/err" || {
+  cat "$TMP/err" >&2
+  fail "missing city unknown-key warning"
+}
+grep -q "shards.trce" "$TMP/err" || {
+  cat "$TMP/err" >&2
+  fail "missing shards unknown-key warning"
+}
+expect_exit 2 "unknown city key under --strict" \
+  "$CLI" --config "$TMP/city_typo.conf" --strict
+grep -q "city_typo.conf line 4" "$TMP/err" || {
+  cat "$TMP/err" >&2
+  fail "--strict city error must name path and line"
+}
+
+expect_exit 2 "zero shard count" "$CLI" --config "$TMP/city.conf" --shards 0
+expect_exit 2 "negative shard count" \
+  "$CLI" --config "$TMP/city.conf" --shards -3
+expect_exit 2 "non-numeric shard count" \
+  "$CLI" --config "$TMP/city.conf" --shards many
+grep -q -- "--shards" "$TMP/err" || {
+  cat "$TMP/err" >&2
+  fail "bad --shards error must name the flag"
+}
+
+cat >"$TMP/city_bad_placement.conf" <<EOF
+seed = 5
+seconds = 1
+city.aps = 4
+city.placement = hexgrid
+EOF
+expect_exit 2 "unknown city placement" \
+  "$CLI" --config "$TMP/city_bad_placement.conf"
+
+cat >"$TMP/city_bad_roam.conf" <<EOF
+seed = 5
+seconds = 1
+city.aps = 4
+city.traffic = saturated
+city.roams = 1
+EOF
+expect_exit 2 "roams without cbr traffic" \
+  "$CLI" --config "$TMP/city_bad_roam.conf"
+
+cat >"$TMP/city_bad_tile.conf" <<EOF
+seed = 5
+seconds = 1
+city.aps = 4
+city.tile_m = 100
+EOF
+expect_exit 2 "tile edge below the interference cutoff" \
+  "$CLI" --config "$TMP/city_bad_tile.conf"
+
 # Replaying a file with no expect block is a runtime failure (1), not a
 # config error: the file parsed fine, the reproduction just cannot hold.
 expect_exit 1 "replay of a non-bundle" "$CLI" --replay "$TMP/ok.conf"
